@@ -1,0 +1,57 @@
+(** Benchmark utilities: Bechamel timing wrapper and table rendering. *)
+
+open Bechamel
+
+(** Median run time in nanoseconds of [f], measured with Bechamel (OLS
+    estimate against the run counter). One [Test.make] per measured row. *)
+let time_ns ?(quota = 0.25) name (f : unit -> 'a) : float =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ est ] -> (
+      match Analyze.OLS.estimates est with
+      | Some [ v ] -> v
+      | _ -> Float.nan)
+  | _ -> Float.nan
+
+let ms_of_ns ns = ns /. 1.e6
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let print_heading id title claim =
+  Fmt.pr "@.=== %s: %s ===@." id title;
+  Fmt.pr "paper: %s@.@." claim
+
+let print_table (header : string list) (rows : string list list) =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < cols then widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+         row)
+  in
+  Fmt.pr "  %s@." (line header);
+  Fmt.pr "  %s@."
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> Fmt.pr "  %s@." (line r)) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%+.1f%%" x

@@ -1,0 +1,202 @@
+(** Synthetic MiniHaskell workload generators for the experiments. *)
+
+let buf_program parts = String.concat "\n" parts
+
+(** E1: a program with [n] overloaded functions (classes exercised heavily)
+    and its monomorphic twin (same shape, primitive calls, no overloading). *)
+let overloaded_program n =
+  let fns =
+    List.init n (fun i ->
+        Printf.sprintf
+          "ov%d :: (Ord a, Num a) => a -> a -> Bool\n\
+           ov%d x y = x + y == y + x || x <= y && member x [y]" i i)
+  in
+  buf_program (fns @ [ "main = ov0 (1 :: Int) 2" ])
+
+let monomorphic_program n =
+  let fns =
+    List.init n (fun i ->
+        Printf.sprintf
+          "mo%d :: Int -> Int -> Bool\n\
+           mo%d x y = primEqInt (primAddInt x y) (primAddInt y x) || \
+           primLeInt x y && memInt x [y]" i i)
+  in
+  buf_program
+    (("memInt :: Int -> [Int] -> Bool\n\
+       memInt x [] = False\n\
+       memInt x (y:ys) = primEqInt x y || memInt x ys")
+     :: fns
+    @ [ "main = mo0 (1 :: Int) 2" ])
+
+(** E2: dispatching a method with a [size]-step body, [calls] times —
+    overloaded (dictionary selection per call) vs monomorphic twin (direct
+    call). [sum (enumFromTo 1 size)] makes the body cost adjustable. *)
+let dispatch_overloaded ~size ~calls =
+  Printf.sprintf
+    {|
+class Work a where
+  work :: a -> Int
+
+instance Work Int where
+  work n = busy %d + n
+
+busy :: Int -> Int
+busy k = if k == 0 then 0 else busy (k - 1)
+
+runAll :: Work a => Int -> a -> Int
+runAll n x = if n == 0 then 0 else work x + runAll (n - 1) x
+
+main = runAll %d (1 :: Int)
+|}
+    size calls
+
+let dispatch_direct ~size ~calls =
+  Printf.sprintf
+    {|
+workInt :: Int -> Int
+workInt n = busy %d + n
+
+busy :: Int -> Int
+busy k = if k == 0 then 0 else busy (k - 1)
+
+runAll :: Int -> Int -> Int
+runAll n x = if n == 0 then 0 else workInt x + runAll (n - 1) x
+
+main = runAll %d (1 :: Int)
+|}
+    size calls
+
+(** E3/E10: overloaded recursion of depth [n] (dictionaries passed through
+    every call) and its monomorphic twin. *)
+let overloaded_sum n =
+  Printf.sprintf
+    {|
+mySum :: Num a => a -> a
+mySum n = if n == 0 then 0 else n + mySum (n - 1)
+main = mySum (%d :: Int)
+|}
+    n
+
+let monomorphic_sum n =
+  Printf.sprintf
+    {|
+mySum :: Int -> Int
+mySum n = if n == 0 then 0 else n + mySum (n - 1)
+main = mySum %d
+|}
+    n
+
+(** E5 (§8.8): a recursion that needs an [Eq [a]] dictionary per step. *)
+let chain_member n =
+  Printf.sprintf
+    {|
+chain :: Eq a => a -> [[a]] -> Bool
+chain x []       = False
+chain x (ys:yss) = member [x] [ys] || chain x yss
+main = chain 0 (map (\n -> [n]) (enumFromTo 1 %d))
+|}
+    n
+
+(** E6 (§8.1): a superclass chain [C1 <= C2 <= ... <= Cd]; the workload
+    calls the {e deepest} class's method through the {e newest} class's
+    dictionary, [calls] times, from an overloaded context. *)
+let hierarchy ~depth ~calls =
+  let classes =
+    List.init depth (fun i ->
+        let i = i + 1 in
+        if i = 1 then
+          "class C1 a where\n  m1 :: a -> Int"
+        else
+          Printf.sprintf "class C%d a => C%d a where\n  m%d :: a -> Int" (i - 1)
+            i i)
+  in
+  let instances =
+    List.init depth (fun i ->
+        let i = i + 1 in
+        Printf.sprintf "instance C%d Int where\n  m%d n = n + %d" i i i)
+  in
+  (* list instances force a fresh dictionary construction at each use of
+     [C_depth [Int]] (no CAF caching), exposing construction cost *)
+  let list_instances =
+    List.init depth (fun i ->
+        let i = i + 1 in
+        Printf.sprintf "instance C%d a => C%d [a] where\n  m%d xs = %d" i i i i)
+  in
+  let driver =
+    Printf.sprintf
+      {|
+useDeep :: C%d a => Int -> a -> Int
+useDeep n x = if n == 0 then 0 else m1 x + useDeep (n - 1) x
+
+buildMany :: Int -> Int
+buildMany n = if n == 0 then 0 else useDeep 1 [n] + buildMany (n - 1)
+
+-- a function needing only the base class: calling it from a C%d context
+-- must extract the superclass dictionary (a selection chain when nested,
+-- a repack when flat)
+useBase :: C1 a => a -> Int
+useBase x = m1 x
+
+extractMany :: C%d a => Int -> a -> Int
+extractMany n x = if n == 0 then 0 else useBase x + extractMany (n - 1) x
+
+main = (useDeep %d (1 :: Int), buildMany %d, extractMany %d (1 :: Int))
+|}
+      depth depth depth calls calls calls
+  in
+  buf_program (classes @ instances @ list_instances @ [ driver ])
+
+(** E7 (§3): a dispatch-friendly equality/arithmetic workload that both
+    strategies can run. *)
+let tag_friendly n =
+  Printf.sprintf
+    {|
+total []     = 0
+total (x:xs) = x + total xs
+
+eqAll :: Eq a => a -> [a] -> Bool
+eqAll x []     = True
+eqAll x (y:ys) = x == y && eqAll x ys
+
+main = ( total (enumFromTo 1 %d)
+       , eqAll 1 (replicate %d 1)
+       , eqAll [1,2] (replicate %d [1,2]) )
+|}
+    n n n
+
+(** E8 (§9): a purely monomorphic pipeline, classes in scope but unused. *)
+let monomorphic_pipeline n =
+  Printf.sprintf
+    {|
+step :: Int -> Int
+step x = primAddInt (primMulInt x 3) 1
+
+iterN :: Int -> Int -> Int
+iterN n x = if primEqInt n 0 then x else iterN (primSubInt n 1) (step x)
+
+main = iterN %d 1
+|}
+    n
+
+(** The same pipeline written with overloaded operators. *)
+let overloaded_pipeline n =
+  Printf.sprintf
+    {|
+step :: Int -> Int
+step x = x * 3 + 1
+
+iterN :: Int -> Int -> Int
+iterN n x = if n == 0 then x else iterN (n - 1) (step x)
+
+main = iterN %d 1
+|}
+    n
+
+(** E9: a mixed program for checker-cost profiling. *)
+let checker_workload n =
+  let fns =
+    List.init n (fun i ->
+        Printf.sprintf
+          "ck%d xs x = member x xs && maximum xs == x || sum xs + x <= x" i)
+  in
+  buf_program (fns @ [ "main = ck0 [1,2,3] (2 :: Int)" ])

@@ -1,0 +1,369 @@
+(* mhc — the MiniHaskell compiler/interpreter.
+
+   Subcommands:
+     check    type check; print the inferred qualified types
+     core     print the dictionary-converted core program
+     run      evaluate `main`
+     counters evaluate `main` and report operation counters
+     stats    type check and report checker instrumentation
+
+   Common flags select the implementation strategy (dictionaries with
+   nested or flat layout, or run-time tags), the optimization pipeline,
+   and the evaluation mode. *)
+
+open Cmdliner
+module Pipeline = Typeclasses.Pipeline
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- common options ---- *)
+
+type strategy = Dicts | Dicts_flat | Tags
+
+let strategy_conv =
+  let parse = function
+    | "dict" | "dicts" | "nested" -> Ok Dicts
+    | "dict-flat" | "flat" -> Ok Dicts_flat
+    | "tags" | "tag" -> Ok Tags
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf s ->
+      Fmt.string ppf
+        (match s with Dicts -> "dict" | Dicts_flat -> "dict-flat" | Tags -> "tags"))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Dicts
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:
+          "Implementation strategy: $(b,dict) (dictionary passing, nested \
+           layout), $(b,dict-flat) (flattened dictionaries, §8.1), or \
+           $(b,tags) (run-time tag dispatch, §3).")
+
+let opt_conv =
+  let parse s =
+    match Tc_opt.Opt.of_string s with
+    | Some passes -> Ok passes
+    | None -> Error (`Msg (Printf.sprintf "unknown optimization level %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<passes>")
+
+let opt_arg =
+  Arg.(
+    value
+    & opt opt_conv []
+    & info [ "opt"; "O" ] ~docv:"LEVEL"
+        ~doc:
+          "Optimizations: $(b,none), $(b,simplify), $(b,inner-entry), \
+           $(b,hoist), $(b,spec), or $(b,all).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lazy", `Lazy); ("strict", `Strict) ]) `Lazy
+    & info [ "eval" ] ~docv:"MODE" ~doc:"Evaluation mode: $(b,lazy) or $(b,strict).")
+
+let no_prelude_arg =
+  Arg.(value & flag & info [ "no-prelude" ] ~doc:"Do not load the prelude.")
+
+let mono_literals_arg =
+  Arg.(
+    value & flag
+    & info [ "monomorphic-literals" ]
+        ~doc:"Integer literals are plain Int instead of (Num a) => a.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mhs")
+
+let build_opts strategy no_prelude mono_lits : Pipeline.options =
+  {
+    Pipeline.infer =
+      {
+        Tc_infer.Infer.strategy =
+          (match strategy with
+           | Dicts_flat -> Tc_dicts.Layout.Flat
+           | _ -> Tc_dicts.Layout.Nested);
+        overloaded_literals = not mono_lits;
+        defaulting = true;
+      };
+    include_prelude = not no_prelude;
+    lint = true;
+  }
+
+let compile strategy opts file =
+  let src = read_file file in
+  match strategy with
+  | Tags -> Pipeline.compile_tags ~opts ~file src
+  | Dicts | Dicts_flat -> Pipeline.compile ~opts ~file src
+
+let handle_errors f =
+  try f () with
+  | Tc_support.Diagnostic.Error d ->
+      Fmt.epr "%a@." Tc_support.Diagnostic.pp d;
+      exit 1
+  | Tc_eval.Eval.Runtime_error m ->
+      Fmt.epr "runtime error: %s@." m;
+      exit 2
+  | Tc_eval.Eval.User_error m ->
+      Fmt.epr "error: %s@." m;
+      exit 2
+  | Tc_eval.Eval.Pattern_fail m ->
+      Fmt.epr "pattern-match failure: %s@." m;
+      exit 2
+
+let print_warnings (c : Pipeline.compiled) =
+  List.iter (fun w -> Fmt.epr "%a@." Tc_support.Diagnostic.pp w) c.warnings
+
+(* ---- subcommands ---- *)
+
+let check_cmd =
+  let doc = "Type check a program and print the inferred qualified types." in
+  let run strategy no_prelude mono file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    print_warnings c;
+    List.iter
+      (fun (n, s) ->
+        Fmt.pr "%s :: %s@." (Tc_support.Ident.text n) (Tc_types.Scheme.to_string s))
+      c.user_schemes
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ file_arg)
+
+let core_cmd =
+  let doc = "Print the dictionary-converted (or tag-dispatching) core program." in
+  let user_only_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Print the whole program including the prelude's translation.")
+  in
+  let run strategy no_prelude mono passes full file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    print_warnings c;
+    let user_names =
+      List.map (fun (n, _) -> n) c.user_schemes |> Tc_support.Ident.Set.of_list
+    in
+    List.iter
+      (fun g ->
+        let binds = Tc_core_ir.Core.binds_of_group g in
+        let interesting =
+          full
+          || List.exists
+               (fun (b : Tc_core_ir.Core.bind) ->
+                 Tc_support.Ident.Set.mem b.b_name user_names)
+               binds
+        in
+        if interesting then Fmt.pr "%a@.@." Tc_core_ir.Core_pp.pp_group g)
+      c.core.p_binds
+  in
+  Cmd.v (Cmd.info "core" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ user_only_arg $ file_arg)
+
+let run_cmd =
+  let doc = "Compile and evaluate $(b,main)." in
+  let run strategy no_prelude mono passes mode file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    print_warnings c;
+    let r = Pipeline.run ~mode c in
+    Fmt.pr "%s@." r.rendered
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ mode_arg $ file_arg)
+
+let counters_cmd =
+  let doc = "Evaluate $(b,main) and report run-time operation counters." in
+  let run strategy no_prelude mono passes mode file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    let r = Pipeline.run ~mode c in
+    Fmt.pr "result: %s@." r.rendered;
+    Fmt.pr "%a@." Tc_eval.Counters.pp r.counters
+  in
+  Cmd.v (Cmd.info "counters" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ mode_arg $ file_arg)
+
+let stats_cmd =
+  let doc = "Type check and report checker instrumentation (unifications, \
+             context reductions, placeholders)." in
+  let run strategy no_prelude mono file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    Fmt.pr "%a@." Tc_types.Stats.pp c.checker_stats
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ file_arg)
+
+(* ---- the REPL ---- *)
+
+let repl_help =
+  {|Commands:
+  <expr>            evaluate an expression
+  <decl>            add a declaration (data/class/instance/type/infix/binding)
+  :t <expr>         show the qualified type of an expression
+  :core <name>      show a binding's dictionary translation
+  :load <file>      add all declarations from a file
+  :browse           list the types of the declarations entered so far
+  :{ ... :}         multi-line block (e.g. a class with methods)
+  :reset            forget all declarations
+  :quit             exit|}
+
+let is_decl_line line =
+  let starts_with p =
+    String.length line >= String.length p && String.sub line 0 (String.length p) = p
+  in
+  List.exists starts_with
+    [ "data "; "class "; "instance "; "type "; "infixl "; "infixr "; "infix " ]
+  ||
+  (* a top-level binding or signature: ident/operator ... = / :: *)
+  (let lexed =
+     try Some (Tc_syntax.Lexer.tokenize ~file:"<repl>" line)
+     with Tc_support.Diagnostic.Error _ -> None
+   in
+   match lexed with
+   | None -> false
+   | Some toks ->
+       let toks = List.map (fun (t : Tc_syntax.Token.spanned) -> t.tok) toks in
+       let rec scan depth = function
+         | [] -> false
+         | Tc_syntax.Token.LPAREN :: rest
+         | Tc_syntax.Token.LBRACKET :: rest -> scan (depth + 1) rest
+         | Tc_syntax.Token.RPAREN :: rest
+         | Tc_syntax.Token.RBRACKET :: rest -> scan (depth - 1) rest
+         (* '=' or '::' at depth 0 makes it a declaration; stop at any
+            expression-only keyword *)
+         | Tc_syntax.Token.EQUALS :: _ when depth = 0 -> true
+         | Tc_syntax.Token.DCOLON :: _ when depth = 0 -> false
+         | (Tc_syntax.Token.KW_let | Tc_syntax.Token.KW_if
+           | Tc_syntax.Token.KW_case | Tc_syntax.Token.LAMBDA) :: _ -> false
+         | _ :: rest -> scan depth rest
+       in
+       scan 0 toks)
+
+let repl_cmd =
+  let doc = "An interactive read-eval-print loop." in
+  let run () =
+    let decls = ref [] in
+    let source () = String.concat "\n" (List.rev !decls) in
+    let compile_current extra =
+      Pipeline.compile ~file:"<repl>" (source () ^ "\n" ^ extra)
+    in
+    Fmt.pr "mhc — MiniHaskell with type classes (Peterson & Jones, PLDI 1993)@.";
+    Fmt.pr "type :? for help@.";
+    let rec read_block acc =
+      match In_channel.input_line stdin with
+      | None -> String.concat "\n" (List.rev acc)
+      | Some line when String.trim line = ":}" -> String.concat "\n" (List.rev acc)
+      | Some line -> read_block (line :: acc)
+    in
+    let handle input =
+      let input = String.trim input in
+      let with_errors f =
+        try f () with
+        | Tc_support.Diagnostic.Error d ->
+            Fmt.pr "%a@." Tc_support.Diagnostic.pp d
+        | Tc_eval.Eval.Runtime_error m -> Fmt.pr "runtime error: %s@." m
+        | Tc_eval.Eval.User_error m -> Fmt.pr "error: %s@." m
+        | Tc_eval.Eval.Pattern_fail m -> Fmt.pr "pattern-match failure: %s@." m
+      in
+      match input with
+      | "" -> ()
+      | ":q" | ":quit" -> raise Exit
+      | ":?" | ":h" | ":help" -> Fmt.pr "%s@." repl_help
+      | ":reset" ->
+          decls := [];
+          Fmt.pr "declarations cleared@."
+      | ":browse" ->
+          with_errors (fun () ->
+              let c = compile_current "" in
+              List.iter
+                (fun (n, s) ->
+                  Fmt.pr "%s :: %s@." (Tc_support.Ident.text n)
+                    (Tc_types.Scheme.to_string s))
+                c.user_schemes)
+      | _ when String.length input >= 3 && String.sub input 0 3 = ":t " ->
+          with_errors (fun () ->
+              let expr = String.sub input 3 (String.length input - 3) in
+              let c = compile_current "" in
+              Fmt.pr "%s :: %s@." (String.trim expr)
+                (Pipeline.expression_type c expr))
+      | _ when String.length input >= 6 && String.sub input 0 6 = ":core " ->
+          with_errors (fun () ->
+              let name = String.trim (String.sub input 6 (String.length input - 6)) in
+              let c = compile_current "" in
+              let id = Tc_support.Ident.intern name in
+              let found = ref false in
+              List.iter
+                (fun g ->
+                  List.iter
+                    (fun (b : Tc_core_ir.Core.bind) ->
+                      if Tc_support.Ident.equal b.b_name id then begin
+                        found := true;
+                        Fmt.pr "%a@." Tc_core_ir.Core_pp.pp_group g
+                      end)
+                    (Tc_core_ir.Core.binds_of_group g))
+                c.core.p_binds;
+              if not !found then Fmt.pr "no binding '%s'@." name)
+      | _ when String.length input >= 6 && String.sub input 0 6 = ":load " ->
+          with_errors (fun () ->
+              let path = String.trim (String.sub input 6 (String.length input - 6)) in
+              let text = read_file path in
+              let attempt = text :: !decls in
+              let saved = !decls in
+              decls := attempt;
+              (try ignore (compile_current "") with e -> decls := saved; raise e);
+              Fmt.pr "loaded %s@." path)
+      | _ when is_decl_line input ->
+          with_errors (fun () ->
+              let saved = !decls in
+              decls := input :: !decls;
+              try ignore (compile_current "") with e -> decls := saved; raise e)
+      | expr ->
+          with_errors (fun () ->
+              let c = compile_current (Printf.sprintf "replIt' = (%s)" expr) in
+              let cons = Tc_eval.Eval.con_table_of_env c.env in
+              let st = Tc_eval.Eval.create_state ~fuel:200_000_000 cons in
+              let v =
+                Tc_eval.Eval.run ~entry:(Tc_support.Ident.intern "replIt'") st c.core
+              in
+              Fmt.pr "%s@." (Tc_eval.Eval.render st v))
+    in
+    let rec loop () =
+      Fmt.pr "mhs> %!";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line ->
+          let input =
+            if String.trim line = ":{" then read_block [] else line
+          in
+          (try handle input with Exit -> raise Exit);
+          loop ()
+    in
+    (try loop () with Exit -> ());
+    Fmt.pr "bye@."
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "A MiniHaskell compiler implementing type classes by dictionary \
+             conversion (Peterson & Jones, PLDI 1993)" in
+  Cmd.group (Cmd.info "mhc" ~doc ~version:"1.0.0")
+    [ check_cmd; core_cmd; run_cmd; counters_cmd; stats_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,83 @@
+(* Computing with lattices — the application area the paper cites as [7]
+   (M.P. Jones, "Computing with lattices: An application of type classes",
+   JFP 1992): classes as a tool for structuring mathematics, not just for
+   == and +.
+
+   A `Lattice` class with instances for Bool, pairs and *functions* — the
+   last one is an instance on the -> type constructor, something run-time
+   tags could never dispatch (no data to inspect), and `bottom`/`top` are
+   overloaded purely in their result type.
+
+   Run with:  dune exec examples/lattices.exe *)
+
+open Typeclasses
+
+let program =
+  {|
+class Lattice a where
+  bottom :: a
+  top    :: a
+  join   :: a -> a -> a
+  meet   :: a -> a -> a
+
+instance Lattice Bool where
+  bottom = False
+  top    = True
+  join x y = x || y
+  meet x y = x && y
+
+instance (Lattice a, Lattice b) => Lattice (a, b) where
+  bottom = (bottom, bottom)
+  top    = (top, top)
+  join (a1, b1) (a2, b2) = (join a1 a2, join b1 b2)
+  meet (a1, b1) (a2, b2) = (meet a1 a2, meet b1 b2)
+
+-- pointwise lattice of functions: an instance on the -> constructor
+instance Lattice b => Lattice (a -> b) where
+  bottom = \x -> bottom
+  top    = \x -> top
+  join f g = \x -> join (f x) (g x)
+  meet f g = \x -> meet (f x) (g x)
+
+-- least upper bound of a list
+lub :: Lattice a => [a] -> a
+lub = foldr join bottom
+
+-- greatest lower bound
+glb :: Lattice a => [a] -> a
+glb = foldr meet top
+
+-- a fixpoint iterator over a lattice (Kleene iteration from bottom)
+fix :: (Eq a, Lattice a) => (a -> a) -> a
+fix f = iterateFix f bottom
+
+iterateFix :: Eq a => (a -> a) -> a -> a
+iterateFix f x = if f x == x then x else iterateFix f (f x)
+
+-- reachability in a tiny 2-node graph encoded as a pair of Bools:
+-- node 1 is reachable; node 2 is reachable if node 1 is.
+step (a, b) = (True, join b a)
+
+divisibleBy :: Int -> Int -> Bool
+divisibleBy d n = mod n d == 0
+
+main = ( lub [(False, True), (True, False)]    -- pairwise join
+       , glb [(True, True), (True, False)]
+       , fix step                               -- (True, True)
+       , join (divisibleBy 2) (divisibleBy 3) 9 -- pointwise: 9 div by 2 or 3?
+       , meet (divisibleBy 2) (divisibleBy 3) 6
+       , lub [divisibleBy 2, divisibleBy 5] 10 )
+|}
+
+let () =
+  let compiled = Pipeline.compile ~file:"lattices.mhs" program in
+  Fmt.pr "== Inferred types ==@.";
+  List.iter
+    (fun (name, scheme) ->
+      Fmt.pr "  %s :: %s@." (Tc_support.Ident.text name)
+        (Tc_types.Scheme.to_string scheme))
+    compiled.user_schemes;
+  let r = Pipeline.run compiled in
+  Fmt.pr "@.Result: %s@." r.rendered;
+  Fmt.pr "  (%d dictionary constructions, %d selections)@."
+    r.counters.dict_constructions r.counters.selections

@@ -1,0 +1,74 @@
+(* Numeric overloading (the paper's second headline example, §1):
+
+   - `double = \x -> x + x` keeps + overloaded: "there is no way to fix any
+     single interpretation for the + symbol";
+   - the Num class has Eq and Text superclasses (§8.1): code constrained
+     only by Num can still compare and print;
+   - integer literals are themselves overloaded (fromInt), with Haskell
+     defaulting resolving ambiguity;
+   - `parse` is overloaded in its *result* type, like the paper's `read` —
+     fine with dictionaries, impossible with run-time tags (§3).
+
+   Run with:  dune exec examples/numeric.exe *)
+
+open Typeclasses
+
+let program =
+  {|
+double :: Num a => a -> a
+double x = x + x
+
+-- superclasses at work: Num a implies Eq a and Text a
+describeSum :: Num a => [a] -> String
+describeSum xs =
+  if total == fromInt 0 then "zero" else str total
+  where total = sum xs
+
+-- return-type overloading: which parser runs depends on the context
+addParsed :: String -> String -> Int
+addParsed a b = parse a + parse b
+
+mean :: [Float] -> Float
+mean xs = sum xs / fromIntegral (length xs)
+
+main = ( double 21                       -- defaults to Int
+       , double 1.5                      -- Float
+       , describeSum [1,2,3 :: Int]
+       , describeSum [0.0, 0.0]
+       , addParsed "40" "2"
+       , parse "2.5" + mean [1.0, 2.0]
+       , signum (negate 7) )
+|}
+
+let () =
+  let compiled = Pipeline.compile ~file:"numeric.mhs" program in
+  Fmt.pr "== Inferred types ==@.";
+  List.iter
+    (fun (name, scheme) ->
+      Fmt.pr "  %s :: %s@." (Tc_support.Ident.text name)
+        (Tc_types.Scheme.to_string scheme))
+    compiled.user_schemes;
+
+  let r = Pipeline.run compiled in
+  Fmt.pr "@.Result: %s@." r.rendered;
+
+  (* The same program under the run-time tag strategy (§3): rejected,
+     because parse/fromInt are overloaded only in their result types. *)
+  Fmt.pr "@.== Run-time tag dispatch (§3) on the same program ==@.";
+  (try
+     let _ = Pipeline.compile_tags ~file:"numeric.mhs" program in
+     Fmt.pr "unexpectedly compiled!@."
+   with Tc_support.Diagnostic.Error d ->
+     Fmt.pr "rejected, as the paper predicts:@.  %a@." Tc_support.Diagnostic.pp d);
+
+  (* Tag dispatch is fine when every method dispatches on an argument. *)
+  let tag_friendly =
+    {|
+double x = x + x
+main = (double 21, double 1.5, [1,2] == [1,2], max 'a' 'q')
+|}
+  in
+  let tags = Pipeline.compile_tags ~file:"tagfriendly.mhs" tag_friendly in
+  let rt = Pipeline.run tags in
+  Fmt.pr "@.A tag-friendly program under tags: %s (%d tag dispatches)@."
+    rt.rendered rt.counters.tag_dispatches

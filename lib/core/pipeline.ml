@@ -1,0 +1,365 @@
+(** The full compilation pipeline — the library's main entry point.
+
+    [compile] takes MiniHaskell source text through:
+    lex → layout → parse → fixity resolution → static analysis (§4) →
+    desugaring/match compilation → type inference with dictionary
+    conversion (§5–6) → dictionary generation → core program.
+
+    [run] evaluates the result with the instrumented evaluator. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+module Parser = Tc_syntax.Parser
+module Fixity = Tc_syntax.Fixity
+module Class_env = Tc_types.Class_env
+module Static = Tc_types.Static
+module Scheme = Tc_types.Scheme
+module Stats = Tc_types.Stats
+module Desugar = Tc_desugar.Desugar
+module Kernel = Tc_desugar.Kernel
+module Infer = Tc_infer.Infer
+module Prims = Tc_infer.Prims
+module Core = Tc_core_ir.Core
+module Lint = Tc_core_ir.Lint
+module Scc = Tc_core_ir.Scc
+module Construct = Tc_dicts.Construct
+module Eval = Tc_eval.Eval
+module Counters = Tc_eval.Counters
+
+let err = Diagnostic.errorf
+
+type options = {
+  infer : Infer.options;
+  include_prelude : bool;
+  lint : bool;
+}
+
+let default_options =
+  { infer = Infer.default_options; include_prelude = true; lint = true }
+
+type compiled = {
+  env : Class_env.t;
+  core : Core.program;
+  schemes : (Ident.t * Scheme.t) list;  (* all top-level bindings, in order *)
+  user_schemes : (Ident.t * Scheme.t) list;  (* excluding the prelude *)
+  warnings : Diagnostic.t list;
+  checker_stats : Stats.t;
+  options : options;
+  (* tooling hooks (REPL, :type): the final value environment and the
+     fixity table of the compiled program *)
+  venv : Infer.venv;
+  fixities : Fixity.env;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Instance bodies: extract method definitions as function bindings.   *)
+(* ------------------------------------------------------------------ *)
+
+let fun_binds_of_body (decls : Ast.decl list) : (Ident.t * Ast.fun_bind) list =
+  let grouped = Ast.group_decls decls in
+  List.filter_map
+    (fun b ->
+      match b with
+      | Ast.BFun fb -> Some (fb.fb_name, fb)
+      | Ast.BPat ({ p = Ast.PVar m; _ }, rhs, loc) ->
+          Some
+            ( m,
+              {
+                Ast.fb_name = m;
+                fb_equations = [ { eq_pats = []; eq_rhs = rhs } ];
+                fb_loc = loc;
+              } )
+      | Ast.BPat _ -> None)
+    grouped.g_binds
+
+(** The signature an instance's method implementation must satisfy: the
+    method's declared type with the class variable replaced by the instance
+    head, qualified by the instance context (then any extra method
+    context, §8.5). The context order fixes the dictionary parameters,
+    matching {!Tc_dicts.Construct}. *)
+let impl_signature (env : Class_env.t) (inst : Class_env.inst_info)
+    (mi : Class_env.method_info) : Ast.sqtyp =
+  let ci = Class_env.class_exn env mi.mi_class in
+  (* freshen head variables to avoid capturing the method sig's variables *)
+  let params' = List.map (fun p -> Ident.gensym (Ident.text p)) inst.in_params in
+  (if Tc_types.Tycon.is_tuple { Tc_types.Tycon.name = inst.in_tycon;
+                                arity = List.length params' }
+   then ignore (Class_env.tuple_con env (List.length params')));
+  let head =
+    List.fold_left
+      (fun acc p -> Ast.TSApp (acc, Ast.TSVar p))
+      (Ast.TSCon inst.in_tycon) params'
+  in
+  let inst_preds =
+    List.concat
+      (List.mapi
+         (fun i ctx ->
+           List.map
+             (fun c ->
+               { Ast.sp_class = c;
+                 sp_ty = Ast.TSVar (List.nth params' i);
+                 sp_loc = inst.in_loc })
+             ctx)
+         (Array.to_list inst.in_context))
+  in
+  let subst = [ (ci.ci_var, head) ] in
+  {
+    Ast.sq_context = inst_preds @ mi.mi_sig.sq_context;
+    sq_ty = Tc_types.Elaborate.subst_styp subst mi.mi_sig.sq_ty;
+    sq_loc = inst.in_loc;
+  }
+
+(** The signature of a default method: the method's type qualified by the
+    class constraint itself (the default receives the class dictionary). *)
+let default_signature (env : Class_env.t) (mi : Class_env.method_info) :
+    Ast.sqtyp =
+  let ci = Class_env.class_exn env mi.mi_class in
+  {
+    Ast.sq_context =
+      { Ast.sp_class = mi.mi_class;
+        sp_ty = Ast.TSVar ci.ci_var;
+        sp_loc = ci.ci_loc }
+      :: mi.mi_sig.sq_context;
+    sq_ty = mi.mi_sig.sq_ty;
+    sq_loc = ci.ci_loc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_source ~file src : Ast.program = Parser.parse_program ~file src
+
+(** Front end shared by both implementation strategies: parse, fixity
+    resolution, static analysis, desugaring. *)
+let front ~include_prelude ~file src :
+    Class_env.t * Kernel.group list * Fixity.env =
+  let user_prog = parse_source ~file src in
+  let prog =
+    if include_prelude then
+      parse_source ~file:"<prelude>" Tc_prelude.Prelude.source @ user_prog
+    else user_prog
+  in
+  let prog, fixities = Fixity.resolve_program prog in
+  let { Static.env; value_decls } = Static.process prog in
+  let groups = Desugar.top_decls env value_decls in
+  (env, groups, fixities)
+
+let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
+    compiled =
+  Stats.reset ();
+  let env, groups, fixities = front ~include_prelude:opts.include_prelude ~file src in
+  let st = Infer.create_state ~opts:opts.infer env in
+  Infer.push_scope st;
+  let venv0 =
+    List.fold_left
+      (fun m (name, scheme) -> Ident.Map.add name (Infer.Poly scheme) m)
+      Ident.Map.empty (Prims.schemes env)
+  in
+  (* user (and prelude) value bindings, in dependency order *)
+  let venv, user_groups_rev, schemes_rev =
+    List.fold_left
+      (fun (venv, gs, ss) g ->
+        List.iter
+          (fun (b : Kernel.bind) ->
+            if Class_env.find_method env b.kb_name <> None then
+              err ~loc:b.kb_loc
+                "'%a' is a class method and cannot be redefined at the top \
+                 level"
+                Ident.pp b.kb_name)
+          (Kernel.binds_of_group g);
+        let venv', cg = Infer.infer_group st venv g in
+        let ss' =
+          List.fold_left
+            (fun ss (b : Kernel.bind) ->
+              match Ident.Map.find_opt b.kb_name venv' with
+              | Some (Infer.Poly s) ->
+                  (b.kb_name, s, b.kb_loc.Tc_support.Loc.file) :: ss
+              | _ -> ss)
+            ss (Kernel.binds_of_group g)
+        in
+        (venv', cg :: gs, ss'))
+      (venv0, [], []) groups
+  in
+  (* default methods *)
+  let default_binds =
+    List.concat_map
+      (fun (ci : Class_env.class_info) ->
+        List.map
+          (fun (m, fb) ->
+            let mi = Option.get (Class_env.find_method env m) in
+            let q = default_signature env mi in
+            let expr = Desugar.fun_bind_expr env fb in
+            let name = Class_env.default_name ~cls:ci.ci_name ~meth:m in
+            let b, _ =
+              Infer.check_signature_binding st venv ~name ~q ~loc:fb.fb_loc expr
+            in
+            b)
+          ci.ci_defaults)
+      (Class_env.all_classes env)
+  in
+  (* methods without a default, omitted by some instance: a stub that
+     fails at run time when actually called *)
+  let missing_default_binds =
+    List.concat_map
+      (fun (ci : Class_env.class_info) ->
+        List.filter_map
+          (fun m ->
+            if List.mem_assoc m ci.ci_defaults then None
+            else if
+              List.exists
+                (fun (inst : Class_env.inst_info) ->
+                  Ident.equal inst.in_class ci.ci_name
+                  && List.assoc_opt m inst.in_impls = Some Class_env.Default_impl)
+                (Class_env.all_instances env)
+            then
+              Some
+                {
+                  Core.b_name = Class_env.default_name ~cls:ci.ci_name ~meth:m;
+                  b_expr =
+                    Core.Lam
+                      ( [ Ident.gensym "d$unused" ],
+                        Core.App
+                          ( Core.Var Prims.p_failure,
+                            Core.Lit
+                              (Tc_syntax.Ast.LString
+                                 (Printf.sprintf "no definition for method %s"
+                                    (Ident.text m))) ) );
+                }
+            else None)
+          ci.ci_methods)
+      (Class_env.all_classes env)
+  in
+  (* instance method implementations *)
+  let impl_binds =
+    List.concat_map
+      (fun (inst : Class_env.inst_info) ->
+        let bodies = fun_binds_of_body inst.in_body in
+        List.filter_map
+          (fun (m, impl) ->
+            match impl with
+            | Class_env.Default_impl -> None
+            | Class_env.User_impl impl_name ->
+                let fb = List.assoc m bodies in
+                let mi = Option.get (Class_env.find_method env m) in
+                let q = impl_signature env inst mi in
+                let expr = Desugar.fun_bind_expr env fb in
+                let b, _ =
+                  Infer.check_signature_binding st venv ~name:impl_name ~q
+                    ~loc:fb.fb_loc expr
+                in
+                Some b)
+          inst.in_impls)
+      (Class_env.all_instances env)
+  in
+  (* dictionary bindings (mechanical, §4) *)
+  let dict_binds = Construct.all_dict_bindings env opts.infer.strategy in
+  Infer.final_resolve st;
+  let main_id = Ident.intern "main" in
+  let has_main =
+    List.exists
+      (fun g ->
+        List.exists
+          (fun (b : Core.bind) -> Ident.equal b.b_name main_id)
+          (Core.binds_of_group g))
+      (List.rev user_groups_rev)
+  in
+  let program : Core.program =
+    {
+      p_binds =
+        List.rev user_groups_rev
+        @ List.map
+            (fun b -> Core.Nonrec b)
+            (default_binds @ missing_default_binds @ impl_binds @ dict_binds);
+      p_main = (if has_main then Some main_id else None);
+    }
+  in
+  let program = Core.squash_program program in
+  let program = Scc.regroup program in
+  if opts.lint then Lint.check_program ~primitives:Prims.names program;
+  let all_schemes = List.rev_map (fun (n, s, _) -> (n, s)) schemes_rev in
+  let user_schemes =
+    List.rev schemes_rev
+    |> List.filter_map (fun (n, s, f) -> if f = "<prelude>" then None else Some (n, s))
+  in
+  {
+    env;
+    core = program;
+    schemes = all_schemes;
+    user_schemes;
+    warnings = Diagnostic.Sink.warnings env.sink;
+    checker_stats = Stats.snapshot ();
+    options = opts;
+    venv;
+    fixities;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Running.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  value : Eval.value;
+  rendered : string;
+  counters : Counters.t;
+}
+
+let run ?(mode = `Lazy) ?(fuel = -1) ?entry (c : compiled) : run_result =
+  let cons = Eval.con_table_of_env c.env in
+  let st = Eval.create_state ~mode ~fuel cons in
+  let value = Eval.run ?entry st c.core in
+  { value; rendered = Eval.render st value; counters = st.counters }
+
+(** Convenience: compile and run in one step. *)
+let compile_and_run ?opts ?file ?(mode = `Lazy) ?fuel src =
+  let c = compile ?opts ?file src in
+  (c, run ~mode ?fuel c)
+
+(** Type check only; returns the inferred qualified types of the user's
+    top-level bindings, rendered. *)
+let check_types ?opts ?file src : (string * string) list =
+  let c = compile ?opts ?file src in
+  List.map (fun (n, s) -> (Ident.text n, Scheme.to_string s)) c.schemes
+
+(** The qualified type of a standalone expression against a compiled
+    program's environment (the REPL's [:type]). The expression is checked
+    but not translated, so its context is reported as attached to its type
+    variables rather than generalized. *)
+let expression_type (c : compiled) (src : string) : string =
+  let e = Parser.parse_expression ~file:"<interactive>" src in
+  let e = Fixity.expr c.fixities e in
+  let k = Tc_desugar.Desugar.expr c.env e in
+  let st = Infer.create_state ~opts:c.options.infer c.env in
+  Infer.push_scope st;
+  let ty, _core = Infer.infer_expr st c.venv k in
+  ignore (Infer.pop_scope st);
+  Fmt.str "%a" Tc_types.Ty.pp_qualified ty
+
+(** Apply an optimizer pipeline to a compiled program. *)
+let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
+  let core = Tc_opt.Opt.run passes c.core in
+  if c.options.lint then Lint.check_program ~primitives:Prims.names core;
+  { c with core }
+
+(* ------------------------------------------------------------------ *)
+(* The §3 baseline: run-time tag dispatch.                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile under the run-time tag dispatch strategy (paper §3). The
+    program is still type checked (with monomorphic integer literals, as in
+    ML), then translated without dictionaries: methods branch on the
+    dynamic type tag of their dispatch argument. Return-type overloading is
+    rejected ([Diagnostic.Error]). *)
+let compile_tags ?(opts = default_options) ?(file = "<input>") (src : string) :
+    compiled =
+  (* 1. ordinary type checking, for safety and reported types. (Checking
+     keeps overloaded literals; the tag translation then treats integer
+     literals as monomorphic Int, as ML does — code that relies on
+     return-type overloading of literals misbehaves under tags, which is
+     part of the point of §3.) *)
+  let checked = compile ~opts ~file src in
+  (* 2. independent tag-dispatch translation of the same source *)
+  let env, groups, _ = front ~include_prelude:opts.include_prelude ~file src in
+  let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
+  if opts.lint then Lint.check_program ~primitives:Prims.names core;
+  { checked with env; core }

@@ -1,0 +1,81 @@
+(** The full compilation pipeline — the library's main entry point.
+
+    [compile] takes MiniHaskell source through lex → layout → parse →
+    fixity resolution → static analysis (§4) → desugaring/match
+    compilation → type inference with dictionary conversion (§5–§6) →
+    dictionary generation → linted core program. [run] evaluates the
+    result with the instrumented evaluator; [optimize] applies §8/§9
+    optimizer passes; [compile_tags] uses the §3 run-time tag strategy
+    instead of dictionaries. *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+module Scheme = Tc_types.Scheme
+module Stats = Tc_types.Stats
+module Fixity = Tc_syntax.Fixity
+module Infer = Tc_infer.Infer
+module Core = Tc_core_ir.Core
+module Eval = Tc_eval.Eval
+module Counters = Tc_eval.Counters
+
+type options = {
+  infer : Infer.options;
+  include_prelude : bool;
+  lint : bool;
+}
+
+val default_options : options
+
+type compiled = {
+  env : Class_env.t;
+  core : Core.program;
+  schemes : (Ident.t * Scheme.t) list;       (** all top-level bindings *)
+  user_schemes : (Ident.t * Scheme.t) list;  (** excluding the prelude *)
+  warnings : Diagnostic.t list;
+  checker_stats : Stats.t;
+  options : options;
+  venv : Infer.venv;     (** tooling: the final value environment *)
+  fixities : Fixity.env; (** tooling: the program's fixity table *)
+}
+
+(** Compile a program under the dictionary-passing strategy. Raises
+    {!Diagnostic.Error} on any compile-time error. *)
+val compile : ?opts:options -> ?file:string -> string -> compiled
+
+type run_result = {
+  value : Eval.value;
+  rendered : string;
+  counters : Counters.t;
+}
+
+(** Evaluate [main] (or [entry]). [fuel] bounds evaluation steps
+    (negative = unlimited). *)
+val run :
+  ?mode:[ `Lazy | `Strict ] ->
+  ?fuel:int ->
+  ?entry:Ident.t ->
+  compiled ->
+  run_result
+
+val compile_and_run :
+  ?opts:options ->
+  ?file:string ->
+  ?mode:[ `Lazy | `Strict ] ->
+  ?fuel:int ->
+  string ->
+  compiled * run_result
+
+(** Type check only; user bindings with rendered qualified types. *)
+val check_types : ?opts:options -> ?file:string -> string -> (string * string) list
+
+(** The qualified type of a standalone expression against a compiled
+    program's environment (the REPL's [:type]). *)
+val expression_type : compiled -> string -> string
+
+(** Apply an optimizer pipeline (re-linting the result). *)
+val optimize : Tc_opt.Opt.pass list -> compiled -> compiled
+
+(** Compile under the §3 run-time tag dispatch strategy. The program is
+    still type checked; methods overloaded only in their result type are
+    rejected in user code. *)
+val compile_tags : ?opts:options -> ?file:string -> string -> compiled

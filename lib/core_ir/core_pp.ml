@@ -1,0 +1,92 @@
+(** Pretty printer for the core language. *)
+
+open Tc_support
+open Core
+
+let pp_lit ppf (l : lit) =
+  match l with
+  | Tc_syntax.Ast.LInt n -> Fmt.int ppf n
+  | Tc_syntax.Ast.LFloat f -> Fmt.float ppf f
+  | Tc_syntax.Ast.LChar c -> Fmt.pf ppf "%C" c
+  | Tc_syntax.Ast.LString s -> Fmt.pf ppf "%S" s
+
+let rec pp ppf e = pp_prec 0 ppf e
+
+and pp_prec prec ppf (e : expr) =
+  match e with
+  | Var x -> Ident.pp ppf x
+  | Lit l -> pp_lit ppf l
+  | Con c -> Ident.pp ppf c
+  | App _ ->
+      let f, args = unfold_app e [] in
+      let doc ppf () =
+        Fmt.pf ppf "@[<2>%a@ %a@]" (pp_prec 10) f
+          (Fmt.list ~sep:Fmt.sp (pp_prec 10))
+          args
+      in
+      if prec >= 10 then Fmt.parens doc ppf () else doc ppf ()
+  | Lam (vs, b) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<2>\\%a ->@ %a@]"
+          (Fmt.list ~sep:Fmt.sp Ident.pp)
+          vs (pp_prec 0) b
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Let (g, b) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<v>%a@ in %a@]" pp_group g (pp_prec 0) b
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | If (c, t, e') ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<2>if %a@ then %a@ else %a@]" (pp_prec 0) c (pp_prec 0) t
+          (pp_prec 0) e'
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | Case (s, alts, d) ->
+      let doc ppf () =
+        Fmt.pf ppf "@[<v 2>case %a of" (pp_prec 0) s;
+        List.iter (fun a -> Fmt.pf ppf "@ | %a" pp_alt a) alts;
+        (match d with
+         | Some d -> Fmt.pf ppf "@ | _ -> %a" (pp_prec 0) d
+         | None -> ());
+        Fmt.pf ppf "@]"
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | MkDict (tag, fields) ->
+      Fmt.pf ppf "@[<2>{%a.%a|%a|}@]" Ident.pp tag.dt_class Ident.pp tag.dt_tycon
+        (Fmt.list ~sep:(Fmt.any ",@ ") (pp_prec 0))
+        fields
+  | Sel (s, d) -> Fmt.pf ppf "%a.#%d{%s}" (pp_prec 10) d s.sel_index s.sel_label
+  | Hole h -> (
+      match h.hole_fill with
+      | Some inner -> Fmt.pf ppf "%a" (pp_prec prec) inner
+      | None -> Fmt.pf ppf "<hole %d>" h.hole_id)
+
+and pp_alt ppf a =
+  (match a.alt_con with
+   | Tcon c ->
+       Fmt.pf ppf "%a%a" Ident.pp c
+         (Fmt.list ~sep:Fmt.nop (fun ppf v -> Fmt.pf ppf " %a" Ident.pp v))
+         a.alt_vars
+   | Tlit l -> pp_lit ppf l);
+  Fmt.pf ppf " -> %a" (pp_prec 0) a.alt_body
+
+and pp_group ppf = function
+  | Nonrec b -> Fmt.pf ppf "@[<2>let %a =@ %a@]" Ident.pp b.b_name pp b.b_expr
+  | Rec bs ->
+      Fmt.pf ppf "@[<v>letrec";
+      List.iter
+        (fun b -> Fmt.pf ppf "@ @[<2>%a =@ %a@]" Ident.pp b.b_name pp b.b_expr)
+        bs;
+      Fmt.pf ppf "@]"
+
+let pp_program ppf (p : program) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun g -> Fmt.pf ppf "%a@ " pp_group g) p.p_binds;
+  (match p.p_main with
+   | Some m -> Fmt.pf ppf "-- main = %a" Ident.pp m
+   | None -> ());
+  Fmt.pf ppf "@]"
+
+let to_string e = Fmt.str "%a" pp e

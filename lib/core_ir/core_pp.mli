@@ -1,0 +1,10 @@
+(** Pretty printer for the core language. Dictionaries print as
+    [{Class.Tycon|fields|}], selections as [dict.#i{label}]. *)
+
+val pp_lit : Format.formatter -> Core.lit -> unit
+val pp : Format.formatter -> Core.expr -> unit
+val pp_prec : int -> Format.formatter -> Core.expr -> unit
+val pp_alt : Format.formatter -> Core.alt -> unit
+val pp_group : Format.formatter -> Core.bind_group -> unit
+val pp_program : Format.formatter -> Core.program -> unit
+val to_string : Core.expr -> string

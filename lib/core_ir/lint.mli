@@ -1,0 +1,14 @@
+(** Well-formedness checking for core programs: no unresolved placeholders,
+    every variable in scope. Runs after type checking and after each
+    optimizer pipeline. *)
+
+open Tc_support
+
+type error = { lint_msg : string }
+
+exception Lint of error
+
+val check_expr : globals:Ident.Set.t -> Core.expr -> unit
+
+(** Check a whole program, given the ambient primitive names. *)
+val check_program : primitives:Ident.t list -> Core.program -> unit

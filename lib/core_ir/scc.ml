@@ -1,0 +1,75 @@
+(** Regroup a core program's top-level bindings into minimal
+    strongly-connected groups in dependency order.
+
+    The pipeline emits user code, method implementations and dictionary
+    bindings in phases that reference each other; this pass restores an
+    evaluation-friendly topological order with the smallest possible
+    recursive groups (which also maximizes later optimization). *)
+
+open Tc_support
+open Core
+
+let regroup (p : program) : program =
+  let binds = List.concat_map binds_of_group p.p_binds in
+  let n = List.length binds in
+  let arr = Array.of_list binds in
+  let index_of : int Ident.Tbl.t = Ident.Tbl.create 64 in
+  Array.iteri (fun i b -> Ident.Tbl.replace index_of b.b_name i) arr;
+  let adj =
+    Array.map
+      (fun b ->
+        Ident.Set.fold
+          (fun v acc ->
+            match Ident.Tbl.find_opt index_of v with
+            | Some j -> j :: acc
+            | None -> acc)
+          (free_vars b.b_expr) [])
+      arr
+  in
+  let indices = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    indices.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if indices.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) indices.(w))
+      adj.(v);
+    if lowlink.(v) = indices.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if indices.(v) = -1 then strongconnect v
+  done;
+  let groups =
+    List.map
+      (fun comp ->
+        match comp with
+        | [ v ] ->
+            let b = arr.(v) in
+            if Ident.Set.mem b.b_name (free_vars b.b_expr) then Rec [ b ]
+            else Nonrec b
+        | vs -> Rec (List.map (fun v -> arr.(v)) vs))
+      (List.rev !components)
+  in
+  { p with p_binds = groups }

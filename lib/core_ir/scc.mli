@@ -1,0 +1,4 @@
+(** Regroup a core program's top-level bindings into minimal
+    strongly-connected groups in dependency order. *)
+
+val regroup : Core.program -> Core.program

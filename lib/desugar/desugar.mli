@@ -1,0 +1,24 @@
+(** Desugaring: surface syntax to kernel. List/tuple/string sugar becomes
+    constructor applications; equations, guards and [where] are
+    match-compiled; pattern bindings are expanded; [let] blocks and the top
+    level are split into strongly-connected binding groups in dependency
+    order (needed for correct generalization and §8.3). *)
+
+module Ast = Tc_syntax.Ast
+module Class_env = Tc_types.Class_env
+
+(** Remove list/tuple/string pattern sugar (registers tuple constructors). *)
+val normalize_pat : Class_env.t -> Ast.pat -> Ast.pat
+
+val expr : Class_env.t -> Ast.expr -> Kernel.expr
+
+(** Desugar a grouped function binding into a single (match-compiled)
+    expression; used for instance methods and class defaults. *)
+val fun_bind_expr : Class_env.t -> Ast.fun_bind -> Kernel.expr
+
+(** Desugar a block of declarations into binding groups in dependency
+    order. *)
+val decls_to_groups : Class_env.t -> Ast.decl list -> Kernel.group list
+
+(** Desugar top-level value declarations. *)
+val top_decls : Class_env.t -> Ast.decl list -> Kernel.group list

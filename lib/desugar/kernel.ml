@@ -1,0 +1,142 @@
+(** The kernel language: desugared surface syntax, input to type inference.
+
+    All pattern matching has been compiled to flat [KCase] (one constructor
+    or literal deep), multi-equation definitions merged, guards and [where]
+    expanded, string/list/tuple sugar removed, and let blocks split into
+    strongly-connected binding groups in dependency order. *)
+
+open Tc_support
+
+type lit = Tc_syntax.Ast.lit
+
+type test =
+  | KTcon of Ident.t  (* data constructor *)
+  | KTlit of lit      (* literal; Int/Float/Char only *)
+
+type expr =
+  | KVar of Ident.t * Loc.t
+  | KCon of Ident.t * Loc.t
+  | KLit of lit * Loc.t
+  | KApp of expr * expr
+  | KLam of Ident.t list * expr
+  | KLet of group * expr
+  | KIf of expr * expr * expr
+  | KCase of expr * alt list * expr option
+  | KAnnot of expr * Tc_syntax.Ast.sqtyp * Loc.t  (* e :: ty *)
+  | KFail of string * Loc.t  (* pattern-match failure *)
+
+and alt = { ka_test : test; ka_vars : Ident.t list; ka_body : expr }
+
+(** One binding of a group. *)
+and bind = {
+  kb_name : Ident.t;
+  kb_expr : expr;
+  kb_sig : Tc_syntax.Ast.sqtyp option;  (* user-supplied signature (§8.6) *)
+  kb_restricted : bool;  (* monomorphism restriction applies (§8.7) *)
+  kb_loc : Loc.t;
+}
+
+(** A strongly-connected binding group. *)
+and group =
+  | KNonrec of bind
+  | KRec of bind list
+
+let binds_of_group = function KNonrec b -> [ b ] | KRec bs -> bs
+
+let rec loc_of = function
+  | KVar (_, l) | KCon (_, l) | KLit (_, l) | KAnnot (_, _, l) | KFail (_, l) -> l
+  | KApp (f, _) -> loc_of f
+  | KLam (_, b) -> loc_of b
+  | KLet (_, b) -> loc_of b
+  | KIf (c, _, _) -> loc_of c
+  | KCase (s, _, _) -> loc_of s
+
+let kapps f args = List.fold_left (fun acc a -> KApp (acc, a)) f args
+
+(* ------------------------------------------------------------------ *)
+(* Free variables (value level) — used for dependency analysis.        *)
+(* ------------------------------------------------------------------ *)
+
+let free_vars (e : expr) : Ident.Set.t =
+  let rec go bound acc = function
+    | KVar (x, _) -> if Ident.Set.mem x bound then acc else Ident.Set.add x acc
+    | KCon _ | KLit _ | KFail _ -> acc
+    | KApp (f, a) -> go bound (go bound acc f) a
+    | KLam (vs, b) ->
+        go (List.fold_left (fun s v -> Ident.Set.add v s) bound vs) acc b
+    | KLet (g, body) ->
+        let binds = binds_of_group g in
+        let bound' =
+          List.fold_left (fun s b -> Ident.Set.add b.kb_name s) bound binds
+        in
+        let rhs_bound = match g with KNonrec _ -> bound | KRec _ -> bound' in
+        let acc =
+          List.fold_left (fun acc b -> go rhs_bound acc b.kb_expr) acc binds
+        in
+        go bound' acc body
+    | KIf (c, t, f) -> go bound (go bound (go bound acc c) t) f
+    | KCase (s, alts, d) ->
+        let acc = go bound acc s in
+        let acc =
+          List.fold_left
+            (fun acc a ->
+              let bound' =
+                List.fold_left (fun s v -> Ident.Set.add v s) bound a.ka_vars
+              in
+              go bound' acc a.ka_body)
+            acc alts
+        in
+        (match d with Some d -> go bound acc d | None -> acc)
+    | KAnnot (b, _, _) -> go bound acc b
+  in
+  go Ident.Set.empty Ident.Set.empty e
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (for debugging dumps).                              *)
+(* ------------------------------------------------------------------ *)
+
+let pp_lit = Tc_syntax.Ast_pp.pp_lit
+
+let rec pp ppf = function
+  | KVar (x, _) -> Ident.pp ppf x
+  | KCon (c, _) -> Ident.pp ppf c
+  | KLit (l, _) -> pp_lit ppf l
+  | KApp _ as e ->
+      let rec collect acc = function
+        | KApp (f, a) -> collect (a :: acc) f
+        | f -> (f, acc)
+      in
+      let f, args = collect [] e in
+      Fmt.pf ppf "(%a%a)" pp f
+        (Fmt.list ~sep:Fmt.nop (fun ppf a -> Fmt.pf ppf " %a" pp a))
+        args
+  | KLam (vs, b) ->
+      Fmt.pf ppf "(\\%a -> %a)" (Fmt.list ~sep:Fmt.sp Ident.pp) vs pp b
+  | KLet (g, b) -> Fmt.pf ppf "(let %a in %a)" pp_group g pp b
+  | KIf (c, t, f) -> Fmt.pf ppf "(if %a then %a else %a)" pp c pp t pp f
+  | KCase (s, alts, d) ->
+      Fmt.pf ppf "(case %a of {%a%s})" pp s
+        (Fmt.list ~sep:(Fmt.any "; ") pp_alt)
+        alts
+        (match d with
+         | Some d -> Fmt.str "; _ -> %s" (Fmt.str "%a" pp d)
+         | None -> "")
+  | KAnnot (e, q, _) -> Fmt.pf ppf "(%a :: %a)" pp e Tc_syntax.Ast_pp.pp_qtyp q
+  | KFail (msg, _) -> Fmt.pf ppf "<fail: %s>" msg
+
+and pp_alt ppf a =
+  (match a.ka_test with
+   | KTcon c ->
+       Fmt.pf ppf "%a%a" Ident.pp c
+         (Fmt.list ~sep:Fmt.nop (fun ppf v -> Fmt.pf ppf " %a" Ident.pp v))
+         a.ka_vars
+   | KTlit l -> pp_lit ppf l);
+  Fmt.pf ppf " -> %a" pp a.ka_body
+
+and pp_group ppf = function
+  | KNonrec b -> Fmt.pf ppf "%a = %a" Ident.pp b.kb_name pp b.kb_expr
+  | KRec bs ->
+      Fmt.pf ppf "rec {%a}"
+        (Fmt.list ~sep:(Fmt.any "; ") (fun ppf b ->
+             Fmt.pf ppf "%a = %a" Ident.pp b.kb_name pp b.kb_expr))
+        bs

@@ -1,0 +1,48 @@
+(** The kernel language: desugared surface syntax, input to type inference.
+    Pattern matching is flat (one constructor or literal deep), guards and
+    [where] are expanded, and let blocks are strongly-connected binding
+    groups in dependency order. *)
+
+open Tc_support
+
+type lit = Tc_syntax.Ast.lit
+
+type test =
+  | KTcon of Ident.t  (** data constructor *)
+  | KTlit of lit      (** Int/Float/Char literal *)
+
+type expr =
+  | KVar of Ident.t * Loc.t
+  | KCon of Ident.t * Loc.t
+  | KLit of lit * Loc.t
+  | KApp of expr * expr
+  | KLam of Ident.t list * expr
+  | KLet of group * expr
+  | KIf of expr * expr * expr
+  | KCase of expr * alt list * expr option
+  | KAnnot of expr * Tc_syntax.Ast.sqtyp * Loc.t
+  | KFail of string * Loc.t  (** pattern-match failure *)
+
+and alt = { ka_test : test; ka_vars : Ident.t list; ka_body : expr }
+
+and bind = {
+  kb_name : Ident.t;
+  kb_expr : expr;
+  kb_sig : Tc_syntax.Ast.sqtyp option;  (** user signature (§8.6) *)
+  kb_restricted : bool;  (** monomorphism restriction applies (§8.7) *)
+  kb_loc : Loc.t;
+}
+
+and group =
+  | KNonrec of bind
+  | KRec of bind list
+
+val binds_of_group : group -> bind list
+val loc_of : expr -> Loc.t
+val kapps : expr -> expr list -> expr
+
+(** Free value-level variables (for dependency analysis). *)
+val free_vars : expr -> Ident.Set.t
+
+val pp : Format.formatter -> expr -> unit
+val pp_group : Format.formatter -> group -> unit

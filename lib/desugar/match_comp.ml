@@ -1,0 +1,262 @@
+(** Pattern-match compilation.
+
+    Translates equation matrices (multi-equation, multi-pattern definitions
+    with guards) into flat kernel [KCase] trees, following the classic
+    variable/constructor/literal/mixture rules. Failure continuations are
+    bound as join points (unit-lambdas) to avoid code duplication. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+module Class_env = Tc_types.Class_env
+
+(** One row of the equation matrix. [mc_body] builds the right-hand side
+    given the expression to evaluate if its guards all fail. *)
+type equation = {
+  mc_pats : Ast.pat list;
+  mc_body : fail:Kernel.expr -> Kernel.expr;
+}
+
+let unit_con = Ident.intern "()"
+
+(** Is [fail] cheap enough to duplicate? *)
+let is_cheap = function
+  | Kernel.KVar _ | Kernel.KFail _ -> true
+  | Kernel.KApp (Kernel.KVar _, Kernel.KCon _) -> true (* a join-point call *)
+  | _ -> false
+
+(** [with_join fail k]: pass [k] a duplicable version of [fail], binding a
+    join point around the result if needed. *)
+let with_join (fail : Kernel.expr) (k : Kernel.expr -> Kernel.expr) : Kernel.expr =
+  if is_cheap fail then k fail
+  else begin
+    let j = Ident.gensym "fail" in
+    let u = Ident.gensym "u" in
+    let loc = Kernel.loc_of fail in
+    let call = Kernel.KApp (Kernel.KVar (j, loc), Kernel.KCon (unit_con, loc)) in
+    Kernel.KLet
+      ( Kernel.KNonrec
+          {
+            kb_name = j;
+            kb_expr = Kernel.KLam ([ u ], fail);
+            kb_sig = None;
+            kb_restricted = false;
+            kb_loc = loc;
+          },
+        k call )
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type category = Cvar | Ccon | Clit
+
+let rec categorize (p : Ast.pat) : category =
+  match p.p with
+  | Ast.PVar _ | Ast.PWild -> Cvar
+  | Ast.PCon _ -> Ccon
+  | Ast.PLit _ -> Clit
+  | Ast.PAs (_, inner) -> categorize inner
+  | Ast.PTuple _ | Ast.PList _ ->
+      invalid_arg "Match_comp: tuple/list patterns must be normalized first"
+
+(** Peel [x@p] aliases off the head pattern, binding the alias to the
+    scrutinee variable. Returns the bare head pattern and a body wrapper. *)
+let rec peel_as (v : Ident.t) (p : Ast.pat) (eq : equation) : Ast.pat * equation =
+  match p.p with
+  | Ast.PAs (x, inner) ->
+      let wrap body ~fail =
+        Kernel.KLet
+          ( Kernel.KNonrec
+              {
+                kb_name = x;
+                kb_expr = Kernel.KVar (v, p.p_loc);
+                kb_sig = None;
+                kb_restricted = true;
+                kb_loc = p.p_loc;
+              },
+            body ~fail )
+      in
+      peel_as v inner { eq with mc_body = wrap eq.mc_body }
+  | _ -> (p, eq)
+
+let head_pat eq =
+  match eq.mc_pats with
+  | p :: _ -> p
+  | [] -> invalid_arg "Match_comp: empty pattern row"
+
+let rest_pats eq = List.tl eq.mc_pats
+
+(* ------------------------------------------------------------------ *)
+
+let rec compile ~(env : Class_env.t) ~loc ~(scrutinees : Ident.t list)
+    ~(equations : equation list) ~(fail : Kernel.expr) : Kernel.expr =
+  match scrutinees with
+  | [] -> chain_rhs equations fail
+  | v :: rest ->
+      (* split into maximal runs of equations with same head category *)
+      let runs = split_runs v equations in
+      List.fold_right
+        (fun run acc -> compile_run ~env ~loc v rest run acc)
+        runs fail
+
+and chain_rhs equations fail =
+  match equations with
+  | [] -> fail
+  | eq :: restq ->
+      assert (eq.mc_pats = []);
+      with_join (chain_rhs restq fail) (fun f -> eq.mc_body ~fail:f)
+
+and split_runs v equations : (category * equation list) list =
+  let categorized =
+    List.map
+      (fun eq ->
+        let head, eq = peel_as v (head_pat eq) eq in
+        let eq = { eq with mc_pats = head :: rest_pats eq } in
+        (categorize head, eq))
+      equations
+  in
+  let rec runs = function
+    | [] -> []
+    | (c, eq) :: restq ->
+        let same, others =
+          let rec span acc = function
+            | (c', eq') :: tl when c' = c -> span (eq' :: acc) tl
+            | tl -> (List.rev acc, tl)
+          in
+          span [ eq ] restq
+        in
+        (c, same) :: runs others
+  in
+  runs categorized
+
+and compile_run ~env ~loc v rest (cat, equations) fail : Kernel.expr =
+  match cat with
+  | Cvar ->
+      (* bind the variable (if named) and drop the column *)
+      let equations =
+        List.map
+          (fun eq ->
+            let head = head_pat eq and restp = rest_pats eq in
+            match head.p with
+            | Ast.PWild -> { eq with mc_pats = restp }
+            | Ast.PVar x ->
+                let body = eq.mc_body in
+                {
+                  mc_pats = restp;
+                  mc_body =
+                    (fun ~fail ->
+                      Kernel.KLet
+                        ( Kernel.KNonrec
+                            {
+                              kb_name = x;
+                              kb_expr = Kernel.KVar (v, head.p_loc);
+                              kb_sig = None;
+                              kb_restricted = true;
+                              kb_loc = head.p_loc;
+                            },
+                          body ~fail ));
+                }
+            | _ -> assert false)
+          equations
+      in
+      compile ~env ~loc ~scrutinees:rest ~equations ~fail
+  | Ccon ->
+      with_join fail (fun fail ->
+          let groups = group_by_con equations in
+          let span =
+            match groups with
+            | (c, _) :: _ -> (
+                match Class_env.find_datacon env c with
+                | Some info -> info.con_span
+                | None ->
+                    Diagnostic.errorf ~loc "unknown data constructor '%a'"
+                      Ident.pp c)
+            | [] -> assert false
+          in
+          let alts =
+            List.map
+              (fun (c, eqs) ->
+                let info =
+                  match Class_env.find_datacon env c with
+                  | Some info -> info
+                  | None ->
+                      Diagnostic.errorf ~loc "unknown data constructor '%a'"
+                        Ident.pp c
+                in
+                let fields =
+                  List.init info.con_arity (fun i ->
+                      Ident.gensym (Printf.sprintf "f%d" i))
+                in
+                let sub_eqs =
+                  List.map
+                    (fun eq ->
+                      let head = head_pat eq in
+                      match head.p with
+                      | Ast.PCon (_, args) ->
+                          if List.length args <> info.con_arity then
+                            Diagnostic.errorf ~loc:head.p_loc
+                              "constructor '%a' expects %d argument(s) but \
+                               the pattern has %d"
+                              Ident.pp c info.con_arity (List.length args);
+                          { eq with mc_pats = args @ rest_pats eq }
+                      | _ -> assert false)
+                    eqs
+                in
+                {
+                  Kernel.ka_test = Kernel.KTcon c;
+                  ka_vars = fields;
+                  ka_body =
+                    compile ~env ~loc ~scrutinees:(fields @ rest)
+                      ~equations:sub_eqs ~fail;
+                })
+              groups
+          in
+          let default = if List.length groups < span then Some fail else None in
+          Kernel.KCase (Kernel.KVar (v, loc), alts, default))
+  | Clit ->
+      with_join fail (fun fail ->
+          let groups = group_by_lit equations in
+          let alts =
+            List.map
+              (fun (l, eqs) ->
+                let sub_eqs =
+                  List.map (fun eq -> { eq with mc_pats = rest_pats eq }) eqs
+                in
+                {
+                  Kernel.ka_test = Kernel.KTlit l;
+                  ka_vars = [];
+                  ka_body =
+                    compile ~env ~loc ~scrutinees:rest ~equations:sub_eqs ~fail;
+                })
+              groups
+          in
+          Kernel.KCase (Kernel.KVar (v, loc), alts, Some fail))
+
+and group_by_con equations : (Ident.t * equation list) list =
+  let order = ref [] in
+  let table : (int, equation list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun eq ->
+      match (head_pat eq).p with
+      | Ast.PCon (c, _) ->
+          if not (Hashtbl.mem table c.Ident.id) then begin
+            order := c :: !order;
+            Hashtbl.add table c.Ident.id []
+          end;
+          Hashtbl.replace table c.Ident.id (eq :: Hashtbl.find table c.Ident.id)
+      | _ -> assert false)
+    equations;
+  (* [!order] is reversed first-appearance order; [rev_map] restores it *)
+  List.rev_map (fun c -> (c, List.rev (Hashtbl.find table c.Ident.id))) !order
+
+and group_by_lit equations : (Ast.lit * equation list) list =
+  let groups : (Ast.lit * equation list ref) list ref = ref [] in
+  List.iter
+    (fun eq ->
+      match (head_pat eq).p with
+      | Ast.PLit l -> (
+          match List.find_opt (fun (l', _) -> l' = l) !groups with
+          | Some (_, cell) -> cell := eq :: !cell
+          | None -> groups := !groups @ [ (l, ref [ eq ]) ])
+      | _ -> assert false)
+    equations;
+  List.map (fun (l, cell) -> (l, List.rev !cell)) !groups

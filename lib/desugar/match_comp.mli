@@ -1,0 +1,27 @@
+(** Pattern-match compilation: equation matrices (multi-equation,
+    multi-pattern, with guards) into flat kernel [KCase] trees, via the
+    classic variable/constructor/literal/mixture rules. Failure
+    continuations are shared through join points. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+module Class_env = Tc_types.Class_env
+
+(** One row of the equation matrix. [mc_body] builds the right-hand side
+    given the expression to evaluate if its guards all fail. Patterns must
+    be normalized (no tuple/list/string sugar; see
+    {!Desugar.normalize_pat}). *)
+type equation = {
+  mc_pats : Ast.pat list;
+  mc_body : fail:Kernel.expr -> Kernel.expr;
+}
+
+(** Compile a matrix over the given scrutinee variables; [fail] is the
+    overall fall-through (typically a [KFail]). *)
+val compile :
+  env:Class_env.t ->
+  loc:Loc.t ->
+  scrutinees:Ident.t list ->
+  equations:equation list ->
+  fail:Kernel.expr ->
+  Kernel.expr

@@ -1,0 +1,87 @@
+(** Code generation for consulting dictionaries: method selection and
+    superclass-dictionary extraction, under either layout. *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+module Core = Tc_core_ir.Core
+
+(** [method_access env strategy ~have ~cls ~meth dict] selects method [meth]
+    of class [cls] out of [dict], a dictionary for class [have] (where
+    [have] implies [cls]). *)
+let method_access env strategy ~(have : Ident.t) ~(cls : Ident.t)
+    ~(meth : Ident.t) (dict : Core.expr) : Core.expr =
+  match strategy with
+  | Layout.Flat ->
+      let idx = Layout.flat_index env have ~owner:cls ~meth in
+      Core.Sel
+        ({ sel_class = have; sel_index = idx; sel_label = Ident.text meth }, dict)
+  | Layout.Nested ->
+      let chain =
+        match Layout.super_chain env ~have ~target:cls with
+        | Some c -> c
+        | None ->
+            invalid_arg
+              (Fmt.str "Access.method_access: %a does not imply %a" Ident.pp
+                 have Ident.pp cls)
+      in
+      let dict', _ =
+        List.fold_left
+          (fun (d, at) s ->
+            let idx = Option.get (Layout.nested_super_index env at s) in
+            ( Core.Sel
+                ( { Core.sel_class = at; sel_index = idx;
+                    sel_label = "super:" ^ Ident.text s },
+                  d ),
+              s ))
+          (dict, have) chain
+      in
+      let idx = Layout.nested_method_index env cls meth in
+      Core.Sel
+        ({ sel_class = cls; sel_index = idx; sel_label = Ident.text meth }, dict')
+
+(** [super_dict env strategy ~have ~target dict] produces a dictionary value
+    for class [target] given [dict] for class [have] (where [have] implies
+    [target]). Under the nested layout this is a selection chain; under the
+    flat layout a fresh dictionary must be packed (the §8.1 trade-off). *)
+let super_dict env strategy ~(have : Ident.t) ~(target : Ident.t)
+    (dict : Core.expr) : Core.expr =
+  if Ident.equal have target then dict
+  else
+    match strategy with
+    | Layout.Nested ->
+        let chain =
+          match Layout.super_chain env ~have ~target with
+          | Some c -> c
+          | None ->
+              invalid_arg
+                (Fmt.str "Access.super_dict: %a does not imply %a" Ident.pp have
+                   Ident.pp target)
+        in
+        let dict', _ =
+          List.fold_left
+            (fun (d, at) s ->
+              let idx = Option.get (Layout.nested_super_index env at s) in
+              ( Core.Sel
+                  ( { Core.sel_class = at; sel_index = idx;
+                      sel_label = "super:" ^ Ident.text s },
+                    d ),
+                s ))
+            (dict, have) chain
+        in
+        dict'
+    | Layout.Flat ->
+        (* repack: select each slot of [target]'s flat layout out of the
+           wider [have] dictionary *)
+        let slots = Layout.flat_slots env target in
+        let fields =
+          List.map
+            (fun (owner, meth) ->
+              let idx = Layout.flat_index env have ~owner ~meth in
+              Core.Sel
+                ( { Core.sel_class = have; sel_index = idx;
+                    sel_label = Ident.text meth },
+                  dict ))
+            slots
+        in
+        Core.MkDict
+          ({ dt_class = target; dt_tycon = Ident.intern "<repack>" }, fields)

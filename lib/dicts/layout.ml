@@ -1,0 +1,94 @@
+(** Dictionary layout strategies (paper §8.1).
+
+    A dictionary for class [C] is a tuple. Two layouts are supported:
+
+    - {b Nested}: one slot per *direct* superclass dictionary, followed by
+      one slot per method of [C]. Reaching a superclass method follows a
+      chain of selections; dictionaries are cheap to build.
+    - {b Flat}: one slot per method of [C] {e and all transitive
+      superclasses} (deduplicated, canonical order). Every method is one
+      selection away, but dictionaries are wider to build and extracting a
+      superclass dictionary value requires repacking.
+
+    The paper: "flattening … slows down dictionary construction but speeds
+    up selection operations". Experiment E6 measures this trade-off. *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+
+type strategy = Nested | Flat
+
+let strategy_name = function Nested -> "nested" | Flat -> "flat"
+
+(** Flat slot list of a class: (owning class, method name) pairs. Methods of
+    the class itself first (declaration order), then each direct superclass's
+    flat slots in order, with duplicates (diamond inheritance) dropped. *)
+let flat_slots env (cls : Ident.t) : (Ident.t * Ident.t) list =
+  let seen = Ident.Tbl.create 8 in
+  let out = ref [] in
+  let rec go c =
+    let ci = Class_env.class_exn env c in
+    List.iter
+      (fun m ->
+        if not (Ident.Tbl.mem seen m) then begin
+          Ident.Tbl.add seen m ();
+          out := (c, m) :: !out
+        end)
+      ci.ci_methods;
+    List.iter go ci.ci_supers
+  in
+  go cls;
+  List.rev !out
+
+(** Nested slot count helpers. *)
+let nested_super_index env (cls : Ident.t) (super : Ident.t) : int option =
+  let ci = Class_env.class_exn env cls in
+  let rec find i = function
+    | [] -> None
+    | s :: _ when Ident.equal s super -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 ci.ci_supers
+
+let nested_method_index env (cls : Ident.t) (meth : Ident.t) : int =
+  let ci = Class_env.class_exn env cls in
+  let n_supers = List.length ci.ci_supers in
+  let rec find i = function
+    | [] -> invalid_arg "Layout.nested_method_index: not a method of the class"
+    | m :: _ when Ident.equal m meth -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  n_supers + find 0 ci.ci_methods
+
+(** Number of fields in a [cls] dictionary under [strategy]. *)
+let width env strategy (cls : Ident.t) : int =
+  match strategy with
+  | Flat -> List.length (flat_slots env cls)
+  | Nested ->
+      let ci = Class_env.class_exn env cls in
+      List.length ci.ci_supers + List.length ci.ci_methods
+
+(** The chain of direct-superclass hops from [have] to [target] under the
+    nested layout (empty if [have = target]). *)
+let super_chain env ~(have : Ident.t) ~(target : Ident.t) : Ident.t list option =
+  let rec search path c =
+    if Ident.equal c target then Some (List.rev path)
+    else
+      let ci = Class_env.class_exn env c in
+      List.fold_left
+        (fun acc s -> match acc with Some _ -> acc | None -> search (s :: path) s)
+        None ci.ci_supers
+  in
+  search [] have
+
+let flat_index env (cls : Ident.t) ~(owner : Ident.t) ~(meth : Ident.t) : int =
+  let slots = flat_slots env cls in
+  let rec find i = function
+    | [] ->
+        invalid_arg
+          (Fmt.str "Layout.flat_index: %a.%a not in flat dictionary of %a"
+             Ident.pp owner Ident.pp meth Ident.pp cls)
+    | (_, m) :: _ when Ident.equal m meth -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 slots

@@ -1,0 +1,32 @@
+(** Dictionary layout strategies (paper §8.1): {b nested} (direct
+    superclass dictionaries as fields, cheap construction, chained
+    selection) vs {b flat} (all methods of the class and its transitive
+    superclasses at top level, one-hop selection, wider construction and
+    repacking on superclass extraction). *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+
+type strategy = Nested | Flat
+
+val strategy_name : strategy -> string
+
+(** Flat slot list: (owning class, method) pairs — the class's own methods
+    first, then each direct superclass's slots, deduplicated. *)
+val flat_slots : Class_env.t -> Ident.t -> (Ident.t * Ident.t) list
+
+(** Position of a direct superclass's dictionary in a nested layout. *)
+val nested_super_index : Class_env.t -> Ident.t -> Ident.t -> int option
+
+(** Position of one of the class's own methods in a nested layout. *)
+val nested_method_index : Class_env.t -> Ident.t -> Ident.t -> int
+
+(** Number of fields of a class's dictionary under a strategy. *)
+val width : Class_env.t -> strategy -> Ident.t -> int
+
+(** Direct-superclass hops from [have] to [target] (nested layout). *)
+val super_chain :
+  Class_env.t -> have:Ident.t -> target:Ident.t -> Ident.t list option
+
+(** Index of a method in a flat dictionary. *)
+val flat_index : Class_env.t -> Ident.t -> owner:Ident.t -> meth:Ident.t -> int

@@ -1,0 +1,590 @@
+(** An environment-based evaluator for the core language.
+
+    Supports call-by-need ([`Lazy], the paper's Haskell setting) and
+    call-by-value ([`Strict]) parameter passing. In both modes, recursive
+    bindings are tied with back-patched thunks and dictionary fields are
+    delayed (a strict implementation would use eta-expanded method slots;
+    delaying gives the same operation counts without needing recursive
+    values).
+
+    All dictionary operations are counted; see {!Counters}. *)
+
+open Tc_support
+module Core = Tc_core_ir.Core
+module Ast = Tc_syntax.Ast
+
+exception Runtime_error of string
+exception User_error of string      (* the program called [error] *)
+exception Pattern_fail of string    (* pattern-match failure *)
+exception Out_of_fuel
+
+let runtime fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+(** Run-time constructor descriptor. *)
+type rcon = {
+  rc_name : Ident.t;
+  rc_arity : int;
+  rc_tag : int;
+  rc_tycon : Ident.t;
+}
+
+(** Run-time constructor table, derived from the static environment. *)
+type con_table = rcon Ident.Tbl.t
+
+let con_table_of_env (env : Tc_types.Class_env.t) : con_table =
+  let tbl = Ident.Tbl.create 64 in
+  Ident.Map.iter
+    (fun name (ci : Tc_types.Class_env.con_info) ->
+      Ident.Tbl.replace tbl name
+        {
+          rc_name = name;
+          rc_arity = ci.con_arity;
+          rc_tag = ci.con_tag;
+          rc_tycon = ci.con_tycon.Tc_types.Tycon.name;
+        })
+    env.Tc_types.Class_env.datacons;
+  tbl
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VChar of char
+  | VStr of string                       (* internal message strings *)
+  | VData of rcon * thunk array
+  | VConPartial of rcon * thunk list     (* unsaturated constructor *)
+  | VClosure of env * Ident.t list * Core.expr
+  | VDict of Core.dict_tag * thunk array
+  | VPrim of prim * thunk list           (* partially applied primitive *)
+
+and thunk = { mutable cell : cell }
+
+and cell =
+  | Done of value
+  | Todo of env * Core.expr
+  | Under_eval  (* black hole *)
+
+and env = thunk Ident.Map.t
+
+and prim = {
+  pr_name : string;
+  pr_arity : int;
+  pr_fn : state -> thunk list -> value;
+}
+
+and state = {
+  mode : [ `Lazy | `Strict ];
+  cons : con_table;
+  counters : Counters.t;
+  mutable fuel : int;          (* remaining steps; negative = unlimited *)
+  mutable globals : env;       (* top-level bindings, for rendering etc. *)
+}
+
+let done_ v = { cell = Done v }
+
+(** Render a float unambiguously (always with a '.' or exponent). *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+(* ------------------------------------------------------------------ *)
+(* Forcing and evaluation.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec force st (t : thunk) : value =
+  match t.cell with
+  | Done v -> v
+  | Under_eval -> runtime "<<loop>> (value depends on itself)"
+  | Todo (env, e) ->
+      st.counters.thunk_forces <- st.counters.thunk_forces + 1;
+      t.cell <- Under_eval;
+      let v = eval st env e in
+      t.cell <- Done v;
+      v
+
+and eval st (env : env) (e : Core.expr) : value =
+  st.counters.steps <- st.counters.steps + 1;
+  if st.fuel = 0 then raise Out_of_fuel;
+  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  match e with
+  | Core.Var x -> (
+      match Ident.Map.find_opt x env with
+      | Some t -> force st t
+      | None -> runtime "unbound variable '%s'" (Ident.text x))
+  | Core.Lit (Ast.LInt n) -> VInt n
+  | Core.Lit (Ast.LFloat f) -> VFloat f
+  | Core.Lit (Ast.LChar c) -> VChar c
+  | Core.Lit (Ast.LString s) -> VStr s
+  | Core.Con c -> (
+      match Ident.Tbl.find_opt st.cons c with
+      | None -> runtime "unknown constructor '%s'" (Ident.text c)
+      | Some rc ->
+          if rc.rc_arity = 0 then begin
+            st.counters.allocations <- st.counters.allocations + 1;
+            VData (rc, [||])
+          end
+          else VConPartial (rc, []))
+  | Core.App (f, a) ->
+      let vf = eval st env f in
+      let arg =
+        match st.mode with
+        | `Lazy -> { cell = Todo (env, a) }
+        | `Strict -> done_ (eval st env a)
+      in
+      apply st vf arg
+  | Core.Lam (vs, b) ->
+      st.counters.allocations <- st.counters.allocations + 1;
+      VClosure (env, vs, b)
+  | Core.Let (Core.Nonrec bd, body) ->
+      let t =
+        match st.mode with
+        | `Lazy -> { cell = Todo (env, bd.b_expr) }
+        | `Strict -> done_ (eval st env bd.b_expr)
+      in
+      eval st (Ident.Map.add bd.b_name t env) body
+  | Core.Let (Core.Rec bds, body) ->
+      let env' = bind_rec st env bds in
+      eval st env' body
+  | Core.If (c, t, f) -> (
+      match eval st env c with
+      | VData (rc, _) -> (
+          match Ident.text rc.rc_name with
+          | "True" -> eval st env t
+          | "False" -> eval st env f
+          | s -> runtime "if: expected a Bool, got constructor '%s'" s)
+      | _ -> runtime "if: condition is not a Bool")
+  | Core.Case (s, alts, default) -> (
+      let v = eval st env s in
+      let run_default () =
+        match default with
+        | Some d -> eval st env d
+        | None -> runtime "case: no matching alternative"
+      in
+      match v with
+      | VData (rc, fields) -> (
+          match
+            List.find_opt
+              (fun (a : Core.alt) ->
+                match a.alt_con with
+                | Core.Tcon c -> Ident.equal c rc.rc_name
+                | Core.Tlit _ -> false)
+              alts
+          with
+          | Some a ->
+              let env' =
+                List.fold_left2
+                  (fun m v' t -> Ident.Map.add v' t m)
+                  env a.alt_vars (Array.to_list fields)
+              in
+              eval st env' a.alt_body
+          | None -> run_default ())
+      | VInt _ | VFloat _ | VChar _ | VStr _ -> (
+          match
+            List.find_opt
+              (fun (a : Core.alt) ->
+                match a.alt_con with
+                | Core.Tlit l -> lit_matches l v
+                | Core.Tcon _ -> false)
+              alts
+          with
+          | Some a -> eval st env a.alt_body
+          | None -> run_default ())
+      | _ -> runtime "case: scrutinee is not a data value")
+  | Core.MkDict (tag, fields) ->
+      st.counters.dict_constructions <- st.counters.dict_constructions + 1;
+      st.counters.dict_fields <- st.counters.dict_fields + List.length fields;
+      st.counters.allocations <- st.counters.allocations + 1;
+      (* dictionary fields are always delayed; see module comment *)
+      VDict (tag, Array.of_list (List.map (fun f -> { cell = Todo (env, f) }) fields))
+  | Core.Sel (info, d) -> (
+      st.counters.selections <- st.counters.selections + 1;
+      match eval st env d with
+      | VDict (_, fields) ->
+          if info.sel_index >= Array.length fields then
+            runtime "dictionary selection out of range (%d of %d)"
+              info.sel_index (Array.length fields)
+          else force st fields.(info.sel_index)
+      | _ -> runtime "selection from a non-dictionary value")
+  | Core.Hole h -> (
+      match h.hole_fill with
+      | Some inner -> eval st env inner
+      | None -> runtime "evaluated an unresolved placeholder")
+
+and lit_matches (l : Core.lit) (v : value) : bool =
+  match (l, v) with
+  | Ast.LInt a, VInt b -> a = b
+  | Ast.LFloat a, VFloat b -> a = b
+  | Ast.LChar a, VChar b -> a = b
+  | Ast.LString a, VStr b -> a = b  (* tag-dispatch branches on type tags *)
+  | _ -> false
+
+and bind_rec st env (bds : Core.bind list) : env =
+  let thunks = List.map (fun _ -> { cell = Under_eval }) bds in
+  let env' =
+    List.fold_left2
+      (fun m (bd : Core.bind) t -> Ident.Map.add bd.b_name t m)
+      env bds thunks
+  in
+  List.iter2
+    (fun (bd : Core.bind) t -> t.cell <- Todo (env', bd.b_expr))
+    bds thunks;
+  (if st.mode = `Strict then
+     (* force in order; dictionary knots survive because MkDict delays *)
+     List.iter (fun t -> ignore (force st t)) thunks);
+  env'
+
+and apply st (vf : value) (arg : thunk) : value =
+  st.counters.applications <- st.counters.applications + 1;
+  match vf with
+  | VClosure (cenv, [ v ], b) -> eval st (Ident.Map.add v arg cenv) b
+  | VClosure (cenv, v :: vs, b) ->
+      st.counters.allocations <- st.counters.allocations + 1;
+      VClosure (Ident.Map.add v arg cenv, vs, b)
+  | VClosure (_, [], _) -> assert false
+  | VConPartial (rc, args) ->
+      let args' = arg :: args in
+      if List.length args' = rc.rc_arity then begin
+        st.counters.allocations <- st.counters.allocations + 1;
+        VData (rc, Array.of_list (List.rev args'))
+      end
+      else VConPartial (rc, args')
+  | VPrim (p, args) ->
+      let args' = arg :: args in
+      if List.length args' = p.pr_arity then begin
+        st.counters.prim_calls <- st.counters.prim_calls + 1;
+        p.pr_fn st (List.rev args')
+      end
+      else VPrim (p, args')
+  | VInt _ | VFloat _ | VChar _ | VStr _ | VData _ | VDict _ ->
+      runtime "applied a non-function value"
+
+(* ------------------------------------------------------------------ *)
+(* Conversions between values and OCaml strings / lists.               *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_char_list st (v : value) : string =
+  let buf = Buffer.create 16 in
+  let rec go v =
+    match v with
+    | VData (rc, fields) -> (
+        match Ident.text rc.rc_name with
+        | "[]" -> ()
+        | ":" -> (
+            (match force st fields.(0) with
+             | VChar c -> Buffer.add_char buf c
+             | _ -> runtime "expected a character in a string");
+            go (force st fields.(1)))
+        | s -> runtime "expected a list of characters, got '%s'" s)
+    | _ -> runtime "expected a list of characters"
+  in
+  go v;
+  Buffer.contents buf
+
+and char_list_of_string st (s : string) : value =
+  let nil_rc =
+    match Ident.Tbl.find_opt st.cons (Ident.intern "[]") with
+    | Some rc -> rc
+    | None -> runtime "list constructors not registered"
+  in
+  let cons_rc = Option.get (Ident.Tbl.find_opt st.cons (Ident.intern ":")) in
+  let rec build i =
+    if i >= String.length s then VData (nil_rc, [||])
+    else VData (cons_rc, [| done_ (VChar s.[i]); done_ (build (i + 1)) |])
+  in
+  build 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering results (forces the value's spine).                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec render ?(depth = 50) st (v : value) : string =
+  if depth = 0 then "..."
+  else
+    match v with
+    | VInt n -> string_of_int n
+    | VFloat f -> float_str f
+    | VChar c -> Printf.sprintf "%C" c
+    | VStr s -> Printf.sprintf "%S" s
+    | VDict (tag, fields) ->
+        Printf.sprintf "<dict %s %s (%d fields)>"
+          (Ident.text tag.dt_class) (Ident.text tag.dt_tycon)
+          (Array.length fields)
+    | VClosure _ | VConPartial _ | VPrim _ -> "<function>"
+    | VData (rc, fields) -> render_data ~depth st rc fields
+
+and render_data ~depth st rc fields =
+  let name = Ident.text rc.rc_name in
+  if name = ":" || name = "[]" then render_list ~depth st rc fields
+  else if String.length name >= 2 && name.[0] = '(' && (name.[1] = ',' || name.[1] = ')')
+  then
+    (* tuples and unit *)
+    if Array.length fields = 0 then "()"
+    else
+      "("
+      ^ String.concat ", "
+          (Array.to_list
+             (Array.map (fun t -> render ~depth:(depth - 1) st (force st t)) fields))
+      ^ ")"
+  else if Array.length fields = 0 then name
+  else
+    "("
+    ^ name
+    ^ Array.fold_left
+        (fun acc t -> acc ^ " " ^ render ~depth:(depth - 1) st (force st t))
+        "" fields
+    ^ ")"
+
+and render_list ~depth st rc fields =
+  (* try to render as a string if all elements are chars, else as a list *)
+  let items = ref [] in
+  let rec collect rc fields =
+    match Ident.text rc.rc_name with
+    | "[]" -> true
+    | ":" -> (
+        items := force st fields.(0) :: !items;
+        match force st fields.(1) with
+        | VData (rc', fields') -> collect rc' fields'
+        | _ -> false)
+    | _ -> false
+  in
+  let proper = collect rc fields in
+  let items = List.rev !items in
+  if proper && items <> [] && List.for_all (function VChar _ -> true | _ -> false) items
+  then
+    Printf.sprintf "%S"
+      (String.init (List.length items)
+         (fun i ->
+           match List.nth items i with VChar c -> c | _ -> assert false))
+  else
+    "["
+    ^ String.concat ", " (List.map (render ~depth:(depth - 1) st) items)
+    ^ (if proper then "" else " ...")
+    ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Primitives.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prim name arity fn = (Ident.intern name, { pr_name = name; pr_arity = arity; pr_fn = fn })
+
+let bool_value st b : value =
+  let name = if b then "True" else "False" in
+  match Ident.Tbl.find_opt st.cons (Ident.intern name) with
+  | Some rc -> VData (rc, [||])
+  | None -> runtime "Bool is not defined (missing prelude?)"
+
+let int_arg st t =
+  match force st t with
+  | VInt n -> n
+  | _ -> runtime "primitive expected an Int"
+
+let float_arg st t =
+  match force st t with
+  | VFloat f -> f
+  | _ -> runtime "primitive expected a Float"
+
+let char_arg st t =
+  match force st t with
+  | VChar c -> c
+  | _ -> runtime "primitive expected a Char"
+
+let int2 f = fun st args ->
+  match args with
+  | [ a; b ] -> VInt (f (int_arg st a) (int_arg st b))
+  | _ -> assert false
+
+let float2 f = fun st args ->
+  match args with
+  | [ a; b ] -> VFloat (f (float_arg st a) (float_arg st b))
+  | _ -> assert false
+
+let primitives : (Ident.t * prim) list =
+  [
+    prim "primEqInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (int_arg st a = int_arg st b)
+        | _ -> assert false);
+    prim "primEqFloat" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (float_arg st a = float_arg st b)
+        | _ -> assert false);
+    prim "primEqChar" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (char_arg st a = char_arg st b)
+        | _ -> assert false);
+    prim "primLeInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (int_arg st a <= int_arg st b)
+        | _ -> assert false);
+    prim "primLeFloat" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (float_arg st a <= float_arg st b)
+        | _ -> assert false);
+    prim "primLeChar" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (char_arg st a <= char_arg st b)
+        | _ -> assert false);
+    prim "primAddInt" 2 (int2 ( + ));
+    prim "primSubInt" 2 (int2 ( - ));
+    prim "primMulInt" 2 (int2 ( * ));
+    prim "primDivInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            let d = int_arg st b in
+            if d = 0 then runtime "division by zero"
+            else VInt (int_arg st a / d)
+        | _ -> assert false);
+    prim "primModInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            let d = int_arg st b in
+            if d = 0 then runtime "modulo by zero"
+            else VInt (int_arg st a mod d)
+        | _ -> assert false);
+    prim "primNegInt" 1 (fun st args ->
+        match args with
+        | [ a ] -> VInt (-int_arg st a)
+        | _ -> assert false);
+    prim "primAddFloat" 2 (float2 ( +. ));
+    prim "primSubFloat" 2 (float2 ( -. ));
+    prim "primMulFloat" 2 (float2 ( *. ));
+    prim "primDivFloat" 2 (float2 ( /. ));
+    prim "primNegFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> VFloat (-.float_arg st a)
+        | _ -> assert false);
+    prim "primIntToFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> VFloat (float_of_int (int_arg st a))
+        | _ -> assert false);
+    prim "primIntStr" 1 (fun st args ->
+        match args with
+        | [ a ] -> char_list_of_string st (string_of_int (int_arg st a))
+        | _ -> assert false);
+    prim "primFloatStr" 1 (fun st args ->
+        match args with
+        | [ a ] -> char_list_of_string st (float_str (float_arg st a))
+        | _ -> assert false);
+    prim "primStrInt" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            let s = string_of_char_list st (force st a) in
+            match int_of_string_opt (String.trim s) with
+            | Some n -> VInt n
+            | None -> raise (User_error (Printf.sprintf "primStrInt: cannot parse %S" s)))
+        | _ -> assert false);
+    prim "primStrFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            let s = string_of_char_list st (force st a) in
+            match float_of_string_opt (String.trim s) with
+            | Some f -> VFloat f
+            | None ->
+                raise (User_error (Printf.sprintf "primStrFloat: cannot parse %S" s)))
+        | _ -> assert false);
+    prim "primChr" 1 (fun st args ->
+        match args with
+        | [ a ] ->
+            let n = int_arg st a in
+            if n < 0 || n > 255 then runtime "primChr: out of range"
+            else VChar (Char.chr n)
+        | _ -> assert false);
+    prim "primOrd" 1 (fun st args ->
+        match args with
+        | [ a ] -> VInt (Char.code (char_arg st a))
+        | _ -> assert false);
+    prim "primError" 1 (fun st args ->
+        match args with
+        | [ a ] -> raise (User_error (string_of_char_list st (force st a)))
+        | _ -> assert false);
+    prim "primFailure" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            match force st a with
+            | VStr s -> raise (Pattern_fail s)
+            | _ -> raise (Pattern_fail "pattern-match failure"))
+        | _ -> assert false);
+    prim "primTypeTag" 1 (fun st args ->
+        match args with
+        | [ a ] ->
+            st.counters.tag_dispatches <- st.counters.tag_dispatches + 1;
+            let tag =
+              match force st a with
+              | VInt _ -> "Int"
+              | VFloat _ -> "Float"
+              | VChar _ -> "Char"
+              | VStr _ -> "<str>"
+              | VData (rc, _) -> Ident.text rc.rc_tycon
+              | VClosure _ | VConPartial _ | VPrim _ -> "->"
+              | VDict _ -> "<dict>"
+            in
+            VStr tag
+        | _ -> assert false);
+    prim "primForce" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            ignore (force st a);
+            force st b
+        | _ -> assert false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let create_state ?(mode = `Lazy) ?(fuel = -1) (cons : con_table) : state =
+  {
+    mode;
+    cons;
+    counters = Counters.create ();
+    fuel;
+    globals = Ident.Map.empty;
+  }
+
+(** Install the top-level bindings of [p] (and the primitives) into the
+    state's global environment. *)
+let load_program st (p : Core.program) : unit =
+  let env0 =
+    List.fold_left
+      (fun m (name, pr) -> Ident.Map.add name (done_ (VPrim (pr, []))) m)
+      Ident.Map.empty primitives
+  in
+  let env =
+    List.fold_left
+      (fun env g ->
+        match g with
+        | Core.Nonrec bd ->
+            Ident.Map.add bd.b_name { cell = Todo (env, bd.b_expr) } env
+        | Core.Rec bds ->
+            (* delay: never force top-level groups eagerly, even in strict
+               mode — top-level values behave like CAFs *)
+            let thunks = List.map (fun _ -> { cell = Under_eval }) bds in
+            let env' =
+              List.fold_left2
+                (fun m (bd : Core.bind) t -> Ident.Map.add bd.b_name t m)
+                env bds thunks
+            in
+            List.iter2
+              (fun (bd : Core.bind) t -> t.cell <- Todo (env', bd.b_expr))
+              bds thunks;
+            env')
+      env0 p.p_binds
+  in
+  st.globals <- env
+
+(** Evaluate an expression in the loaded global environment. *)
+let eval_expr st (e : Core.expr) : value = eval st st.globals e
+
+(** Run a binding to a value: the explicitly requested [entry], else the
+    program's [main]. *)
+let run ?entry st (p : Core.program) : value =
+  load_program st p;
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> (
+        match p.p_main with Some m -> m | None -> Ident.intern "main")
+  in
+  match Ident.Map.find_opt entry st.globals with
+  | Some t -> force st t
+  | None -> runtime "no '%s' binding to run" (Ident.text entry)

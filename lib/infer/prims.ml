@@ -1,0 +1,105 @@
+(** Primitive operations: names and typing schemes.
+
+    Primitives are ordinary variables as far as the type checker is
+    concerned; the evaluator interprets them. Their schemes are built
+    against a given static environment because several mention [Bool],
+    which is an ordinary prelude data type. *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+module Ty = Tc_types.Ty
+module Scheme = Tc_types.Scheme
+module Tycon = Tc_types.Tycon
+
+let id = Ident.intern
+
+let p_eq_int = id "primEqInt"
+let p_eq_float = id "primEqFloat"
+let p_eq_char = id "primEqChar"
+let p_le_int = id "primLeInt"
+let p_le_float = id "primLeFloat"
+let p_le_char = id "primLeChar"
+let p_add_int = id "primAddInt"
+let p_sub_int = id "primSubInt"
+let p_mul_int = id "primMulInt"
+let p_div_int = id "primDivInt"
+let p_mod_int = id "primModInt"
+let p_neg_int = id "primNegInt"
+let p_add_float = id "primAddFloat"
+let p_sub_float = id "primSubFloat"
+let p_mul_float = id "primMulFloat"
+let p_div_float = id "primDivFloat"
+let p_neg_float = id "primNegFloat"
+let p_int_to_float = id "primIntToFloat"
+let p_int_str = id "primIntStr"
+let p_float_str = id "primFloatStr"
+let p_str_int = id "primStrInt"     (* parse an Int; run-time error on junk *)
+let p_str_float = id "primStrFloat"
+let p_chr = id "primChr"
+let p_ord = id "primOrd"
+let p_error = id "primError"        (* user error: [Char] -> a *)
+let p_failure = id "primFailure"    (* internal: literal message -> a *)
+let p_force = id "primForce"        (* seq-like: force first arg, return second *)
+let p_type_tag = id "primTypeTag"   (* tag-dispatch mode only; not in scope for source programs *)
+
+(** The type of [Bool] in [env]; [Bool] is defined by the prelude. *)
+let bool_ty env : Ty.t =
+  match Class_env.find_tycon env (id "Bool") with
+  | Some tc -> Ty.TCon (tc, [])
+  | None ->
+      (* allow prelude-less programs that never touch Bool primitives *)
+      Ty.TCon (Tycon.make (id "Bool") 0, [])
+
+(** All primitive schemes. *)
+let schemes env : (Ident.t * Scheme.t) list =
+  let b = bool_ty env in
+  let i = Ty.int and f = Ty.float and c = Ty.char in
+  let str = Ty.list Ty.char in
+  let mono t = Scheme.mono t in
+  let poly1 mk =
+    let a = Ty.fresh_var ~level:Ty.generic_level () in
+    { Scheme.vars = [ a ]; ty = mk (Ty.TVar a) }
+  in
+  let poly2 mk =
+    let a = Ty.fresh_var ~level:Ty.generic_level () in
+    let b' = Ty.fresh_var ~level:Ty.generic_level () in
+    { Scheme.vars = [ a; b' ]; ty = mk (Ty.TVar a) (Ty.TVar b') }
+  in
+  [
+    (p_eq_int, mono (Ty.arrows [ i; i ] b));
+    (p_eq_float, mono (Ty.arrows [ f; f ] b));
+    (p_eq_char, mono (Ty.arrows [ c; c ] b));
+    (p_le_int, mono (Ty.arrows [ i; i ] b));
+    (p_le_float, mono (Ty.arrows [ f; f ] b));
+    (p_le_char, mono (Ty.arrows [ c; c ] b));
+    (p_add_int, mono (Ty.arrows [ i; i ] i));
+    (p_sub_int, mono (Ty.arrows [ i; i ] i));
+    (p_mul_int, mono (Ty.arrows [ i; i ] i));
+    (p_div_int, mono (Ty.arrows [ i; i ] i));
+    (p_mod_int, mono (Ty.arrows [ i; i ] i));
+    (p_neg_int, mono (Ty.arrow i i));
+    (p_add_float, mono (Ty.arrows [ f; f ] f));
+    (p_sub_float, mono (Ty.arrows [ f; f ] f));
+    (p_mul_float, mono (Ty.arrows [ f; f ] f));
+    (p_div_float, mono (Ty.arrows [ f; f ] f));
+    (p_neg_float, mono (Ty.arrow f f));
+    (p_int_to_float, mono (Ty.arrow i f));
+    (p_int_str, mono (Ty.arrow i str));
+    (p_float_str, mono (Ty.arrow f str));
+    (p_str_int, mono (Ty.arrow str i));
+    (p_str_float, mono (Ty.arrow str f));
+    (p_chr, mono (Ty.arrow i c));
+    (p_ord, mono (Ty.arrow c i));
+    (p_error, poly1 (fun a -> Ty.arrow str a));
+    (p_failure, poly2 (fun a b' -> Ty.arrow a b'));
+    (p_force, poly2 (fun a b' -> Ty.arrows [ a; b' ] b'));
+  ]
+
+let names : Ident.t list =
+  [
+    p_eq_int; p_eq_float; p_eq_char; p_le_int; p_le_float; p_le_char;
+    p_add_int; p_sub_int; p_mul_int; p_div_int; p_mod_int; p_neg_int;
+    p_add_float; p_sub_float; p_mul_float; p_div_float; p_neg_float;
+    p_int_to_float; p_int_str; p_float_str; p_str_int; p_str_float;
+    p_chr; p_ord; p_error; p_failure; p_force; p_type_tag;
+  ]

@@ -1,0 +1,45 @@
+(** Primitive operations: names and typing schemes. Primitives are ordinary
+    variables to the type checker; the evaluator interprets them. *)
+
+open Tc_support
+module Class_env = Tc_types.Class_env
+module Ty = Tc_types.Ty
+module Scheme = Tc_types.Scheme
+
+val p_eq_int : Ident.t
+val p_eq_float : Ident.t
+val p_eq_char : Ident.t
+val p_le_int : Ident.t
+val p_le_float : Ident.t
+val p_le_char : Ident.t
+val p_add_int : Ident.t
+val p_sub_int : Ident.t
+val p_mul_int : Ident.t
+val p_div_int : Ident.t
+val p_mod_int : Ident.t
+val p_neg_int : Ident.t
+val p_add_float : Ident.t
+val p_sub_float : Ident.t
+val p_mul_float : Ident.t
+val p_div_float : Ident.t
+val p_neg_float : Ident.t
+val p_int_to_float : Ident.t
+val p_int_str : Ident.t
+val p_float_str : Ident.t
+val p_str_int : Ident.t
+val p_str_float : Ident.t
+val p_chr : Ident.t
+val p_ord : Ident.t
+val p_error : Ident.t
+val p_failure : Ident.t
+val p_force : Ident.t
+val p_type_tag : Ident.t
+
+(** The type of [Bool] in an environment ([Bool] is a prelude data type). *)
+val bool_ty : Class_env.t -> Ty.t
+
+(** Typing schemes of all primitives available to source programs. *)
+val schemes : Class_env.t -> (Ident.t * Scheme.t) list
+
+(** Every primitive name (for scope checking). *)
+val names : Ident.t list

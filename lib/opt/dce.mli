@@ -1,0 +1,6 @@
+(** Dead-binding elimination: drop top-level bindings unreachable from
+    [main] (or the given roots; everything is kept when no roots exist). *)
+
+open Tc_support
+
+val program : ?roots:Ident.t list -> Tc_core_ir.Core.program -> Tc_core_ir.Core.program

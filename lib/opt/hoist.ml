@@ -1,0 +1,129 @@
+(** Dictionary hoisting (paper §8.8, "Avoiding Unnecessary Dictionary
+    Construction").
+
+    A dictionary computation whose free variables are all bound outside a
+    lambda is floated out of that lambda, so it is built once instead of
+    once per call — the paper's [eqList] fix, a full-laziness transform
+    restricted to dictionary expressions. Combined with inner entry points
+    ({!Inner_entry}), recursive calls then share the hoisted dictionaries.
+
+    Applied to each binding of the form [\dicts -> \args -> body]: maximal
+    dictionary computations in [body] that depend only on the dictionary
+    parameters (or on enclosing scope) are bound between the two lambdas. *)
+
+open Tc_support
+module Core = Tc_core_ir.Core
+
+let is_dict_param = Inner_entry.is_dict_param
+
+(** Is [e] a dictionary computation: a [MkDict], a selection producing a
+    (sub)dictionary, or an application of a dictionary former? *)
+let is_dict_expr (e : Core.expr) : bool =
+  match e with
+  | Core.MkDict _ -> true
+  | Core.App _ -> (
+      match Core.unfold_app e [] with
+      | Core.Var f, _ -> is_dict_param f || (
+          let s = Ident.text f in
+          String.length s >= 2 && s.[0] = 'd' && s.[1] = '$')
+      | _ -> false)
+  | _ -> false
+
+(** Collect maximal hoistable dictionary expressions in [e]: dictionary
+    computations whose free variables all come from outside [e] (the
+    initial [bound] set holds the lambda parameters they must avoid).
+    Returns the rewritten expression and the hoisted bindings. Identical
+    computations are shared. *)
+let hoist_from (bound0 : Ident.Set.t) (e : Core.expr) :
+    Core.expr * Core.bind list =
+  let hoisted : (Core.expr * Ident.t) list ref = ref [] in
+  let find_shared e =
+    (* structural sharing of identical hoisted expressions *)
+    let repr = Fmt.str "%a" Tc_core_ir.Core_pp.pp e in
+    match
+      List.find_opt
+        (fun (e', _) -> Fmt.str "%a" Tc_core_ir.Core_pp.pp e' = repr)
+        !hoisted
+    with
+    | Some (_, name) -> name
+    | None ->
+        let name = Ident.gensym "d$h" in
+        hoisted := (e, name) :: !hoisted;
+        name
+  in
+  let rec go bound e =
+    if is_dict_expr e && Ident.Set.disjoint (Core.free_vars e) bound then
+      Core.Var (find_shared e)
+    else descend bound e
+  and descend bound e =
+    match e with
+    | Core.Lam (vs, b) ->
+        let bound' = List.fold_left (fun s v -> Ident.Set.add v s) bound vs in
+        Core.Lam (vs, go bound' b)
+    | Core.Let (Core.Nonrec bd, body) ->
+        let bd' = { bd with b_expr = go bound bd.b_expr } in
+        Core.Let (Core.Nonrec bd', go (Ident.Set.add bd.b_name bound) body)
+    | Core.Let (Core.Rec bds, body) ->
+        let bound' =
+          List.fold_left
+            (fun s (b : Core.bind) -> Ident.Set.add b.b_name s)
+            bound bds
+        in
+        Core.Let
+          ( Core.Rec
+              (List.map
+                 (fun (b : Core.bind) -> { b with b_expr = go bound' b.b_expr })
+                 bds),
+            go bound' body )
+    | Core.Case (s, alts, d) ->
+        Core.Case
+          ( go bound s,
+            List.map
+              (fun (a : Core.alt) ->
+                let bound' =
+                  List.fold_left
+                    (fun s' v -> Ident.Set.add v s')
+                    bound a.alt_vars
+                in
+                { a with alt_body = go bound' a.alt_body })
+              alts,
+            Option.map (go bound) d )
+    | _ -> Core.map_sub (go bound) e
+  in
+  let e' = go bound0 e in
+  (e', List.rev_map (fun (e, name) -> { Core.b_name = name; b_expr = e }) !hoisted)
+
+(** Hoist within one top-level binding. *)
+let transform_bind (b : Core.bind) : Core.bind =
+  match b.b_expr with
+  | Core.Lam (vs, body) -> (
+      match Inner_entry.dict_prefix vs with
+      | [], _ -> b
+      | dict_vs, inner_vs ->
+          let body_lam =
+            if inner_vs = [] then body else Core.Lam (inner_vs, body)
+          in
+          (* [hoist_from] tracks binders itself, so starting from an empty
+             bound set floats exactly the computations that depend only on
+             the dictionary parameters (or on enclosing scope) *)
+          let body', hoisted = hoist_from Ident.Set.empty body_lam in
+          if hoisted = [] then b
+          else
+            let with_lets =
+              List.fold_right
+                (fun h acc -> Core.Let (Core.Nonrec h, acc))
+                hoisted body'
+            in
+            { b with b_expr = Core.Lam (dict_vs, with_lets) })
+  | _ -> b
+
+let program (p : Core.program) : Core.program =
+  {
+    p with
+    p_binds =
+      List.map
+        (function
+          | Core.Nonrec b -> Core.Nonrec (transform_bind b)
+          | Core.Rec bs -> Core.Rec (List.map transform_bind bs))
+        p.p_binds;
+  }

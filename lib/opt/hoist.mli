@@ -1,0 +1,6 @@
+(** Dictionary hoisting (paper §8.8): float dictionary computations that
+    depend only on a binding's dictionary parameters out of its inner
+    lambdas, so they are built once instead of once per call — the paper's
+    [eqList] fix (full laziness restricted to dictionary expressions). *)
+
+val program : Tc_core_ir.Core.program -> Tc_core_ir.Core.program

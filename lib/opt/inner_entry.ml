@@ -1,0 +1,117 @@
+(** Inner entry points for recursive overloaded functions (paper §6.3/§7).
+
+    "Since any dictionaries passed to a recursive call remain unchanged
+    from the original entry to the function, the need to pass dictionaries
+    to inner recursive calls can be eliminated by using an inner entry
+    point where the dictionaries have already been bound."
+
+    [f = \d1..dk x.. -> ...(f d1..dk e)...] becomes
+    [f = \d1..dk -> letrec f' = \x.. -> ...(f' e)... in f']
+    whenever every recursive occurrence of [f] passes exactly its own
+    dictionary parameters. *)
+
+open Tc_support
+module Core = Tc_core_ir.Core
+
+let is_dict_param (v : Ident.t) =
+  let s = Ident.text v in
+  String.length s >= 2 && s.[0] = 'd' && s.[1] = '$'
+
+(** Leading dictionary parameters of a lambda binder list. *)
+let rec dict_prefix = function
+  | v :: rest when is_dict_param v ->
+      let ds, others = dict_prefix rest in
+      (v :: ds, others)
+  | rest -> ([], rest)
+
+(** Binders introduced by one node (shadow-aware traversals). *)
+let binders_of (e : Core.expr) : Ident.t list =
+  match e with
+  | Core.Lam (vs, _) -> vs
+  | Core.Let (g, _) ->
+      List.map (fun (b : Core.bind) -> b.b_name) (Core.binds_of_group g)
+  | Core.Case (_, alts, _) ->
+      List.concat_map (fun (a : Core.alt) -> a.alt_vars) alts
+  | _ -> []
+
+(** Does every occurrence of [f] in [e] appear as the head of an
+    application to exactly the dictionary arguments [ds] (as variables, in
+    order)? Conservatively false when anything rebinds [f]. *)
+let all_calls_saturated (f : Ident.t) (ds : Ident.t list) (e : Core.expr) : bool
+    =
+  let ok = ref true in
+  let k = List.length ds in
+  let check_args args =
+    List.length args >= k
+    && List.for_all2
+         (fun d arg -> match arg with Core.Var v -> Ident.equal v d | _ -> false)
+         ds
+         (List.filteri (fun i _ -> i < k) args)
+  in
+  let rec go e =
+    if List.exists (Ident.equal f) (binders_of e) then ok := false
+    else
+      match Core.unfold_app e [] with
+      | Core.Var g, args when Ident.equal g f ->
+          if not (check_args args) then ok := false;
+          List.iter go args
+      | _ ->
+          (match e with
+           | Core.Var g when Ident.equal g f -> ok := false
+           | _ -> ());
+          Core.iter_sub go e
+  in
+  go e;
+  !ok
+
+(** Rewrite calls [f d1..dk a..] to [f' a..]. *)
+let rewrite_calls (f : Ident.t) (k : int) (f' : Ident.t) (e : Core.expr) :
+    Core.expr =
+  let rec go e =
+    if List.exists (Ident.equal f) (binders_of e) then e
+    else
+      match Core.unfold_app e [] with
+      | Core.Var g, args when Ident.equal g f && List.length args >= k ->
+          let rest = List.filteri (fun i _ -> i >= k) args in
+          Core.apps (Core.Var f') (List.map go rest)
+      | _ -> Core.map_sub go e
+  in
+  go e
+
+let transform_bind (b : Core.bind) : Core.bind * bool =
+  match b.b_expr with
+  | Core.Lam (vs, body) -> (
+      match dict_prefix vs with
+      | [], _ -> (b, false)
+      | ds, others when others <> [] && all_calls_saturated b.b_name ds body ->
+          let f' = Ident.gensym (Ident.text b.b_name ^ "_in") in
+          let body' = rewrite_calls b.b_name (List.length ds) f' body in
+          let inner =
+            Core.Let
+              ( Core.Rec [ { Core.b_name = f'; b_expr = Core.Lam (others, body') } ],
+                Core.Var f' )
+          in
+          ({ b with b_expr = Core.Lam (ds, inner) }, true)
+      | _ -> (b, false))
+  | _ -> (b, false)
+
+(** Apply to every self-recursive top-level binding. Mutually recursive
+    groups are left alone (§8.3: "It is simplest to pass all dictionaries
+    to each recursive call within the letrec"). *)
+let program (p : Core.program) : Core.program =
+  let binds =
+    List.map
+      (function
+        | Core.Rec [ b ]
+          when Ident.Set.mem b.b_name (Core.free_vars b.b_expr) -> (
+            match transform_bind b with
+            | b', true ->
+                (* the recursion now lives in the inner letrec *)
+                if Ident.Set.mem b.b_name (Core.free_vars b'.b_expr) then
+                  Core.Rec [ b' ]
+                else Core.Nonrec b'
+            | b', false -> Core.Rec [ b' ])
+        | g -> g)
+      p.p_binds
+  in
+  { p with p_binds = binds }

@@ -1,0 +1,18 @@
+(** Inner entry points for recursive overloaded functions (paper §6.3/§7):
+    [f = \d.. x.. -> ..f d.. e..] becomes
+    [f = \d.. -> letrec f' = \x.. -> ..f' e.. in f'] when every recursive
+    call passes the dictionaries unchanged. *)
+
+open Tc_support
+
+(** Dictionary parameters are recognized by their ["d$"] prefix. *)
+val is_dict_param : Ident.t -> bool
+
+(** Split a binder list into its leading dictionary parameters and the
+    rest. *)
+val dict_prefix : Ident.t list -> Ident.t list * Ident.t list
+
+(** Names bound by one core node (for shadow-aware traversals). *)
+val binders_of : Tc_core_ir.Core.expr -> Ident.t list
+
+val program : Tc_core_ir.Core.program -> Tc_core_ir.Core.program

@@ -1,0 +1,40 @@
+(** Optimizer driver: named passes and standard pipelines. *)
+
+module Core = Tc_core_ir.Core
+
+type pass =
+  | Simplify      (* local rewrites incl. §8.4 constant-dictionary reduction *)
+  | Inner_entry   (* §6.3/§7: avoid passing dictionaries to recursive calls *)
+  | Hoist         (* §8.8: float dictionary construction out of lambdas *)
+  | Specialise    (* §9: type-specific clones, removing dispatch *)
+  | Dce           (* drop unreachable bindings *)
+
+let pass_name = function
+  | Simplify -> "simplify"
+  | Inner_entry -> "inner-entry"
+  | Hoist -> "hoist"
+  | Specialise -> "specialise"
+  | Dce -> "dce"
+
+let run_pass (p : pass) (prog : Core.program) : Core.program =
+  match p with
+  | Simplify -> Simplify.program prog
+  | Inner_entry -> Inner_entry.program prog
+  | Hoist -> Hoist.program prog
+  | Specialise -> Specialise.program prog
+  | Dce -> Dce.program prog
+
+let run (passes : pass list) (prog : Core.program) : Core.program =
+  List.fold_left (fun prog p -> run_pass p prog) prog passes
+
+(** The standard "everything on" pipeline. *)
+let all : pass list = [ Simplify; Inner_entry; Hoist; Specialise; Simplify; Dce ]
+
+let of_string = function
+  | "none" -> Some []
+  | "simplify" -> Some [ Simplify ]
+  | "inner-entry" -> Some [ Simplify; Inner_entry ]
+  | "hoist" -> Some [ Simplify; Inner_entry; Hoist ]
+  | "spec" | "specialise" | "specialize" -> Some [ Simplify; Specialise; Simplify; Dce ]
+  | "all" -> Some all
+  | _ -> None

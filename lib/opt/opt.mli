@@ -1,0 +1,21 @@
+(** Optimizer driver: named core-to-core passes and standard pipelines. *)
+
+module Core = Tc_core_ir.Core
+
+type pass =
+  | Simplify      (** local rewrites incl. §8.4 constant-dictionary reduction *)
+  | Inner_entry   (** §6.3/§7: avoid passing dictionaries to recursive calls *)
+  | Hoist         (** §8.8: float dictionary construction out of lambdas *)
+  | Specialise    (** §9: type-specific clones, removing dispatch *)
+  | Dce           (** drop unreachable bindings *)
+
+val pass_name : pass -> string
+val run_pass : pass -> Core.program -> Core.program
+val run : pass list -> Core.program -> Core.program
+
+(** The standard "everything on" pipeline. *)
+val all : pass list
+
+(** Parse a CLI optimization level: [none], [simplify], [inner-entry],
+    [hoist], [spec], [all]. *)
+val of_string : string -> pass list option

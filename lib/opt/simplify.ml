@@ -1,0 +1,181 @@
+(** Local core-to-core simplifications.
+
+    The workhorse behind §8.4/§9 optimizations: after dictionaries are made
+    constant (by specialization or inlining), [Sel] applied to a literal
+    [MkDict] collapses to the selected field, turning dictionary dispatch
+    into direct calls. Also performs beta reduction, inlining of trivial or
+    used-once lets, known-case reduction and dead-let elimination.
+
+    MiniHaskell is pure (non-termination and [error] are the only effects)
+    and the source semantics is non-strict, so discarding or duplicating
+    {e unevaluated} expressions is meaning-preserving. *)
+
+open Tc_support
+module Core = Tc_core_ir.Core
+
+(** Count free occurrences of [x] in [e]. *)
+let occurrences (x : Ident.t) (e : Core.expr) : int =
+  let n = ref 0 in
+  let rec go bound e =
+    match e with
+    | Core.Var y -> if Ident.equal x y && not (Ident.Set.mem y bound) then incr n
+    | Core.Lit _ | Core.Con _ -> ()
+    | Core.Lam (vs, b) ->
+        if not (List.exists (Ident.equal x) vs) then
+          go (List.fold_left (fun s v -> Ident.Set.add v s) bound vs) b
+    | Core.Let (Core.Nonrec bd, body) ->
+        go bound bd.b_expr;
+        if not (Ident.equal x bd.b_name) then
+          go (Ident.Set.add bd.b_name bound) body
+    | Core.Let (Core.Rec bds, body) ->
+        if not (List.exists (fun (b : Core.bind) -> Ident.equal x b.b_name) bds)
+        then begin
+          let bound =
+            List.fold_left (fun s (b : Core.bind) -> Ident.Set.add b.b_name s)
+              bound bds
+          in
+          List.iter (fun (b : Core.bind) -> go bound b.b_expr) bds;
+          go bound body
+        end
+    | Core.App (f, a) -> go bound f; go bound a
+    | Core.If (c, t, f) -> go bound c; go bound t; go bound f
+    | Core.Case (s, alts, d) ->
+        go bound s;
+        List.iter
+          (fun (a : Core.alt) ->
+            if not (List.exists (Ident.equal x) a.alt_vars) then
+              go
+                (List.fold_left (fun s' v -> Ident.Set.add v s') bound a.alt_vars)
+                a.alt_body)
+          alts;
+        Option.iter (go bound) d
+    | Core.MkDict (_, fs) -> List.iter (go bound) fs
+    | Core.Sel (_, d) -> go bound d
+    | Core.Hole h -> Option.iter (go bound) h.hole_fill
+  in
+  go Ident.Set.empty e;
+  !n
+
+let is_atom = function
+  | Core.Var _ | Core.Lit _ | Core.Con _ -> true
+  | _ -> false
+
+(** A cheap, duplication-safe expression: atoms and selection chains. *)
+let rec is_cheap = function
+  | Core.Var _ | Core.Lit _ | Core.Con _ -> true
+  | Core.Sel (_, d) -> is_cheap d
+  | _ -> false
+
+let rec simpl (e : Core.expr) : Core.expr =
+  let e = Core.map_sub simpl e in
+  rewrite e
+
+and rewrite (e : Core.expr) : Core.expr =
+  match e with
+  (* selection from a known dictionary: the §8.4/§9 payoff *)
+  | Core.Sel (info, Core.MkDict (_, fields))
+    when info.sel_index < List.length fields ->
+      simpl (List.nth fields info.sel_index)
+  (* beta reduction *)
+  | Core.App (Core.Lam ([ v ], b), a) -> rewrite (Core.let1 v a b)
+  | Core.App (Core.Lam (v :: vs, b), a) ->
+      rewrite (Core.let1 v a (Core.Lam (vs, b)))
+  (* let simplifications *)
+  | Core.Let (Core.Nonrec bd, body) ->
+      (* a let-bound literal dictionary: forward its fields to selections
+         so the construction can die (§8.4 constant-dictionary reduction) *)
+      let body =
+        match bd.b_expr with
+        | Core.MkDict (_, fields) -> forward_sels bd.b_name fields body
+        | _ -> body
+      in
+      let uses = occurrences bd.b_name body in
+      if uses = 0 then body
+      else if is_atom bd.b_expr || (uses = 1 && is_cheap bd.b_expr) then
+        simpl (Core.subst (Ident.Map.singleton bd.b_name bd.b_expr) body)
+      else Core.Let (Core.Nonrec bd, body)
+  | Core.Let (Core.Rec bds, body) ->
+      (* drop recursive bindings unused by the body or the other binds *)
+      let used (b : Core.bind) =
+        occurrences b.b_name body > 0
+        || List.exists
+             (fun (b' : Core.bind) ->
+               (not (Ident.equal b'.b_name b.b_name))
+               && occurrences b.b_name b'.b_expr > 0)
+             bds
+      in
+      (match List.filter used bds with
+       | [] -> body
+       | bds' -> Core.Let (Core.Rec bds', body))
+  (* known conditionals *)
+  | Core.If (Core.Con c, t, f) ->
+      if Ident.text c = "True" then t
+      else if Ident.text c = "False" then f
+      else e
+  (* case of a known constructor application *)
+  | Core.Case (s, alts, d) -> (
+      match Core.unfold_app s [] with
+      | Core.Con c, args -> (
+          match
+            List.find_opt
+              (fun (a : Core.alt) ->
+                match a.alt_con with
+                | Core.Tcon c' -> Ident.equal c c'
+                | Core.Tlit _ -> false)
+              alts
+          with
+          | Some a when List.length a.alt_vars = List.length args ->
+              simpl
+                (List.fold_right2
+                   (fun v arg acc -> Core.let1 v arg acc)
+                   a.alt_vars args a.alt_body)
+          | Some _ -> e
+          | None -> ( match d with Some d' -> d' | None -> e))
+      | _ -> e)
+  | _ -> e
+
+(** Replace [Sel (i, Var d)] by the corresponding field of the literal
+    dictionary bound to [d]. Duplicated fields are instance-method partial
+    applications — cheap and pure — and once no selection mentions [d] the
+    construction itself is removed as dead. *)
+and forward_sels (d : Ident.t) (fields : Core.expr list) (body : Core.expr) :
+    Core.expr =
+  let rec go e =
+    match e with
+    | Core.Sel (info, Core.Var d') when Ident.equal d d' ->
+        if info.sel_index < List.length fields then
+          go (List.nth fields info.sel_index)
+        else e
+    | Core.Lam (vs, _) when List.exists (Ident.equal d) vs -> e
+    | Core.Let (Core.Nonrec bd, b) when Ident.equal bd.b_name d ->
+        (* shadowed in the body; still rewrite the right-hand side *)
+        Core.Let (Core.Nonrec { bd with b_expr = go bd.b_expr }, b)
+    | Core.Let (Core.Rec bds, _)
+      when List.exists (fun (b : Core.bind) -> Ident.equal b.b_name d) bds ->
+        e
+    | Core.Case (s, alts, dflt) ->
+        Core.Case
+          ( go s,
+            List.map
+              (fun (a : Core.alt) ->
+                if List.exists (Ident.equal d) a.alt_vars then a
+                else { a with alt_body = go a.alt_body })
+              alts,
+            Option.map go dflt )
+    | _ -> Core.map_sub go e
+  in
+  go body
+
+let expr = simpl
+
+let program (p : Core.program) : Core.program =
+  let do_bind (b : Core.bind) = { b with b_expr = simpl b.b_expr } in
+  {
+    p with
+    p_binds =
+      List.map
+        (function
+          | Core.Nonrec b -> Core.Nonrec (do_bind b)
+          | Core.Rec bs -> Core.Rec (List.map do_bind bs))
+        p.p_binds;
+  }

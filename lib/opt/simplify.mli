@@ -1,0 +1,7 @@
+(** Local core-to-core simplifications: selection from a known dictionary
+    collapses to the field (§8.4/§9), beta reduction, trivial/used-once let
+    inlining, known-case reduction, dead lets. Meaning-preserving under the
+    source's non-strict semantics. *)
+
+val expr : Tc_core_ir.Core.expr -> Tc_core_ir.Core.expr
+val program : Tc_core_ir.Core.program -> Tc_core_ir.Core.program

@@ -1,0 +1,275 @@
+(** Specialization: type-specific clones of overloaded functions (paper §9:
+    "It is possible to completely eliminate dynamic method dispatch within
+    an overloaded function at specific overloadings by creating type
+    specific clones").
+
+    A call [f d1 .. dk a ..] where [f] is a top-level overloaded binding
+    and every [di] is a constant dictionary expression (built only from
+    top-level names) is rewritten to [f$T a ..], where the clone [f$T] is
+    [f]'s body with the dictionaries substituted. Clones are memoized per
+    dictionary tuple and processed to a fixed point, so recursive calls
+    collapse onto the clone. A final {!Simplify} pass then removes the
+    [Sel]/[MkDict] indirections — together with known-dictionary inlining
+    this eliminates dictionary operations from fully-specializable code. *)
+
+open Tc_support
+module Core = Tc_core_ir.Core
+
+let max_clones = 2000
+
+type ctx = {
+  (* top-level overloaded bindings: name -> (dict params, other params, body) *)
+  overloaded : (Ident.t list * Ident.t list * Core.expr) Ident.Tbl.t;
+  (* top-level dictionary bindings with literal MkDict bodies *)
+  dict_bodies : Core.expr Ident.Tbl.t;
+  top_names : unit Ident.Tbl.t;
+  (* memo: (f, rendered dicts) -> clone name *)
+  memo : (string, Ident.t) Hashtbl.t;
+  mutable new_binds : Core.bind list;  (* clones, most recent first *)
+  mutable clone_count : int;
+}
+
+(** Is [e] closed except for top-level names? *)
+let is_constant ctx (e : Core.expr) : bool =
+  Ident.Set.for_all (fun v -> Ident.Tbl.mem ctx.top_names v) (Core.free_vars e)
+
+let key_of ctx f dicts =
+  Fmt.str "%a|%a" Ident.pp f
+    (Fmt.list ~sep:(Fmt.any ";") Tc_core_ir.Core_pp.pp)
+    dicts
+  |> fun s -> ignore ctx; s
+
+let binders_of = Inner_entry.binders_of
+
+(** Map over subexpressions carrying the set of locally-bound names (a
+    conservative union per node: precise enough to avoid rewriting shadowed
+    occurrences, the only soundness requirement here). *)
+let map_sub_scoped (f : Ident.Set.t -> Core.expr -> Core.expr)
+    (bound : Ident.Set.t) (e : Core.expr) : Core.expr =
+  match e with
+  | Core.Case (s, alts, d) ->
+      Core.Case
+        ( f bound s,
+          List.map
+            (fun (a : Core.alt) ->
+              let bound' =
+                List.fold_left (fun s' v -> Ident.Set.add v s') bound a.alt_vars
+              in
+              { a with alt_body = f bound' a.alt_body })
+            alts,
+          Option.map (f bound) d )
+  | _ ->
+      let bound' =
+        List.fold_left (fun s v -> Ident.Set.add v s) bound (binders_of e)
+      in
+      Core.map_sub (f bound') e
+
+let rec specialise_expr ctx ?(bound = Ident.Set.empty) (e : Core.expr) :
+    Core.expr =
+  let e = map_sub_scoped (fun b e' -> specialise_expr ctx ~bound:b e') bound e in
+  match Core.unfold_app e [] with
+  | Core.Var f, args
+    when Ident.Tbl.mem ctx.overloaded f && not (Ident.Set.mem f bound) ->
+      let dict_params, _, _ = Ident.Tbl.find ctx.overloaded f in
+      let k = List.length dict_params in
+      if List.length args >= k && ctx.clone_count < max_clones then begin
+        let dicts = List.filteri (fun i _ -> i < k) args in
+        let rest = List.filteri (fun i _ -> i >= k) args in
+        if List.for_all (is_constant ctx) dicts then
+          let clone = clone_for ctx f dicts in
+          Core.apps (Core.Var clone) rest
+        else e
+      end
+      else e
+  | _ -> e
+
+and clone_for ctx (f : Ident.t) (dicts : Core.expr list) : Ident.t =
+  let key = key_of ctx f dicts in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some name -> name
+  | None ->
+      let dict_params, other_params, body = Ident.Tbl.find ctx.overloaded f in
+      let name = Ident.gensym (Ident.text f ^ "$spec") in
+      ctx.clone_count <- ctx.clone_count + 1;
+      Hashtbl.add ctx.memo key name;
+      Ident.Tbl.replace ctx.top_names name ();
+      let subst =
+        List.fold_left2
+          (fun m p d -> Ident.Map.add p d m)
+          Ident.Map.empty dict_params dicts
+      in
+      let body' = Core.subst subst body in
+      (* simplify first (collapses Sel-of-known-dict), then look for more
+         specializable calls inside the clone — including its own
+         recursive calls, which now carry constant dictionaries *)
+      let body' = Simplify.expr body' in
+      let body' = specialise_expr ctx body' in
+      let body' = Simplify.expr body' in
+      ctx.new_binds <-
+        { Core.b_name = name; b_expr = Core.lam other_params body' }
+        :: ctx.new_binds;
+      name
+
+(** Forward selections from constant top-level dictionaries:
+    [Sel i d$Eq$Int] → the field expression. Applied during clone
+    simplification via an extra rewrite walk. *)
+let resolve_top_sels ctx (e : Core.expr) : Core.expr =
+  let rec go e =
+    let e = Core.map_sub go e in
+    match e with
+    | Core.Sel (info, Core.Var d) -> (
+        match Ident.Tbl.find_opt ctx.dict_bodies d with
+        | Some (Core.MkDict (_, fields))
+          when info.sel_index < List.length fields ->
+            go (List.nth fields info.sel_index)
+        | _ -> e)
+    | _ -> e
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* §8.4 "Reducing Constant Dictionaries": "local functions which are     *)
+(* inferred to have an overloaded type but are used at only one          *)
+(* overloading". When every call of a let-bound overloaded function      *)
+(* passes the same constant dictionaries, bake them in.                  *)
+(* ------------------------------------------------------------------ *)
+
+(** All (first-k-argument lists of) calls of [g] in [e]; [None] if [g]
+    occurs other than as the head of a sufficiently-applied call. *)
+let call_dicts (g : Ident.t) (k : int) (e : Core.expr) :
+    Core.expr list list option =
+  let acc = ref [] in
+  let ok = ref true in
+  let rec go e =
+    (* conservatively refuse when any node rebinds g *)
+    if List.exists (Ident.equal g) (binders_of e) then ok := false
+    else
+      match Core.unfold_app e [] with
+      | Core.Var g', args when Ident.equal g g' ->
+          if List.length args >= k then begin
+            acc := List.filteri (fun i _ -> i < k) args :: !acc;
+            List.iter go args
+          end
+          else ok := false
+      | _ ->
+          (match e with
+           | Core.Var g' when Ident.equal g g' -> ok := false
+           | _ -> ());
+          Core.iter_sub go e
+  in
+  go e;
+  if !ok then Some !acc else None
+
+let rewrite_local_calls (g : Ident.t) (k : int) (e : Core.expr) : Core.expr =
+  let rec go e =
+    if List.exists (Ident.equal g) (binders_of e) then e
+    else
+      match Core.unfold_app e [] with
+      | Core.Var g', args when Ident.equal g g' && List.length args >= k ->
+          Core.apps (Core.Var g')
+            (List.filteri (fun i _ -> i >= k) (List.map go args))
+      | _ -> Core.map_sub go e
+  in
+  go e
+
+let rec local_reduce ctx (e : Core.expr) : Core.expr =
+  let e = Core.map_sub (local_reduce ctx) e in
+  match e with
+  | Core.Let ((Core.Nonrec { b_name = g; b_expr = Core.Lam (vs, body) } as grp), ebody)
+    -> (
+      ignore grp;
+      match Inner_entry.dict_prefix vs with
+      | [], _ -> e
+      | ds, rest -> (
+          let k = List.length ds in
+          match call_dicts g k ebody with
+          | Some (first :: others)
+            when List.for_all (List.for_all (is_constant ctx)) (first :: others)
+                 && List.for_all
+                      (fun args ->
+                        List.for_all2
+                          (fun a b ->
+                            Fmt.str "%a" Tc_core_ir.Core_pp.pp a
+                            = Fmt.str "%a" Tc_core_ir.Core_pp.pp b)
+                          args first)
+                      others ->
+              (* bake the dictionaries into the binding, drop them at calls *)
+              let subst =
+                List.fold_left2
+                  (fun m p d -> Ident.Map.add p d m)
+                  Ident.Map.empty ds first
+              in
+              let body' = Simplify.expr (Core.subst subst (Core.lam rest body)) in
+              Core.Let
+                ( Core.Nonrec { b_name = g; b_expr = body' },
+                  rewrite_local_calls g k ebody )
+          | _ -> e))
+  | _ -> e
+
+let program (p : Core.program) : Core.program =
+  let ctx =
+    {
+      overloaded = Ident.Tbl.create 64;
+      dict_bodies = Ident.Tbl.create 64;
+      top_names = Ident.Tbl.create 256;
+      memo = Hashtbl.create 64;
+      new_binds = [];
+      clone_count = 0;
+    }
+  in
+  let all_binds = List.concat_map Core.binds_of_group p.p_binds in
+  List.iter
+    (fun (b : Core.bind) ->
+      Ident.Tbl.replace ctx.top_names b.b_name ();
+      (match b.b_expr with
+       | Core.Lam (vs, body) -> (
+           match Inner_entry.dict_prefix vs with
+           | [], _ -> ()
+           | ds, others -> Ident.Tbl.replace ctx.overloaded b.b_name (ds, others, body))
+       | _ -> ());
+      match b.b_expr with
+      | Core.MkDict _ -> Ident.Tbl.replace ctx.dict_bodies b.b_name b.b_expr
+      | Core.Let
+          ( Core.Rec [ { b_name = self; b_expr = Core.MkDict (tag, fields) } ],
+            Core.Var self' )
+        when Ident.equal self self' ->
+          (* a dictionary tied through a knot for its default methods: the
+             knot variable IS the top-level dictionary, so substitute it *)
+          let subst = Ident.Map.singleton self (Core.Var b.b_name) in
+          Ident.Tbl.replace ctx.dict_bodies b.b_name
+            (Core.MkDict (tag, List.map (Core.subst subst) fields))
+      | _ -> ())
+    all_binds;
+  let do_bind (b : Core.bind) =
+    (* §8.4 constant-dictionary reduction everywhere, then clone calls *)
+    let e =
+      if Ident.Tbl.mem ctx.dict_bodies b.b_name then b.b_expr
+      else resolve_top_sels ctx (local_reduce ctx b.b_expr)
+    in
+    { b with b_expr = specialise_expr ctx e }
+  in
+  let rewritten =
+    List.map
+      (function
+        | Core.Nonrec b -> Core.Nonrec (do_bind b)
+        | Core.Rec bs -> Core.Rec (List.map do_bind bs))
+      p.p_binds
+  in
+  (* drain the clone worklist: post-processing a clone can create more *)
+  let clones = ref [] in
+  let rec drain () =
+    match ctx.new_binds with
+    | [] -> ()
+    | b :: rest ->
+        ctx.new_binds <- rest;
+        let b =
+          { b with b_expr = specialise_expr ctx (resolve_top_sels ctx b.b_expr) }
+        in
+        clones := Core.Nonrec b :: !clones;
+        drain ()
+  in
+  drain ();
+  let clones = List.rev !clones in
+  let p' = { p with p_binds = rewritten @ clones } in
+  let p' = Tc_core_ir.Scc.regroup p' in
+  Simplify.program p'

@@ -1,0 +1,6 @@
+(** Specialization (paper §9): calls of overloaded functions with constant
+    dictionary arguments are redirected to memoized type-specific clones
+    with the dictionaries substituted; combined with simplification this
+    eliminates dictionary operations from fully-specializable code. *)
+
+val program : Tc_core_ir.Core.program -> Tc_core_ir.Core.program

@@ -1,0 +1,6 @@
+(** The MiniHaskell standard prelude, compiled together with every user
+    program: Eq, Ord (with Ordering/compare), Text, Parse, Num (with Eq and
+    Text superclasses), instances for the builtin types, and the usual
+    list/function library. *)
+
+val source : string

@@ -1,0 +1,45 @@
+(** Compiler diagnostics: located errors and warnings.
+
+    Fatal errors are raised as the {!Error} exception; warnings are
+    accumulated in a sink that callers may inspect or print. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  hints : string list;
+}
+
+exception Error of t
+
+let make ?(hints = []) ~severity ~loc message = { severity; loc; message; hints }
+
+let errorf ?(loc = Loc.none) ?(hints = []) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error (make ~hints ~severity:Error ~loc message)))
+    fmt
+
+let pp ppf d =
+  let label = match d.severity with Error -> "error" | Warning -> "warning" in
+  if Loc.is_none d.loc then Fmt.pf ppf "%s: %s" label d.message
+  else Fmt.pf ppf "%a: %s: %s" Loc.pp d.loc label d.message;
+  List.iter (fun h -> Fmt.pf ppf "@\n  hint: %s" h) d.hints
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Warning sink: a mutable accumulator threaded through compilation. *)
+module Sink = struct
+  type sink = { mutable warnings : t list }
+
+  let create () = { warnings = [] }
+
+  let warn ?(hints = []) sink ~loc fmt =
+    Format.kasprintf
+      (fun message ->
+        sink.warnings <- make ~hints ~severity:Warning ~loc message :: sink.warnings)
+      fmt
+
+  let warnings sink = List.rev sink.warnings
+end

@@ -1,0 +1,40 @@
+(** Compiler diagnostics: located errors and warnings.
+
+    Fatal errors are raised as the {!Error} exception; warnings are
+    accumulated in a {!Sink.sink} that callers may inspect or print. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  hints : string list;
+}
+
+exception Error of t
+
+val make : ?hints:string list -> severity:severity -> loc:Loc.t -> string -> t
+
+(** [errorf ?loc fmt ...] raises {!Error} with a formatted message. *)
+val errorf : ?loc:Loc.t -> ?hints:string list -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Warning sink: a mutable accumulator threaded through compilation. *)
+module Sink : sig
+  type sink
+
+  val create : unit -> sink
+
+  val warn :
+    ?hints:string list ->
+    sink ->
+    loc:Loc.t ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a
+
+  (** Warnings in the order they were issued. *)
+  val warnings : sink -> t list
+end

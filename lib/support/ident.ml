@@ -1,0 +1,60 @@
+(** Interned identifiers.
+
+    Identifiers are interned so that equality and comparison are O(1) and
+    stable, and so generated names (dictionary variables, specialized clones,
+    ...) can be minted cheaply without collision. *)
+
+type t = {
+  id : int;      (** unique stamp *)
+  text : string; (** user-visible spelling *)
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 512
+let counter = ref 0
+
+let fresh_stamp () =
+  incr counter;
+  !counter
+
+(** [intern s] returns the canonical identifier spelled [s]. Two calls with
+    the same string yield physically equal identifiers. *)
+let intern text =
+  match Hashtbl.find_opt table text with
+  | Some id -> id
+  | None ->
+      let id = { id = fresh_stamp (); text } in
+      Hashtbl.add table text id;
+      id
+
+(** [gensym base] mints an identifier distinct from every other identifier,
+    interned or generated, with a spelling derived from [base]. *)
+let gensym base =
+  let stamp = fresh_stamp () in
+  { id = stamp; text = Printf.sprintf "%s_%d" base stamp }
+
+let text t = t.text
+let stamp t = t.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+let pp ppf t = Fmt.string ppf t.text
+
+(** Print with the unique stamp; useful when dumping IR where distinct
+    identifiers may share a spelling. *)
+let pp_unique ppf t = Fmt.pf ppf "%s/%d" t.text t.id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

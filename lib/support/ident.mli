@@ -1,0 +1,32 @@
+(** Interned identifiers.
+
+    Identifiers are interned so equality and comparison are O(1), and
+    generated names (dictionary variables, specialized clones, ...) can be
+    minted without collision. *)
+
+type t = {
+  id : int;      (** unique stamp *)
+  text : string; (** user-visible spelling *)
+}
+
+(** [intern s] returns the canonical identifier spelled [s]: two calls with
+    the same string yield equal identifiers. *)
+val intern : string -> t
+
+(** [gensym base] mints an identifier distinct from every other identifier,
+    with a spelling derived from [base]. *)
+val gensym : string -> t
+
+val text : t -> string
+val stamp : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Print with the unique stamp (for IR dumps where spellings may repeat). *)
+val pp_unique : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

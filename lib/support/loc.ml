@@ -1,0 +1,42 @@
+(** Source locations: positions and spans within a named input. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;   (** 1-based column number *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let none = { file = "<none>"; start_pos = { line = 0; col = 0 }; end_pos = { line = 0; col = 0 } }
+
+let is_none t = t.file = "<none>" && t.start_pos.line = 0
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let point ~file ~line ~col =
+  { file; start_pos = { line; col }; end_pos = { line; col } }
+
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+let merge a b =
+  if is_none a then b
+  else if is_none b then a
+  else { a with end_pos = b.end_pos }
+
+let pp ppf t =
+  if is_none t then Fmt.string ppf "<unknown location>"
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" t.file t.start_pos.line t.start_pos.col t.end_pos.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" t.file t.start_pos.line t.start_pos.col t.end_pos.line
+      t.end_pos.col
+
+let to_string t = Fmt.str "%a" pp t
+
+(** A value paired with its source location. *)
+type 'a loc = { item : 'a; loc : t }
+
+let mk ~loc item = { item; loc }

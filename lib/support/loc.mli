@@ -1,0 +1,30 @@
+(** Source locations: positions and spans within a named input. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;   (** 1-based column number *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+(** The absent location (e.g. for generated code). *)
+val none : t
+
+val is_none : t -> bool
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+val point : file:string -> line:int -> col:int -> t
+
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A value paired with its source location. *)
+type 'a loc = { item : 'a; loc : t }
+
+val mk : loc:t -> 'a -> 'a loc

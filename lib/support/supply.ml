@@ -1,0 +1,13 @@
+(** Monotonic counters for minting unique integers (type-variable ids,
+    placeholder ids, ...). Distinct supplies are independent. *)
+
+type t = { mutable next : int }
+
+let create ?(start = 0) () = { next = start }
+
+let next t =
+  let n = t.next in
+  t.next <- n + 1;
+  n
+
+let peek t = t.next

@@ -1,0 +1,12 @@
+(** Monotonic counters for minting unique integers. Distinct supplies are
+    independent. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+
+(** Return the next integer, advancing the supply. *)
+val next : t -> int
+
+(** The value [next] would return, without advancing. *)
+val peek : t -> int

@@ -1,0 +1,185 @@
+(** Pretty-printing of surface syntax (used in diagnostics and dumps). *)
+
+open Tc_support
+open Ast
+
+let pp_lit ppf = function
+  | LInt n -> Fmt.int ppf n
+  | LFloat f -> Fmt.float ppf f
+  | LChar c -> Fmt.pf ppf "%C" c
+  | LString s -> Fmt.pf ppf "%S" s
+
+let rec pp_styp ppf t = pp_styp_prec 0 ppf t
+
+and pp_styp_prec prec ppf = function
+  | TSVar v -> Ident.pp ppf v
+  | TSCon c -> Ident.pp ppf c
+  | TSApp (f, a) ->
+      let doc ppf () = Fmt.pf ppf "%a %a" (pp_styp_prec 1) f (pp_styp_prec 2) a in
+      if prec >= 2 then Fmt.parens doc ppf () else doc ppf ()
+  | TSFun (a, b) ->
+      let doc ppf () = Fmt.pf ppf "%a -> %a" (pp_styp_prec 1) a (pp_styp_prec 0) b in
+      if prec >= 1 then Fmt.parens doc ppf () else doc ppf ()
+  | TSList t -> Fmt.pf ppf "[%a]" (pp_styp_prec 0) t
+  | TSTuple [] -> Fmt.string ppf "()"
+  | TSTuple ts ->
+      Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") (pp_styp_prec 0)) ts
+
+let pp_pred ppf p = Fmt.pf ppf "%a %a" Ident.pp p.sp_class (pp_styp_prec 2) p.sp_ty
+
+let pp_qtyp ppf (q : sqtyp) =
+  match q.sq_context with
+  | [] -> pp_styp ppf q.sq_ty
+  | [ p ] -> Fmt.pf ppf "%a => %a" pp_pred p pp_styp q.sq_ty
+  | ps ->
+      Fmt.pf ppf "(%a) => %a" (Fmt.list ~sep:(Fmt.any ", ") pp_pred) ps pp_styp
+        q.sq_ty
+
+let rec pp_pat ppf p = pp_pat_prec 0 ppf p
+
+and pp_pat_prec prec ppf (p : pat) =
+  match p.p with
+  | PVar x -> Ident.pp ppf x
+  | PWild -> Fmt.string ppf "_"
+  | PLit l -> pp_lit ppf l
+  | PCon (c, []) -> Ident.pp ppf c
+  | PCon (c, args) when Ident.text c = ":" -> (
+      match args with
+      | [ h; t ] ->
+          let doc ppf () =
+            Fmt.pf ppf "%a : %a" (pp_pat_prec 1) h (pp_pat_prec 0) t
+          in
+          if prec >= 1 then Fmt.parens doc ppf () else doc ppf ()
+      | _ -> assert false)
+  | PCon (c, args) ->
+      let doc ppf () =
+        Fmt.pf ppf "%a %a" Ident.pp c
+          (Fmt.list ~sep:(Fmt.any " ") (pp_pat_prec 2))
+          args
+      in
+      if prec >= 2 then Fmt.parens doc ppf () else doc ppf ()
+  | PTuple [] -> Fmt.string ppf "()"
+  | PTuple ps -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_pat) ps
+  | PList ps -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp_pat) ps
+  | PAs (x, q) -> Fmt.pf ppf "%a@@%a" Ident.pp x (pp_pat_prec 2) q
+
+let rec pp_expr ppf e = pp_expr_prec 0 ppf e
+
+and pp_expr_prec prec ppf (e : expr) =
+  match e.e with
+  | EVar x | ECon x -> Ident.pp ppf x
+  | ELit l -> pp_lit ppf l
+  | EApp (f, a) ->
+      let doc ppf () =
+        Fmt.pf ppf "%a %a" (pp_expr_prec 9) f (pp_expr_prec 10) a
+      in
+      if prec >= 10 then Fmt.parens doc ppf () else doc ppf ()
+  | ELam (ps, b) ->
+      let doc ppf () =
+        Fmt.pf ppf "\\%a -> %a"
+          (Fmt.list ~sep:(Fmt.any " ") (pp_pat_prec 2))
+          ps pp_expr b
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | ELet (ds, b) ->
+      let doc ppf () =
+        Fmt.pf ppf "let {%a} in %a" (Fmt.list ~sep:(Fmt.any "; ") pp_decl) ds
+          pp_expr b
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | EIf (c, t, f) ->
+      let doc ppf () =
+        Fmt.pf ppf "if %a then %a else %a" pp_expr c pp_expr t pp_expr f
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | ECase (s, alts) ->
+      let doc ppf () =
+        Fmt.pf ppf "case %a of {%a}" pp_expr s
+          (Fmt.list ~sep:(Fmt.any "; ") pp_alt)
+          alts
+      in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+  | ETuple [] -> Fmt.string ppf "()"
+  | ETuple es -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | EList es -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | ERange (a, None) -> Fmt.pf ppf "[%a ..]" pp_expr a
+  | ERange (a, Some b) -> Fmt.pf ppf "[%a .. %a]" pp_expr a pp_expr b
+  | EAnnot (b, t) -> Fmt.pf ppf "(%a :: %a)" pp_expr b pp_qtyp t
+  | ENeg b -> Fmt.pf ppf "(- %a)" (pp_expr_prec 10) b
+  | EOpSeq (first, rest) ->
+      let doc ppf () =
+        pp_expr_prec 9 ppf first;
+        List.iter
+          (fun (op, _, e') ->
+            Fmt.pf ppf " %a %a" Ident.pp op (pp_expr_prec 9) e')
+          rest
+      in
+      Fmt.parens doc ppf ()
+  | ELeftSection (b, op) -> Fmt.pf ppf "(%a %a)" (pp_expr_prec 9) b Ident.pp op
+  | ERightSection (op, b) -> Fmt.pf ppf "(%a %a)" Ident.pp op (pp_expr_prec 9) b
+
+and pp_alt ppf a = Fmt.pf ppf "%a%a" pp_pat a.alt_pat (pp_rhs "->") a.alt_rhs
+
+and pp_rhs sep ppf r =
+  (match r.rhs_body with
+   | Unguarded e -> Fmt.pf ppf " %s %a" sep pp_expr e
+   | Guarded gs ->
+       List.iter (fun (c, e) -> Fmt.pf ppf " | %a %s %a" pp_expr c sep pp_expr e) gs);
+  match r.rhs_where with
+  | [] -> ()
+  | ds -> Fmt.pf ppf " where {%a}" (Fmt.list ~sep:(Fmt.any "; ") pp_decl) ds
+
+and pp_decl ppf = function
+  | DSig (ns, t, _) ->
+      Fmt.pf ppf "%a :: %a" (Fmt.list ~sep:(Fmt.any ", ") Ident.pp) ns pp_qtyp t
+  | DFun (n, eq, _) ->
+      Fmt.pf ppf "%a %a%a" Ident.pp n
+        (Fmt.list ~sep:(Fmt.any " ") (pp_pat_prec 2))
+        eq.eq_pats (pp_rhs "=") eq.eq_rhs
+  | DPat (p, r, _) -> Fmt.pf ppf "%a%a" pp_pat p (pp_rhs "=") r
+  | DFix (a, p, ops, _) ->
+      let kw =
+        match a with LeftAssoc -> "infixl" | RightAssoc -> "infixr" | NonAssoc -> "infix"
+      in
+      Fmt.pf ppf "%s %d %a" kw p (Fmt.list ~sep:(Fmt.any ", ") Ident.pp) ops
+
+let pp_top_decl ppf = function
+  | TData d ->
+      Fmt.pf ppf "data %a%a = %a%s" Ident.pp d.td_name
+        (Fmt.list ~sep:Fmt.nop (fun ppf v -> Fmt.pf ppf " %a" Ident.pp v))
+        d.td_params
+        (Fmt.list ~sep:(Fmt.any " | ") (fun ppf c ->
+             Fmt.pf ppf "%a%a" Ident.pp c.cd_name
+               (Fmt.list ~sep:Fmt.nop (fun ppf t ->
+                    Fmt.pf ppf " %a" (pp_styp_prec 2) t))
+               c.cd_args))
+        d.td_cons
+        (if d.td_deriving = [] then ""
+         else
+           Fmt.str " deriving (%a)"
+             (Fmt.list ~sep:(Fmt.any ", ") Ident.pp)
+             d.td_deriving)
+  | TSyn s ->
+      Fmt.pf ppf "type %a%a = %a" Ident.pp s.ts_name
+        (Fmt.list ~sep:Fmt.nop (fun ppf v -> Fmt.pf ppf " %a" Ident.pp v))
+        s.ts_params pp_styp s.ts_body
+  | TClass c ->
+      Fmt.pf ppf "class %s%a %a where {%a}"
+        (if c.tc_supers = [] then ""
+         else
+           Fmt.str "(%a) => " (Fmt.list ~sep:(Fmt.any ", ") pp_pred) c.tc_supers)
+        Ident.pp c.tc_name Ident.pp c.tc_var
+        (Fmt.list ~sep:(Fmt.any "; ") pp_decl)
+        c.tc_body
+  | TInstance i ->
+      Fmt.pf ppf "instance %s%a %a where {%a}"
+        (if i.ti_context = [] then ""
+         else
+           Fmt.str "(%a) => " (Fmt.list ~sep:(Fmt.any ", ") pp_pred) i.ti_context)
+        Ident.pp i.ti_class (pp_styp_prec 2) i.ti_head
+        (Fmt.list ~sep:(Fmt.any "; ") pp_decl)
+        i.ti_body
+  | TDecl d -> pp_decl ppf d
+
+let pp_program ppf (p : program) =
+  Fmt.list ~sep:(Fmt.any "@\n") pp_top_decl ppf p

@@ -1,0 +1,13 @@
+(** Pretty-printing of surface syntax (diagnostics and dumps). *)
+
+val pp_lit : Format.formatter -> Ast.lit -> unit
+val pp_styp : Format.formatter -> Ast.styp -> unit
+val pp_styp_prec : int -> Format.formatter -> Ast.styp -> unit
+val pp_pred : Format.formatter -> Ast.spred -> unit
+val pp_qtyp : Format.formatter -> Ast.sqtyp -> unit
+val pp_pat : Format.formatter -> Ast.pat -> unit
+val pp_pat_prec : int -> Format.formatter -> Ast.pat -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_top_decl : Format.formatter -> Ast.top_decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,26 @@
+(** Fixity resolution: rebuild the parser's flat operator sequences into
+    applications once [infixl]/[infixr]/[infix] declarations are known. *)
+
+open Tc_support
+
+type fixity = { assoc : Ast.assoc; prec : int }
+
+type env = fixity Ident.Map.t
+
+(** Unknown operators default to [infixl 9]. *)
+val default_fixity : fixity
+
+(** The standard-prelude operator table. *)
+val builtin : env
+
+val lookup : env -> Ident.t -> fixity
+
+(** Collect every fixity declaration of a program. *)
+val collect_program : env -> Ast.program -> env
+
+(** Resolve operator sequences in one expression. *)
+val expr : env -> Ast.expr -> Ast.expr
+
+(** Resolve a whole program, using its own fixity declarations plus the
+    builtin table; returns the extended environment. *)
+val resolve_program : ?env:env -> Ast.program -> Ast.program * env

@@ -1,0 +1,113 @@
+(** Haskell-style layout (offside rule).
+
+    Rewrites a lexed token stream, inserting virtual open/close braces and
+    semicolons so the parser can treat blocks uniformly. Blocks open after
+    [let], [where] and [of] (and at the start of the file); entries are
+    separated by lines starting at the block's reference column; a line
+    starting further left closes the block.
+
+    Divergence from the Haskell report: the general parse-error(t) rule is
+    replaced by a special case for [in] (which closes an open [let] block).
+    Blocks that must end mid-line before a closing bracket therefore need
+    explicit braces, e.g. [(case x of { True -> 1; False -> 2 })]. *)
+
+open Tc_support
+
+type opener = Top | Let | Where | Of
+
+type context =
+  | Explicit              (* opened by a literal '{' *)
+  | Implicit of int * opener  (* reference column *)
+
+let layout (tokens : Token.spanned list) : Token.spanned list =
+  let out = ref [] in
+  let emit_at loc tok = out := { Token.tok; loc } :: !out in
+  let stack : context list ref = ref [] in
+  let push c = stack := c :: !stack in
+  let pop () = match !stack with [] -> () | _ :: rest -> stack := rest in
+  let prev_line = ref 0 in
+  (* [None] = not expecting a block open; [Some opener] = the previous
+     significant token was let/where/of (or start of file). *)
+  let expecting = ref (Some Top) in
+  let rec close_on_newline (t : Token.spanned) =
+    match !stack with
+    | Implicit (m, _) :: _ when t.loc.start_pos.col < m ->
+        emit_at t.loc Token.VRBRACE;
+        pop ();
+        close_on_newline t
+    | Implicit (m, _) :: _ when t.loc.start_pos.col = m ->
+        (* A semicolon would separate entries, but [in] instead closes the
+           block via the special rule below. *)
+        if t.tok <> Token.KW_in then emit_at t.loc Token.VSEMI
+    | _ -> ()
+  in
+  let process (t : Token.spanned) =
+    (match !expecting with
+     | Some opener ->
+         expecting := None;
+         (match t.tok with
+          | Token.LBRACE -> () (* explicit block; handled below *)
+          | Token.EOF ->
+              (* empty input / empty block at end of file: {} *)
+              emit_at t.loc Token.VLBRACE;
+              emit_at t.loc Token.VRBRACE
+          | _ ->
+              let n = t.loc.start_pos.col in
+              let enclosing_col =
+                match !stack with
+                | Implicit (m, _) :: _ -> m
+                | _ -> 0
+              in
+              if n > enclosing_col then begin
+                emit_at t.loc Token.VLBRACE;
+                push (Implicit (n, opener))
+              end
+              else begin
+                (* empty block: {} then reprocess the line start *)
+                emit_at t.loc Token.VLBRACE;
+                emit_at t.loc Token.VRBRACE;
+                if t.loc.start_pos.line <> !prev_line then close_on_newline t
+              end)
+     | None ->
+         if t.loc.start_pos.line <> !prev_line then close_on_newline t;
+         (* [in] closes the implicit block of the nearest open [let]. *)
+         (match t.tok, !stack with
+          | Token.KW_in, Implicit (_, Let) :: _ ->
+              emit_at t.loc Token.VRBRACE;
+              pop ()
+          | _ -> ()));
+    (match t.tok with
+     | Token.LBRACE -> push Explicit
+     | Token.RBRACE -> (
+         match !stack with
+         | Explicit :: _ -> pop ()
+         | _ ->
+             Diagnostic.errorf ~loc:t.loc
+               "unexpected '}': no matching explicit '{'")
+     | _ -> ());
+    (match t.tok with
+     | Token.EOF ->
+         (* close any remaining implicit blocks *)
+         let rec close_all () =
+           match !stack with
+           | Implicit _ :: _ ->
+               emit_at t.loc Token.VRBRACE;
+               pop ();
+               close_all ()
+           | _ -> ()
+         in
+         close_all ();
+         emit_at t.loc Token.EOF
+     | _ -> emit_at t.loc t.tok);
+    prev_line := t.loc.end_pos.line;
+    match t.tok with
+    | Token.KW_let -> expecting := Some Let
+    | Token.KW_where -> expecting := Some Where
+    | Token.KW_of -> expecting := Some Of
+    | _ -> ()
+  in
+  List.iter process tokens;
+  List.rev !out
+
+(** Convenience: lex and lay out in one step. *)
+let tokenize ~file src = layout (Lexer.tokenize ~file src)

@@ -1,0 +1,13 @@
+(** Haskell-style layout (offside rule): inserts virtual open/close braces
+    and semicolons into a lexed token stream. Blocks open after [let],
+    [where] and [of] (and at the start of the file).
+
+    Divergence from the Haskell report: the parse-error(t) rule is replaced
+    by a special case for [in]; blocks ending mid-line before a closing
+    bracket need explicit braces. *)
+
+(** Lay out an already-lexed stream. *)
+val layout : Token.spanned list -> Token.spanned list
+
+(** Lex and lay out in one step. *)
+val tokenize : file:string -> string -> Token.spanned list

@@ -1,0 +1,6 @@
+(** Hand-written lexer for MiniHaskell. *)
+
+(** Tokenize an entire input. The result always ends with [EOF]. Raises
+    {!Tc_support.Diagnostic.Error} on malformed input (unterminated
+    literals or comments, unknown characters). *)
+val tokenize : file:string -> string -> Token.spanned list

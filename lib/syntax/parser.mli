@@ -1,0 +1,9 @@
+(** Recursive-descent parser over the layout-processed token stream.
+    Infix expressions are left as flat sequences for {!Fixity.resolve_program}. *)
+
+(** Parse a complete program. Raises {!Tc_support.Diagnostic.Error} with a
+    located message on syntax errors. *)
+val parse_program : file:string -> string -> Ast.program
+
+(** Parse a single expression (tests, REPL). *)
+val parse_expression : file:string -> string -> Ast.expr

@@ -1,0 +1,193 @@
+(** Derived instances (paper §3: "Haskell allows the programmer to use
+    derived instances for some of the standard classes like Eq, automatically
+    generating appropriate instance definitions").
+
+    Supports deriving [Eq], [Ord] and [Text] for algebraic data types. The
+    generated code is ordinary surface syntax (already fixity-resolved, i.e.
+    applications rather than operator sequences) and is type checked and
+    dictionary-converted like hand-written instances. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+
+let v name = Ident.intern name
+
+let evar x = Ast.mk_expr ~loc:Loc.none (Ast.EVar x)
+let econ x = Ast.mk_expr ~loc:Loc.none (Ast.ECon x)
+let elit l = Ast.mk_expr ~loc:Loc.none (Ast.ELit l)
+let pvar x = Ast.mk_pat ~loc:Loc.none (Ast.PVar x)
+let pwild = Ast.mk_pat ~loc:Loc.none Ast.PWild
+let pcon c args = Ast.mk_pat ~loc:Loc.none (Ast.PCon (c, args))
+
+let app2 f a b = Ast.apply (evar f) [ a; b ]
+
+let etrue = econ (v "True")
+let efalse = econ (v "False")
+
+(** Fresh-ish argument variable names; '$' keeps them out of user namespace. *)
+let arg_vars prefix n = List.init n (fun i -> v (Printf.sprintf "%s$%d" prefix i))
+
+let unguarded e : Ast.rhs =
+  { rhs_body = Ast.Unguarded e; rhs_where = []; rhs_loc = Loc.none }
+
+let equation pats e : Ast.equation = { eq_pats = pats; eq_rhs = unguarded e }
+
+(** The instance head [T a1 ... an] as a source type. *)
+let head_of (d : Ast.data_decl) : Ast.styp =
+  List.fold_left
+    (fun acc p -> Ast.TSApp (acc, Ast.TSVar p))
+    (Ast.TSCon d.td_name) d.td_params
+
+(** Context [C a1, ..., C an]. *)
+let context_of cls (d : Ast.data_decl) : Ast.spred list =
+  List.map
+    (fun p -> { Ast.sp_class = cls; sp_ty = Ast.TSVar p; sp_loc = Loc.none })
+    d.td_params
+
+let mk_instance cls d body : Ast.inst_decl =
+  {
+    ti_context = context_of cls d;
+    ti_class = cls;
+    ti_head = head_of d;
+    ti_body = body;
+    ti_loc = d.Ast.td_loc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* deriving Eq                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let derive_eq (d : Ast.data_decl) : Ast.inst_decl =
+  let eq = v "==" in
+  let con_eq (c : Ast.con_decl) : Ast.decl =
+    let n = List.length c.cd_args in
+    let xs = arg_vars "x" n and ys = arg_vars "y" n in
+    let lhs = pcon c.cd_name (List.map pvar xs)
+    and rhs = pcon c.cd_name (List.map pvar ys) in
+    let body =
+      match List.combine xs ys with
+      | [] -> etrue
+      | pairs ->
+          let comparisons =
+            List.map (fun (x, y) -> app2 eq (evar x) (evar y)) pairs
+          in
+          List.fold_right
+            (fun cmp acc ->
+              match acc with None -> Some cmp | Some a -> Some (app2 (v "&&") cmp a))
+            comparisons None
+          |> Option.get
+    in
+    Ast.DFun (eq, equation [ lhs; rhs ] body, Loc.none)
+  in
+  let catch_all =
+    if List.length d.td_cons > 1 then
+      [ Ast.DFun (eq, equation [ pwild; pwild ] efalse, Loc.none) ]
+    else []
+  in
+  mk_instance (v "Eq") d (List.map con_eq d.td_cons @ catch_all)
+
+(* ------------------------------------------------------------------ *)
+(* deriving Ord                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Derived ordering: constructors compare by declaration order, arguments
+    lexicographically. Only [<=] is generated; the other comparisons are
+    class defaults. *)
+let derive_ord (d : Ast.data_decl) : Ast.inst_decl =
+  let le = v "<=" in
+  let eqs = ref [] in
+  let ncons = List.length d.td_cons in
+  List.iteri
+    (fun i (ci : Ast.con_decl) ->
+      let n = List.length ci.cd_args in
+      (* same constructor: lexicographic on arguments *)
+      let xs = arg_vars "x" n and ys = arg_vars "y" n in
+      let rec lex pairs =
+        match pairs with
+        | [] -> etrue
+        | [ (x, y) ] -> app2 le (evar x) (evar y)
+        | (x, y) :: rest ->
+            (* x < y || (x == y && lex rest) *)
+            app2 (v "||")
+              (app2 (v "<") (evar x) (evar y))
+              (app2 (v "&&") (app2 (v "==") (evar x) (evar y)) (lex rest))
+      in
+      eqs :=
+        Ast.DFun
+          ( le,
+            equation
+              [ pcon ci.cd_name (List.map pvar xs);
+                pcon ci.cd_name (List.map pvar ys) ]
+              (lex (List.combine xs ys)),
+            Loc.none )
+        :: !eqs;
+      (* different constructors: tag order; one catch-all per left con *)
+      if ncons > 1 then begin
+        (* Ci _ <= Cj _ for j > i is True; else False.  Encode as: for each
+           i, [Ci .. <= y] with y matching any of the later constructors =
+           True, and a final catch-all False. *)
+        List.iteri
+          (fun j (cj : Ast.con_decl) ->
+            if j > i then
+              eqs :=
+                Ast.DFun
+                  ( le,
+                    equation
+                      [ pcon ci.cd_name (List.map (fun _ -> pwild) ci.cd_args);
+                        pcon cj.cd_name (List.map (fun _ -> pwild) cj.cd_args) ]
+                      etrue,
+                    Loc.none )
+                :: !eqs)
+          d.td_cons
+      end)
+    d.td_cons;
+  let catch_all =
+    if ncons > 1 then [ Ast.DFun (le, equation [ pwild; pwild ] efalse, Loc.none) ]
+    else []
+  in
+  mk_instance (v "Ord") d (List.rev !eqs @ catch_all)
+
+(* ------------------------------------------------------------------ *)
+(* deriving Text                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Derived printer: [str (C x1 .. xn) = "(C " ++ str x1 ++ ... ++ ")"],
+    without parentheses for nullary constructors. *)
+let derive_text (d : Ast.data_decl) : Ast.inst_decl =
+  let str = v "str" in
+  let con_str (c : Ast.con_decl) : Ast.decl =
+    let n = List.length c.cd_args in
+    let xs = arg_vars "x" n in
+    let name_str = elit (Ast.LString (Ident.text c.cd_name)) in
+    let body =
+      if n = 0 then name_str
+      else
+        let pieces =
+          List.concat_map
+            (fun x -> [ elit (Ast.LString " "); Ast.apply (evar str) [ evar x ] ])
+            xs
+        in
+        let inner =
+          List.fold_right
+            (fun p acc -> app2 (v "++") p acc)
+            (name_str :: pieces)
+            (elit (Ast.LString ")"))
+        in
+        app2 (v "++") (elit (Ast.LString "(")) inner
+    in
+    Ast.DFun (str, equation [ pcon c.cd_name (List.map pvar xs) ] body, Loc.none)
+  in
+  mk_instance (v "Text") d (List.map con_str d.td_cons)
+
+(* ------------------------------------------------------------------ *)
+
+let derive (cls : Ident.t) (d : Ast.data_decl) : Ast.inst_decl =
+  match Ident.text cls with
+  | "Eq" -> derive_eq d
+  | "Ord" -> derive_ord d
+  | "Text" -> derive_text d
+  | s ->
+      Diagnostic.errorf ~loc:d.td_loc
+        "cannot derive an instance of class '%s' (only Eq, Ord and Text are \
+         derivable)"
+        s

@@ -1,0 +1,10 @@
+(** Derived instances for [Eq], [Ord] and [Text] (paper §3): generate
+    ordinary surface-syntax instance declarations from a data declaration,
+    type checked like hand-written ones. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+
+(** [derive cls d] is the derived instance of [cls] for [d]. Raises
+    {!Diagnostic.Error} for a non-derivable class. *)
+val derive : Ident.t -> Ast.data_decl -> Ast.inst_decl

@@ -1,0 +1,173 @@
+(** Elaboration of source types ({!Tc_syntax.Ast.styp}) into internal types.
+
+    Performs kind (saturation) checking, type-synonym expansion, and scoping
+    of source type variables. Signature elaboration creates *read-only*
+    variables carrying the declared context (§8.6). *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+
+(** Scope of source type variables during elaboration. *)
+type scope = (Ident.t, Ty.tyvar) Hashtbl.t
+
+let new_scope () : scope = Hashtbl.create 8
+
+let lookup_var (scope : scope) ~level ~read_only v =
+  match Hashtbl.find_opt scope v with
+  | Some tv -> tv
+  | None ->
+      let tv = Ty.fresh_var ~read_only ~level () in
+      Hashtbl.add scope v tv;
+      tv
+
+let max_synonym_depth = 100
+
+(** [elaborate env scope ~level ~read_only styp] converts a source type.
+    Unknown type variables are created in [scope] with the given flags. *)
+let rec elaborate env (scope : scope) ~level ~read_only (t : Ast.styp) : Ty.t =
+  elab ~depth:0 env scope ~level ~read_only t
+
+and elab ~depth env scope ~level ~read_only (t : Ast.styp) : Ty.t =
+  if depth > max_synonym_depth then
+    Diagnostic.errorf "type synonym expansion too deep (cyclic synonym?)";
+  let recur = elab ~depth env scope ~level ~read_only in
+  match t with
+  | Ast.TSVar v -> Ty.TVar (lookup_var scope ~level ~read_only v)
+  | Ast.TSFun (a, b) -> Ty.arrow (recur a) (recur b)
+  | Ast.TSList a -> Ty.list (recur a)
+  | Ast.TSTuple ts -> Ty.tuple (List.map recur ts)
+  | Ast.TSCon _ | Ast.TSApp _ ->
+      let head, args = flatten t [] in
+      apply_con ~depth env scope ~level ~read_only head args
+
+and flatten t args =
+  match t with
+  | Ast.TSApp (f, a) -> flatten f (a :: args)
+  | _ -> (t, args)
+
+and apply_con ~depth env scope ~level ~read_only head args =
+  let recur = elab ~depth env scope ~level ~read_only in
+  match head with
+  | Ast.TSCon name -> (
+      match Class_env.find_synonym env name with
+      | Some (params, body) ->
+          let n_expected = List.length params and n_given = List.length args in
+          if n_expected <> n_given then
+            Diagnostic.errorf
+              "type synonym '%a' expects %d argument(s) but is given %d"
+              Ident.pp name n_expected n_given;
+          (* substitute source-level, then continue elaborating *)
+          let subst =
+            List.combine params args
+          in
+          elab ~depth:(depth + 1) env scope ~level ~read_only
+            (subst_styp subst body)
+      | None -> (
+          match Class_env.find_tycon env name with
+          | None -> Diagnostic.errorf "unknown type constructor '%a'" Ident.pp name
+          | Some tc ->
+              if tc.Tycon.arity <> List.length args then
+                Diagnostic.errorf
+                  "type constructor '%a' has kind %a but is applied to %d \
+                   argument(s)"
+                  Ident.pp name Kind.pp (Tycon.kind tc) (List.length args);
+              Ty.TCon (tc, List.map recur args)))
+  | Ast.TSVar v ->
+      if args = [] then Ty.TVar (lookup_var scope ~level ~read_only v)
+      else
+        Diagnostic.errorf
+          "type variable '%a' is applied to arguments: higher-kinded type \
+           variables are not supported"
+          Ident.pp v
+  | _ ->
+      (* [[t] u] or [(a,b) u]: structurally impossible to apply *)
+      Diagnostic.errorf "ill-kinded type application"
+
+and subst_styp subst (t : Ast.styp) : Ast.styp =
+  match t with
+  | Ast.TSVar v -> (
+      match List.find_opt (fun (p, _) -> Ident.equal p v) subst with
+      | Some (_, replacement) -> replacement
+      | None -> t)
+  | Ast.TSCon _ -> t
+  | Ast.TSApp (f, a) -> Ast.TSApp (subst_styp subst f, subst_styp subst a)
+  | Ast.TSFun (a, b) -> Ast.TSFun (subst_styp subst a, subst_styp subst b)
+  | Ast.TSList a -> Ast.TSList (subst_styp subst a)
+  | Ast.TSTuple ts -> Ast.TSTuple (List.map (subst_styp subst) ts)
+
+(** Apply the context of a qualified type to the variables in [scope].
+    Every predicate must constrain a type variable. *)
+let apply_context env (scope : scope) ~level ~read_only (preds : Ast.spred list) :
+    unit =
+  List.iter
+    (fun (p : Ast.spred) ->
+      (match Class_env.find_class env p.sp_class with
+       | Some _ -> ()
+       | None ->
+           Diagnostic.errorf ~loc:p.sp_loc "unknown class '%a'" Ident.pp
+             p.sp_class);
+      match p.sp_ty with
+      | Ast.TSVar v ->
+          let tv = lookup_var scope ~level ~read_only v in
+          let u = Ty.unbound_exn tv in
+          u.context <- Class_env.context_add env u.context p.sp_class
+      | _ ->
+          Diagnostic.errorf ~loc:p.sp_loc
+            "class constraints must apply to type variables")
+    preds
+
+(** Elaborate a user signature: context applied to read-only variables.
+    Returns the type and the signature's variables in context-declaration
+    order then first-occurrence order (fixing dictionary order, §8.6). *)
+let rec signature env ~level (q : Ast.sqtyp) : Ty.t * Ty.tyvar list =
+  (* attach the signature's own location to otherwise location-less
+     elaboration errors (unknown constructors, kind errors, ...) *)
+  try signature_inner env ~level q
+  with Diagnostic.Error d when Loc.is_none d.loc ->
+    raise (Diagnostic.Error { d with loc = q.sq_loc })
+
+and signature_inner env ~level (q : Ast.sqtyp) : Ty.t * Ty.tyvar list =
+  let scope = new_scope () in
+  (* Seed variables in the order they appear in the context, so the
+     declared context fixes dictionary parameter order. *)
+  List.iter
+    (fun (p : Ast.spred) ->
+      match p.sp_ty with
+      | Ast.TSVar v -> ignore (lookup_var scope ~level ~read_only:true v)
+      | _ -> ())
+    q.sq_context;
+  let order = ref [] in
+  let seen = Hashtbl.create 8 in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  List.iter
+    (fun (p : Ast.spred) ->
+      match p.sp_ty with Ast.TSVar v -> note v | _ -> ())
+    q.sq_context;
+  let rec note_vars (t : Ast.styp) =
+    match t with
+    | Ast.TSVar v -> note v
+    | Ast.TSCon _ -> ()
+    | Ast.TSApp (a, b) | Ast.TSFun (a, b) ->
+        note_vars a;
+        note_vars b
+    | Ast.TSList a -> note_vars a
+    | Ast.TSTuple ts -> List.iter note_vars ts
+  in
+  note_vars q.sq_ty;
+  let ty = elaborate env scope ~level ~read_only:true q.sq_ty in
+  apply_context env scope ~level ~read_only:true q.sq_context;
+  (* [!order] is the reverse of encounter order, so [rev_map] restores it. *)
+  let vars =
+    List.rev_map
+      (fun v ->
+        match Hashtbl.find_opt scope v with
+        | Some tv -> tv
+        | None -> lookup_var scope ~level ~read_only:true v)
+      !order
+  in
+  (ty, vars)

@@ -1,0 +1,32 @@
+(** Elaboration of source types into internal types: kind (saturation)
+    checking, type-synonym expansion, and scoping of source type variables.
+    Signatures create {e read-only} variables carrying the declared context
+    (§8.6). *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+
+(** Scope of source type variables during elaboration. *)
+type scope = (Ident.t, Ty.tyvar) Hashtbl.t
+
+val new_scope : unit -> scope
+
+(** Find or create the variable for a source type-variable name. *)
+val lookup_var : scope -> level:int -> read_only:bool -> Ident.t -> Ty.tyvar
+
+(** Convert a source type; unknown variables are created in [scope]. *)
+val elaborate :
+  Class_env.t -> scope -> level:int -> read_only:bool -> Ast.styp -> Ty.t
+
+(** Source-level substitution of type variables (used for instance method
+    signatures). *)
+val subst_styp : (Ident.t * Ast.styp) list -> Ast.styp -> Ast.styp
+
+(** Attach a qualified type's context to the variables in scope. *)
+val apply_context :
+  Class_env.t -> scope -> level:int -> read_only:bool -> Ast.spred list -> unit
+
+(** Elaborate a user signature: read-only variables with the declared
+    context; the returned variables are ordered context-first, fixing
+    dictionary order (§8.6). *)
+val signature : Class_env.t -> level:int -> Ast.sqtyp -> Ty.t * Ty.tyvar list

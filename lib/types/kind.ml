@@ -1,0 +1,26 @@
+(** Kinds.
+
+    MiniHaskell types are first-order: type constructors are always fully
+    applied and type variables have kind [*] (classes in the paper's system
+    range over plain types, not constructors). Kinds therefore record only
+    constructor arity, and kind checking amounts to saturation checking —
+    but we keep the usual arrow structure so kinds print familiarly. *)
+
+type t =
+  | Star
+  | Arrow of t * t
+
+let rec of_arity n = if n = 0 then Star else Arrow (Star, of_arity (n - 1))
+
+let rec arity = function Star -> 0 | Arrow (_, k) -> 1 + arity k
+
+let rec pp ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Arrow (a, b) -> (
+      match a with
+      | Star -> Fmt.pf ppf "* -> %a" pp b
+      | _ -> Fmt.pf ppf "(%a) -> %a" pp a pp b)
+
+let to_string k = Fmt.str "%a" pp k
+
+let equal : t -> t -> bool = ( = )

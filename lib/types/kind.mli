@@ -1,0 +1,15 @@
+(** Kinds. MiniHaskell is first-order (type constructors are always
+    saturated, variables have kind [*]), so kinds only record constructor
+    arity — but keep the arrow structure so they print familiarly. *)
+
+type t =
+  | Star
+  | Arrow of t * t
+
+(** [of_arity n] is [* -> ... -> *] with [n] arrows. *)
+val of_arity : int -> t
+
+val arity : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

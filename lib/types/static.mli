@@ -1,0 +1,16 @@
+(** Static analysis (paper §4): collect and validate all top-level type,
+    class and instance declarations into a {!Class_env.t}; expand
+    [deriving] clauses; return the value-level declarations for the
+    type checker. *)
+
+module Ast = Tc_syntax.Ast
+
+type result = {
+  env : Class_env.t;
+  value_decls : Ast.decl list;
+}
+
+(** Process a program's top-level declarations. Raises
+    {!Tc_support.Diagnostic.Error} on duplicate instances, superclass
+    cycles or missing coverage, malformed heads, etc. *)
+val process : ?env:Class_env.t -> Ast.program -> result

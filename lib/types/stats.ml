@@ -1,0 +1,48 @@
+(** Type-checker instrumentation counters (experiments E1 and E9: the paper
+    claims "a minor increase in the cost of unification and the placement
+    and resolution of placeholders make up the majority of the extra
+    processing required for type classes"). *)
+
+type t = {
+  mutable unifications : int;
+  mutable var_instantiations : int;
+  mutable context_propagations : int;  (* propagateClasses calls with work *)
+  mutable context_reductions : int;    (* propagateClassTycon: instance lookups *)
+  mutable holes_created : int;
+  mutable holes_resolved : int;
+  mutable schemes_instantiated : int;
+}
+
+let create () =
+  {
+    unifications = 0;
+    var_instantiations = 0;
+    context_propagations = 0;
+    context_reductions = 0;
+    holes_created = 0;
+    holes_resolved = 0;
+    schemes_instantiated = 0;
+  }
+
+(** Global counters, reset per compilation. *)
+let current = create ()
+
+let reset () =
+  current.unifications <- 0;
+  current.var_instantiations <- 0;
+  current.context_propagations <- 0;
+  current.context_reductions <- 0;
+  current.holes_created <- 0;
+  current.holes_resolved <- 0;
+  current.schemes_instantiated <- 0
+
+let snapshot () = { current with unifications = current.unifications }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "unifications=%d var-instantiations=%d context-propagations=%d \
+     context-reductions=%d placeholders-created=%d placeholders-resolved=%d \
+     schemes-instantiated=%d"
+    t.unifications t.var_instantiations t.context_propagations
+    t.context_reductions t.holes_created t.holes_resolved
+    t.schemes_instantiated

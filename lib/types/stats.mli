@@ -1,0 +1,20 @@
+(** Type-checker instrumentation counters (experiments E1/E9). *)
+
+type t = {
+  mutable unifications : int;
+  mutable var_instantiations : int;
+  mutable context_propagations : int;
+  mutable context_reductions : int;
+  mutable holes_created : int;
+  mutable holes_resolved : int;
+  mutable schemes_instantiated : int;
+}
+
+val create : unit -> t
+
+(** Global counters, reset per compilation. *)
+val current : t
+
+val reset : unit -> unit
+val snapshot : unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Type constructors.
+
+    A tycon is identified by its name; equality is name equality, so
+    re-elaborating a program produces interchangeable tycons. Builtin
+    constructors ([->], [[]], tuples, primitive types) are predefined. *)
+
+open Tc_support
+
+type t = {
+  name : Ident.t;
+  arity : int;
+}
+
+let make name arity = { name; arity }
+let kind t = Kind.of_arity t.arity
+let equal a b = Ident.equal a.name b.name
+let compare a b = Ident.compare a.name b.name
+let pp ppf t = Ident.pp ppf t.name
+
+(* Builtins. Names in brackets cannot clash with user CONIDs. *)
+
+let arrow = make (Ident.intern "->") 2
+let list = make (Ident.intern "[]") 1
+let unit = make (Ident.intern "()") 0
+let int = make (Ident.intern "Int") 0
+let float = make (Ident.intern "Float") 0
+let char = make (Ident.intern "Char") 0
+
+let tuple n =
+  assert (n >= 2);
+  make (Ident.intern (Printf.sprintf "(%s)" (String.make (n - 1) ','))) n
+
+let is_arrow t = equal t arrow
+let is_list t = equal t list
+
+let is_tuple t =
+  let s = Ident.text t.name in
+  String.length s >= 3 && s.[0] = '(' && s.[1] = ','
+
+let builtins = [ arrow; list; unit; int; float; char ]

@@ -1,0 +1,32 @@
+(** Type constructors, identified by name. Builtins ([->], [[]], tuples,
+    primitive types) are predefined; data declarations add more. *)
+
+open Tc_support
+
+type t = {
+  name : Ident.t;
+  arity : int;
+}
+
+val make : Ident.t -> int -> t
+val kind : t -> Kind.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {2 Builtins} *)
+
+val arrow : t
+val list : t
+val unit : t
+val int : t
+val float : t
+val char : t
+
+(** The [n]-tuple constructor, [n >= 2]. *)
+val tuple : int -> t
+
+val is_arrow : t -> bool
+val is_list : t -> bool
+val is_tuple : t -> bool
+val builtins : t list

@@ -1,0 +1,57 @@
+(** Shared test helpers. *)
+
+open Typeclasses
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let compile ?opts src = Pipeline.compile ?opts ~file:"test.mhs" src
+
+(** Compile and run, returning the rendered result. *)
+let run ?opts ?(mode = `Lazy) ?(passes = []) src : string =
+  let c = compile ?opts src in
+  let c = Pipeline.optimize passes c in
+  (Pipeline.run ~mode ~fuel:50_000_000 c).rendered
+
+(** Compile and run, returning rendered result and counters. *)
+let run_counters ?opts ?(mode = `Lazy) ?(passes = []) src :
+    string * Tc_eval.Counters.t =
+  let c = compile ?opts src in
+  let c = Pipeline.optimize passes c in
+  let r = Pipeline.run ~mode ~fuel:50_000_000 c in
+  (r.rendered, r.counters)
+
+(** The inferred type of a user binding, rendered. *)
+let type_of ?opts src name : string =
+  let c = compile ?opts src in
+  match
+    List.find_opt (fun (n, _) -> Tc_support.Ident.text n = name) c.user_schemes
+  with
+  | Some (_, s) -> Tc_types.Scheme.to_string s
+  | None -> Alcotest.failf "no binding '%s' in test program" name
+
+(** Expect compilation to fail with a diagnostic containing [substring]. *)
+let expect_error ?opts src (substring : string) : unit =
+  match compile ?opts src with
+  | exception Tc_support.Diagnostic.Error d ->
+      let msg = Tc_support.Diagnostic.to_string d in
+      if not (contains ~needle:substring msg) then
+        Alcotest.failf "error message %S does not mention %S" msg substring
+  | _ -> Alcotest.failf "expected a compile-time error mentioning %S" substring
+
+(* alcotest case builders *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let check_run name ?opts ?mode ?passes src expected =
+  case name (fun () ->
+      Alcotest.(check string) name expected (run ?opts ?mode ?passes src))
+
+let check_type name src binding expected =
+  case name (fun () ->
+      Alcotest.(check string) name expected (type_of src binding))
+
+let check_error name ?opts src substring =
+  case name (fun () -> expect_error ?opts src substring)

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "typeclasses"
+    (Test_lexer.tests @ Test_parser.tests @ Test_types.tests
+    @ Test_static.tests @ Test_infer.tests @ Test_eval.tests
+    @ Test_translate.tests @ Test_opt.tests @ Test_tags.tests
+    @ Test_prelude.tests @ Test_props.tests @ Test_programs.tests
+    @ Test_fuzz.tests @ Test_deferral.tests @ Test_errors.tests @ Test_cli.tests @ Test_differential.tests)

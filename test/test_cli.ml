@@ -1,0 +1,123 @@
+(** Integration tests for the mhc command-line driver: run the real binary
+    on real files and check stdout/stderr and exit codes. *)
+
+let mhc = "../bin/mhc.exe"
+
+(** Run mhc with [args]; returns (exit code, stdout ^ stderr). *)
+let run_mhc args : int * string =
+  let out = Filename.temp_file "mhc_test" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote mhc)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic; Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let with_program src (f : string -> unit) =
+  let path = Filename.temp_file "prog" ".mhs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc src;
+      close_out oc;
+      f path)
+
+let case = Helpers.case
+
+let demo = "double :: Num a => a -> a\ndouble x = x + x\nmain = double 21\n"
+
+let tests =
+  [
+    ( "cli",
+      [
+        case "run prints the result" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "run"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check string) "output" "42\n" out));
+        case "check prints user types only" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "check"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check string) "output"
+                  "double :: Num a => a -> a\nmain :: Int\n" out));
+        case "counters reports dictionary operations" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "counters"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check bool) "result line" true
+                  (Helpers.contains ~needle:"result: 42" out);
+                Alcotest.(check bool) "counters line" true
+                  (Helpers.contains ~needle:"dict-constructions=" out)));
+        case "core shows the dictionary translation" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "core"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check bool) "has dict lambda" true
+                  (Helpers.contains ~needle:"d$Num" out)));
+        case "strategy tags agrees" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "run"; "-s"; "tags"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check string) "output" "42\n" out));
+        case "optimization flag accepted" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "run"; "-O"; "all"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check string) "output" "42\n" out));
+        case "type errors exit 1 with a located message" (fun () ->
+            with_program "main = 1 + 'c'\n" (fun path ->
+                let code, out = run_mhc [ "run"; path ] in
+                Alcotest.(check int) "exit" 1 code;
+                Alcotest.(check bool) "message" true
+                  (Helpers.contains ~needle:"no instance for 'Num Char'" out)));
+        case "runtime errors exit 2" (fun () ->
+            with_program "main = head ([] :: [Int])\n" (fun path ->
+                let code, out = run_mhc [ "run"; path ] in
+                Alcotest.(check int) "exit" 2 code;
+                Alcotest.(check bool) "message" true
+                  (Helpers.contains ~needle:"non-exhaustive" out)));
+        case "warnings go to stderr but do not fail the run" (fun () ->
+            with_program "f (Just x) = x\nmain = f (Just 5)\n" (fun path ->
+                let code, out = run_mhc [ "run"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check bool) "warning shown" true
+                  (Helpers.contains ~needle:"non-exhaustive" out);
+                Alcotest.(check bool) "result shown" true
+                  (Helpers.contains ~needle:"5" out)));
+        case "stats reports checker instrumentation" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "stats"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check bool) "has placeholders" true
+                  (Helpers.contains ~needle:"placeholders-created=" out)));
+        case "repl evaluates piped input" (fun () ->
+            let out_file = Filename.temp_file "repl" ".out" in
+            let cmd =
+              Printf.sprintf
+                "printf 'double x = x + x\\ndouble 4\\n:t double\\n:q\\n' | %s \
+                 repl > %s 2>&1"
+                (Filename.quote mhc) (Filename.quote out_file)
+            in
+            let code = Sys.command cmd in
+            let ic = open_in_bin out_file in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic; Sys.remove out_file)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            Alcotest.(check int) "exit" 0 code;
+            Alcotest.(check bool) "evaluated" true
+              (Helpers.contains ~needle:"8" text);
+            Alcotest.(check bool) "typed" true
+              (Helpers.contains ~needle:"double :: Num a => a -> a" text));
+      ] );
+  ]

@@ -1,0 +1,101 @@
+(** Tests for placeholder deferral (paper §6.3 case 3: "the type variable
+    may still be bound in an outer type environment; the processing of the
+    placeholder must be deferred to the outer declaration") and other
+    subtle interactions between nested scopes and overloading. *)
+
+open Helpers
+
+let tests =
+  [
+    ( "deferral",
+      [
+        (* the == inside g is at f's type variable: g's generalization
+           cannot resolve it, f's must *)
+        check_type "inner overloading defers to the outer binding"
+          "f x = let g y = x == y in g x\nmain = 0" "f" "Eq a => a -> Bool";
+        check_run "deferred placeholder resolves to the outer dictionary"
+          "f x = let g y = x == y in g x\nmain = (f 1, f 'a', f [1,2])"
+          "(True, True, True)";
+        check_type "deferral through two levels"
+          {|
+f x = let g y = let h z = (x == z, y + z) in h y in g x
+main = 0
+|}
+          "f" "Num a => a -> (Bool, a)";
+        check_run "deferral through two levels runs"
+          {|
+f x = let g y = let h z = (x == z, y + z) in h y in g x
+main = f (21 :: Int)
+|}
+          "(True, 42)";
+        check_type "inner binding generalizes what it can"
+          {|
+f x = let pair y = (y, x == x) in (pair 1, pair "s")
+main = 0
+|}
+          "f" "(Eq a, Num b) => a -> ((b, Bool), ([Char], Bool))";
+        check_run "inner overloaded function at two of its own types"
+          {|
+f b = let showIt x = str x ++ str b in (showIt 1, showIt 'c')
+main = f True
+|}
+          "(\"1True\", \"cTrue\")";
+        check_type "mixed own and deferred context"
+          "f x = let g y = (x == x, y <= y) in g\nmain = 0" "f"
+          "(Eq a, Ord b) => a -> b -> (Bool, Bool)";
+        check_run "deferred method placeholder (not just dictionaries)"
+          {|
+outer x = inner where inner = x + x
+main = outer (7 :: Int)
+|}
+          "14";
+        check_type "deferred method keeps the function overloaded"
+          "outer x = inner where inner = x + x\nmain = 0" "outer"
+          "Num a => a -> a";
+        check_run "restricted inner binding shares across uses"
+          {|
+f x = let shared = x + x in (shared, shared)
+main = f 5
+|}
+          "(10, 10)";
+        check_run "deferral interacts with instance contexts"
+          {|
+f x = let g ys = member [x] ys in g [[x]]
+main = (f 3, f 'z')
+|}
+          "(True, True)";
+        check_type "class placeholder deferred from a lambda"
+          "f x = (\\y -> y == x) x\nmain = 0" "f" "Eq a => a -> Bool";
+      ] );
+    ( "nested-signatures",
+      [
+        check_run "local signatures fix local dictionary order"
+          {|
+f :: (Num a, Text a) => a -> [Char]
+f x = g x where
+  g :: (Text b, Num b) => b -> [Char]
+  g y = str (y + y)
+main = f (4 :: Int)
+|}
+          "\"8\"";
+        check_type "local monomorphic signature restricts"
+          {|
+f x = g x where
+  g :: Int -> Int
+  g y = y + 1
+main = 0
+|}
+          "f" "Int -> Int";
+        check_error "local signature too general is an error"
+          {|
+f x = g x where
+  g :: a -> a
+  g y = y + 1
+main = 0
+|}
+          "too general";
+        check_run "annotation at an inner use site picks the instance"
+          "main = let twice x = x + x in (twice (2 :: Int), twice 2.5)"
+          "(4, 5.0)";
+      ] );
+  ]

@@ -1,0 +1,164 @@
+(** Differential testing with generated well-typed programs.
+
+    A typed expression generator builds random MiniHaskell programs over
+    Int / Bool / lists; every implementation strategy the paper discusses
+    must agree on them:
+
+    - dictionary passing (lazy and strict),
+    - flattened dictionaries (§8.1),
+    - every optimizer pipeline (§8.4/§8.8/§6.3/§9),
+    - run-time tag dispatch (§3).
+
+    Programs are generated to avoid the known, *documented* divergences
+    (no `sum`/`fromInt` under tags, no unbounded structures). *)
+
+open Helpers
+module Pipeline = Typeclasses.Pipeline
+module Opt = Tc_opt.Opt
+
+let prop name ?(count = 60) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Typed expression generator.                                         *)
+(* ------------------------------------------------------------------ *)
+
+type gty = GInt | GBool | GList of gty
+
+let rec render_ty = function
+  | GInt -> "Int"
+  | GBool -> "Bool"
+  | GList t -> "[" ^ render_ty t ^ "]"
+
+open QCheck2.Gen
+
+let small = int_range (-9) 9
+
+(* Every generated expression is parenthesized, so precedence is a
+   non-issue; programs stay total (no head/div). *)
+let rec gen_expr (t : gty) (depth : int) : string QCheck2.Gen.t =
+  if depth <= 0 then gen_leaf t
+  else
+    let sub = depth - 1 in
+    match t with
+    | GInt ->
+        oneof
+          [
+            gen_leaf GInt;
+            (let* a = gen_expr GInt sub and* b = gen_expr GInt sub
+             and* op = oneofl [ "+"; "-"; "*"; "`max`"; "`min`" ] in
+             pure (Printf.sprintf "(%s %s %s)" a op b));
+            (let* a = gen_expr (GList GInt) sub in
+             (* length also discards the element type *)
+             pure (Printf.sprintf "(length (%s :: [Int]))" a));
+            (let* a = gen_expr (GList GInt) sub in
+             pure (Printf.sprintf "(foldr (+) 0 %s)" a));
+            gen_if GInt sub;
+            (let* a = gen_expr GInt sub in pure (Printf.sprintf "(negate %s)" a));
+            (let* a = gen_expr GInt sub and* k = small in
+             pure (Printf.sprintf "((\\x -> x + %d) %s)" k a));
+          ]
+    | GBool ->
+        oneof
+          [
+            gen_leaf GBool;
+            (let* et = gen_eq_ty in
+             let* a = gen_expr et sub and* b = gen_expr et sub
+             and* op = oneofl [ "=="; "/="; "<="; "<"; ">"; ">=" ] in
+             (* annotate one operand: comparing two unconstrained [] is
+                ambiguous, as in Haskell *)
+             pure
+               (Printf.sprintf "(%s %s (%s :: %s))" a op b (render_ty et)));
+            (let* a = gen_expr GBool sub and* b = gen_expr GBool sub
+             and* op = oneofl [ "&&"; "||" ] in
+             pure (Printf.sprintf "(%s %s %s)" a op b));
+            (let* a = gen_expr GBool sub in pure (Printf.sprintf "(not %s)" a));
+            (let* x = gen_expr GInt sub and* xs = gen_expr (GList GInt) sub in
+             pure (Printf.sprintf "(member %s %s)" x xs));
+            (let* a = gen_expr (GList GBool) sub in
+             (* null discards the element type; annotate to avoid ambiguity *)
+             pure (Printf.sprintf "(null (%s :: [Bool]))" a));
+            gen_if GBool sub;
+          ]
+    | GList elt ->
+        oneof
+          [
+            gen_leaf t;
+            (let* x = gen_expr elt sub and* xs = gen_expr t sub in
+             pure (Printf.sprintf "(%s : %s)" x xs));
+            (let* a = gen_expr t sub and* b = gen_expr t sub in
+             pure (Printf.sprintf "(%s ++ %s)" a b));
+            (let* a = gen_expr t sub in pure (Printf.sprintf "(reverse %s)" a));
+            (let* n = int_range 0 4 and* a = gen_expr t sub in
+             pure (Printf.sprintf "(take %d %s)" n a));
+            (let* a = gen_expr t sub in
+             pure (Printf.sprintf "(sort %s)" a));
+            gen_if t sub;
+          ]
+
+and gen_if t sub =
+  let* c = gen_expr GBool sub
+  and* a = gen_expr t sub
+  and* b = gen_expr t sub in
+  pure (Printf.sprintf "(if %s then %s else %s)" c a b)
+
+and gen_eq_ty : gty QCheck2.Gen.t =
+  oneofl [ GInt; GBool; GList GInt; GList GBool ]
+
+and gen_leaf (t : gty) : string QCheck2.Gen.t =
+  match t with
+  | GInt ->
+      (* parenthesize negatives: a bare -8 as an argument would parse as
+         binary subtraction, exactly as in Haskell *)
+      map (fun n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n) small
+  | GBool -> oneofl [ "True"; "False" ]
+  | GList elt ->
+      let* n = int_range 0 3 in
+      let* elts = list_size (pure n) (gen_leaf elt) in
+      pure ("[" ^ String.concat ", " elts ^ "]")
+
+let gen_program : string QCheck2.Gen.t =
+  let* t = oneofl [ GInt; GBool; GList GInt; GList GBool; GList (GList GInt) ] in
+  let* d = int_range 1 4 in
+  let* e = gen_expr t d in
+  pure (Printf.sprintf "main = (%s) :: %s" e (render_ty t))
+
+(* ------------------------------------------------------------------ *)
+
+let flat_opts =
+  {
+    Pipeline.default_options with
+    infer = { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
+  }
+
+let run_tags src =
+  let c = Pipeline.compile_tags ~file:"diff.mhs" src in
+  (Pipeline.run ~fuel:50_000_000 c).rendered
+
+let tests =
+  [
+    ( "differential",
+      [
+        prop "all strategies agree on generated programs" ~count:120
+          gen_program
+          (fun src ->
+            let reference = run src in
+            reference = run ~mode:`Strict src
+            && reference = run ~opts:flat_opts src
+            && reference = run ~passes:Opt.all src
+            && reference = run ~opts:flat_opts ~passes:Opt.all src
+            && reference = run_tags src);
+        prop "specialization never increases dictionary operations"
+          ~count:60 gen_program
+          (fun src ->
+            (* full elimination is workload-dependent (dictionaries passed
+               through higher-order positions can survive), but the pass
+               must never pessimize *)
+            let _, before = run_counters src in
+            let _, after =
+              run_counters ~passes:Opt.[ Simplify; Specialise; Simplify; Dce ] src
+            in
+            after.selections <= before.selections
+            && after.dict_constructions <= before.dict_constructions);
+      ] );
+  ]

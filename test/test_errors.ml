@@ -1,0 +1,62 @@
+(** Golden tests for full diagnostic messages: the exact, located text a
+    user sees. These pin down error quality, not just error presence. *)
+
+open Helpers
+
+let diag src : string =
+  match compile src with
+  | exception Tc_support.Diagnostic.Error d -> Tc_support.Diagnostic.to_string d
+  | _ -> Alcotest.fail "expected a compile-time error"
+
+let golden name src expected =
+  case name (fun () -> Alcotest.(check string) name expected (diag src))
+
+let tests =
+  [
+    ( "error-messages",
+      [
+        golden "unbound variable"
+          "main = frobnicate"
+          "test.mhs:1:8-17: error: variable 'frobnicate' is not in scope";
+        golden "no instance, with the offending type"
+          "main = (\\x -> x) == id"
+          "test.mhs:1:18-19: error: no instance for 'Eq (a -> a)'";
+        golden "missing instance through context reduction"
+          "main = [id] == [id]"
+          "test.mhs:1:13-14: error: no instance for 'Eq (a -> a)'";
+        golden "occurs check"
+          "f x = x x\nmain = 0"
+          "test.mhs:1:7-7: error: occurs check failed: cannot construct the \
+           infinite type a ~ a -> b";
+        golden "constructor arity in a pattern"
+          "f (Just x y) = x\nmain = 0"
+          "test.mhs:1:4-11: error: constructor 'Just' expects 1 argument(s) \
+           but the pattern has 2";
+        golden "signature too weak for the body"
+          "f :: a -> a\nf x = x + x\nmain = 0"
+          "test.mhs:2:1-3:4: error: the signature is too general: it does \
+           not allow the required constraint 'Num a'";
+        golden "ambiguous overloading at the top level"
+          "main = [] == []"
+          "test.mhs:1:11-12: error: ambiguous overloading: cannot \
+           determine a type satisfying the context 'Eq a => a'";
+        golden "duplicate instance"
+          "instance Eq Int where\n  x == y = True\nmain = 0"
+          "test.mhs:1:1-3:4: error: duplicate instance 'Eq Int'";
+        golden "kind error: unsaturated constructor"
+          "bad :: Maybe\nbad = bad\nmain = 0"
+          "test.mhs:1:8-2:3: error: type constructor 'Maybe' has kind \
+           * -> * but is applied to 0 argument(s)";
+        golden "unknown class"
+          "f :: Monoid a => a -> a\nf x = x\nmain = 0"
+          "test.mhs:1:6-16: error: unknown class 'Monoid'";
+        golden "parse error with location and found-token"
+          "main = (1 +"
+          "test.mhs:1:12-11: error: parse error: expected an expression \
+           (found '}(layout)')";
+        golden "layout-sensitive parse error"
+          "f = 1\n  g = 2\nmain = 0"
+          "test.mhs:2:5-5: error: parse error: expected ';' or end of block \
+           (found '=')";
+      ] );
+  ]

@@ -1,0 +1,206 @@
+(** Evaluator tests: language semantics under both evaluation modes,
+    pattern-match compilation behaviour, laziness, failures. *)
+
+open Helpers
+
+(* run the same program lazily and strictly and require agreement *)
+let check_both name src expected =
+  case name (fun () ->
+      Alcotest.(check string) (name ^ " (lazy)") expected (run ~mode:`Lazy src);
+      Alcotest.(check string) (name ^ " (strict)") expected
+        (run ~mode:`Strict src))
+
+let tests =
+  [
+    ( "eval-basics",
+      [
+        check_both "arithmetic" "main = (1 + 2 * 3, 10 - 4, div 7 2, mod 7 2)"
+          "(7, 6, 3, 1)";
+        check_both "floats"
+          "main = (1.5 + 2.25, 10.0 / 4.0, negate 2.5, abs (-3.5))"
+          "(3.75, 2.5, -2.5, 3.5)";
+        check_both "booleans" "main = (True && False, True || False, not True)"
+          "(False, True, False)";
+        check_both "comparisons" "main = (1 < 2, 'b' >= 'a', [1,2] <= [1,3])"
+          "(True, True, True)";
+        check_both "chars and strings"
+          {|main = (ord 'A', chr 66, "ab" ++ "cd")|} "(65, 'B', \"abcd\")";
+        check_both "tuples" "main = (fst (1, 'a'), snd (1, 'a'))" "(1, 'a')";
+        check_both "higher-order functions"
+          {|main = (map (\x -> x * x) [1,2,3], flip (++) "b" "a")|}
+          "([1, 4, 9], \"ab\")";
+        check_both "composition and dollar"
+          "main = (length . filter id $ [True, False, True])" "2";
+        check_both "currying and partial application"
+          "main = map (primAddInt 10) [1, 2]" "[11, 12]";
+        check_both "let polymorphism"
+          "main = let i = \\x -> x in (i 1, i 'c')" "(1, 'c')";
+        check_both "shadowing"
+          "main = let x = 1 in let x = 2 in x" "2";
+        check_both "closures capture"
+          "main = let mk = \\n -> (\\x -> x + n) in map (mk 100) [1,2]"
+          "[101, 102]";
+        check_both "string rendering of results" {|main = "hi"|} "\"hi\"";
+        check_both "deeply recursive (tail-ish)"
+          "main = length (enumFromTo 1 5000)" "5000";
+      ] );
+    ( "eval-patterns",
+      [
+        check_both "nested constructor patterns"
+          {|
+f (Just (Left x))  = x + 1
+f (Just (Right b)) = if b then 1 else 0
+f Nothing          = 42
+main = (f (Just (Left 1)), f (Just (Right True)), f Nothing)
+|}
+          "(2, 1, 42)";
+        check_both "literal patterns with default"
+          {|
+digit 0 = "zero"
+digit 1 = "one"
+digit n = "many"
+main = map digit [0, 1, 7]
+|}
+          "[\"zero\", \"one\", \"many\"]";
+        check_both "string patterns"
+          {|
+greet "hi"  = 1
+greet "bye" = 2
+greet s     = 0
+main = (greet "hi", greet "bye", greet "what")
+|}
+          "(1, 2, 0)";
+        check_both "as patterns"
+          {|
+dup all@(x:xs) = x : all
+dup [] = []
+main = dup [1,2]
+|}
+          "[1, 1, 2]";
+        check_both "guards fall through equations"
+          {|
+classify n | n < 0 = 0
+classify 0 = 1
+classify n | even n = 2
+           | otherwise = 3
+main = map classify [-1, 0, 2, 5]
+|}
+          "[0, 1, 2, 3]";
+        check_both "where scopes over guards"
+          {|
+f x | big = "big" | otherwise = "small" where big = x > 10
+main = (f 20, f 1)
+|}
+          "(\"big\", \"small\")";
+        check_both "case expressions with nesting"
+          {|
+main = case [1, 2] of
+  []     -> 0
+  (x:xs) -> case xs of
+    []    -> x
+    (y:_) -> x + y
+|}
+          "3";
+        check_both "pattern bindings project"
+          {|
+(a, b) = (1, 'x')
+(p:ps) = "hey"
+main = (a, b, p, ps)
+|}
+          "(1, 'x', 'h', \"ey\")";
+        check_both "tuple wildcards"
+          "f (_, y, _) = y\nmain = f (1, 2, 3)" "2";
+        case "non-exhaustive function fails with its name" (fun () ->
+            match run "f (Just x) = x\nmain = f Nothing" with
+            | exception Tc_eval.Eval.Pattern_fail m ->
+                Alcotest.(check bool) "mentions f" true (contains ~needle:"'f'" m)
+            | r -> Alcotest.failf "expected failure, got %s" r);
+        case "non-exhaustive case fails" (fun () ->
+            match run "main = case [] of { (x:xs) -> x }" with
+            | exception Tc_eval.Eval.Pattern_fail _ -> ()
+            | r -> Alcotest.failf "expected failure, got %s" r);
+      ] );
+    ( "eval-laziness",
+      [
+        check_run "infinite list with take"
+          "main = take 5 (iterate (\\x -> x + x) 1)" "[1, 2, 4, 8, 16]";
+        check_run "repeat with zip"
+          "main = take 3 (zip (repeat 'a') (enumFromTo 1 100))"
+          "[('a', 1), ('a', 2), ('a', 3)]";
+        check_run "unused diverging binding is fine"
+          "main = let boom = error \"no\" in 42" "42";
+        check_run "const discards a diverging argument"
+          "main = const 1 (error \"no\")" "1";
+        case "error propagates when demanded" (fun () ->
+            match run {|main = 1 + error "boom"|} with
+            | exception Tc_eval.Eval.User_error m ->
+                Alcotest.(check string) "message" "boom" m
+            | r -> Alcotest.failf "expected user error, got %s" r);
+        case "strict mode evaluates arguments first" (fun () ->
+            match run ~mode:`Strict {|main = const 1 (error "boom")|} with
+            | exception Tc_eval.Eval.User_error _ -> ()
+            | r -> Alcotest.failf "expected user error in strict mode, got %s" r);
+        case "knot-tied value detected" (fun () ->
+            match run "x = 1 + x\nmain = x" with
+            | exception Tc_eval.Eval.Runtime_error m ->
+                Alcotest.(check bool) "loop" true (contains ~needle:"loop" m)
+            | exception Tc_eval.Eval.Out_of_fuel -> ()
+            | r -> Alcotest.failf "expected loop detection, got %s" r);
+        check_run "lazy dictionary fields allow cyclic structure"
+          {|
+ones = 1 : ones
+main = take 3 ones
+|}
+          "[1, 1, 1]";
+        check_run "seq forces its first argument"
+          "main = seq 1 2" "2";
+        case "seq on error diverges" (fun () ->
+            match run {|main = seq (error "x") 2|} with
+            | exception Tc_eval.Eval.User_error _ -> ()
+            | r -> Alcotest.failf "expected error, got %s" r);
+      ] );
+    ( "ranges-and-warnings",
+      [
+        check_both "bounded ranges" "main = ([1..5], [3..3], [4..1], sum [1..100])"
+          "([1, 2, 3, 4, 5], [3], [], 5050)";
+        check_run "unbounded ranges are lazy" "main = take 4 [10..]"
+          "[10, 11, 12, 13]";
+        check_both "range bounds are expressions"
+          "main = [1 + 1 .. 2 * 3]" "[2, 3, 4, 5, 6]";
+        case "non-exhaustive definitions warn" (fun () ->
+            let c = compile "f (Just x) = x\nmain = f (Just 1)" in
+            Alcotest.(check bool) "warned" true
+              (List.exists
+                 (fun w ->
+                   contains ~needle:"non-exhaustive"
+                     (Tc_support.Diagnostic.to_string w))
+                 c.warnings));
+        case "otherwise-guarded definitions do not warn" (fun () ->
+            let c =
+              compile
+                "g n | even n = 1\n    | otherwise = 0\nmain = g 3"
+            in
+            Alcotest.(check int) "no warnings" 0 (List.length c.warnings));
+        case "exhaustive constructor coverage does not warn" (fun () ->
+            let c =
+              compile
+                "f (Just x) = x\nf Nothing = 0\nmain = f (Just 1)"
+            in
+            Alcotest.(check int) "no warnings" 0 (List.length c.warnings));
+        case "non-exhaustive case warns" (fun () ->
+            let c = compile "main = case [1] of { (x:_) -> x }" in
+            Alcotest.(check bool) "warned" true (c.warnings <> []));
+      ] );
+    ( "eval-rendering",
+      [
+        check_run "negative numbers" "main = (-5, -2.5)" "(-5, -2.5)";
+        check_run "strings of chars render as strings"
+          "main = ['h', 'i']" "\"hi\"";
+        check_run "unit value" "main = ()" "()";
+        check_run "nested data"
+          "main = Just (Left [1,2])" "(Just (Left [1, 2]))";
+        check_run "empty list" "main = ([] :: [Int])" "[]";
+        check_run "function result renders opaquely" "main = \\x -> x"
+          "<function>";
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(** Robustness fuzzing: the compiler must always either succeed or raise a
+    clean {!Tc_support.Diagnostic.Error} — never an assertion failure,
+    [Match_failure], [Invalid_argument] or other internal exception —
+    whatever we throw at it. *)
+
+open Helpers
+module Pipeline = Typeclasses.Pipeline
+
+let prop name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(** Compiling is "clean" if it returns or raises Diagnostic.Error. *)
+let compiles_cleanly src =
+  match Pipeline.compile ~file:"fuzz.mhs" src with
+  | _ -> true
+  | exception Tc_support.Diagnostic.Error _ -> true
+
+(** Running is additionally allowed the evaluator's own exceptions. *)
+let runs_cleanly src =
+  match run ~mode:`Lazy src with
+  | _ -> true
+  | exception Tc_support.Diagnostic.Error _ -> true
+  | exception Tc_eval.Eval.Runtime_error _ -> true
+  | exception Tc_eval.Eval.User_error _ -> true
+  | exception Tc_eval.Eval.Pattern_fail _ -> true
+  | exception Tc_eval.Eval.Out_of_fuel -> true
+
+(* ------------------------------------------------------------------ *)
+(* Generators.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+open QCheck2.Gen
+
+(** Random token soup from the language's vocabulary. *)
+let token_soup : string t =
+  let tokens =
+    [ "x"; "y"; "f"; "Just"; "Nothing"; "True"; "=="; "+"; "::"; "=>"; "->";
+      "\\"; "("; ")"; "["; "]"; ","; "let"; "in"; "where"; "case"; "of";
+      "if"; "then"; "else"; "data"; "class"; "instance"; "deriving"; "=";
+      "|"; "1"; "2.5"; "'c'"; "\"s\""; "Eq"; "Int"; "a"; ":"; "++"; "`"; "@";
+      "_"; ";"; "{"; "}" ]
+  in
+  let* words = list_size (int_range 0 40) (oneofl tokens) in
+  let* breaks = list_size (pure (List.length words)) (int_range 0 6) in
+  let buf = Buffer.create 128 in
+  List.iter2
+    (fun w b ->
+      Buffer.add_string buf w;
+      if b = 0 then Buffer.add_string buf "\n  "
+      else if b = 1 then Buffer.add_char buf '\n'
+      else Buffer.add_char buf ' ')
+    words breaks;
+  pure (Buffer.contents buf)
+
+(** Random structured (often ill-typed) expressions. *)
+let rec expr_gen n : string t =
+  if n <= 0 then
+    oneofl [ "x"; "y"; "1"; "2.5"; "'c'"; "\"str\""; "True"; "Nothing"; "[]" ]
+  else
+    let sub = expr_gen (n / 2) in
+    oneof
+      [
+        (let* a = sub and* b = sub in pure (Printf.sprintf "(%s %s)" a b));
+        (let* a = sub and* b = sub
+         and* op = oneofl [ "+"; "=="; "++"; ":"; "<="; "&&" ] in
+         pure (Printf.sprintf "(%s %s %s)" a op b));
+        (let* a = sub in pure (Printf.sprintf "(\\x -> %s)" a));
+        (let* a = sub and* b = sub in
+         pure (Printf.sprintf "(let y = %s in %s)" a b));
+        (let* a = sub and* b = sub and* c = sub in
+         pure (Printf.sprintf "(if %s then %s else %s)" a b c));
+        (let* a = sub and* b = sub in
+         pure
+           (Printf.sprintf "(case %s of { [] -> %s; (h:t) -> h })" a b));
+        (let* a = sub in pure (Printf.sprintf "(Just %s)" a));
+        (let* a = sub and* b = sub in pure (Printf.sprintf "(%s, %s)" a b));
+        (let* a = sub in pure (Printf.sprintf "(%s :: Int)" a));
+      ]
+
+(** Random (often ill-formed) top-level declaration sets. *)
+let program_gen : string t =
+  let* body = expr_gen 4 in
+  let* extra =
+    oneofl
+      [
+        "";
+        "data T = MkT Int | Empty deriving (Eq)";
+        "data T a = MkT a";
+        "class C a where\n  m :: a -> a";
+        "class C a where\n  m :: a -> a\ninstance C Int where\n  m x = x";
+        "f :: Eq a => a -> Bool\nf q = q == q";
+        "g 0 = 1\ng n = n";
+        "type S = [Int]";
+        "infixl 6 <+>\nx <+> y = x";
+      ]
+  in
+  pure (Printf.sprintf "%s\nmain = f1\nf1 = %s\n" extra body)
+
+let tests =
+  [
+    ( "fuzz",
+      [
+        prop "token soup never crashes the pipeline" ~count:400 token_soup
+          compiles_cleanly;
+        prop "random expressions never crash the pipeline" ~count:300
+          (let* e = expr_gen 5 in
+           pure ("main = " ^ e))
+          compiles_cleanly;
+        prop "random programs never crash compile-or-run" ~count:200
+          program_gen runs_cleanly;
+        prop "token soup never crashes the tag translation" ~count:200
+          token_soup
+          (fun src ->
+            match Pipeline.compile_tags ~file:"fuzz.mhs" src with
+            | _ -> true
+            | exception Tc_support.Diagnostic.Error _ -> true);
+        prop "random bytes never crash the lexer+layout" ~count:300
+          (string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 60))
+          (fun s ->
+            match Tc_syntax.Layout.tokenize ~file:"fuzz" s with
+            | _ -> true
+            | exception Tc_support.Diagnostic.Error _ -> true);
+      ] );
+  ]

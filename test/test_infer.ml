@@ -1,0 +1,227 @@
+(** Type inference tests: inferred qualified types, signatures (§8.6), the
+    monomorphism restriction (§8.7), letrec common contexts (§8.3),
+    defaulting and ambiguity, and type errors. *)
+
+open Helpers
+
+let tests =
+  [
+    ( "inferred-types",
+      [
+        check_type "simple polymorphism" "f x = x\nmain = 0" "f" "a -> a";
+        check_type "overloading from a method" "f x y = x == y\nmain = 0" "f"
+          "Eq a => a -> a -> Bool";
+        check_type "context from two methods" "f x = str (x + x)\nmain = 0" "f"
+          "Num a => a -> [Char]";
+        check_type "the paper's member"
+          "mem x [] = False\nmem x (y:ys) = x == y || mem x ys\nmain = 0" "mem"
+          "Eq a => a -> [a] -> Bool";
+        check_type "context reduction through instances"
+          "f x ys = [x] == ys\nmain = 0" "f" "Eq a => a -> [a] -> Bool";
+        check_type "two independent contexts"
+          "f x y = (x == x, y + y)\nmain = 0" "f"
+          "(Eq a, Num b) => a -> b -> (Bool, b)";
+        check_type "superclass absorption in inferred context (§8.1)"
+          "f x y = (x == y, x <= y)\nmain = 0" "f"
+          "Ord a => a -> a -> (Bool, Bool)";
+        check_type "overloaded literal (function binding)"
+          "addTwo x = x + 2\nmain = 0" "addTwo" "Num a => a -> a";
+        (* `two = \x -> ...` is a simple pattern binding: the monomorphism
+           restriction (§8.7) fixes it at Int via defaulting *)
+        check_type "overloaded literal under the restriction"
+          "two = \\x -> x + 2\nmain = 0" "two" "Int -> Int";
+        check_type "instance-specific use is unqualified"
+          "f n = n + (1 :: Int)\nmain = 0" "f" "Int -> Int";
+        check_type "annotation restricts" "f = \\x -> (x :: Float) + x\nmain = 0"
+          "f" "Float -> Float";
+        check_type "higher order" "appTwice f x = f (f x)\nmain = 0" "appTwice"
+          "(a -> a) -> a -> a";
+        check_type "constructors are polymorphic"
+          "f x = Just (Left x)\nmain = 0" "f" "a -> Maybe (Either a b)";
+      ] );
+    ( "signatures",
+      [
+        check_type "signature fixes dictionary order (§8.6)"
+          "f :: (Text b, Num a) => a -> b -> [Char]\nf x y = str (x + x) ++ str y\nmain = 0"
+          "f" "(Text b, Num a) => a -> b -> [Char]";
+        check_type "signature can restrict a polymorphic function"
+          "f :: Int -> Int\nf x = x\nmain = 0" "f" "Int -> Int";
+        check_type "signature may over-constrain"
+          "f :: Ord a => a -> Bool\nf x = x == x\nmain = 0" "f"
+          "Ord a => a -> Bool";
+        check_error "signature too general"
+          "f :: a -> a\nf x = x + x\nmain = 0" "too general";
+        check_error "signature misses a needed constraint"
+          "f :: Text a => a -> Bool\nf x = x == x\nmain = 0" "too general";
+        check_error "signature wrong shape"
+          "f :: Int -> Int\nf x = [x]\nmain = 0" "mismatch";
+        check_error "signature without binding" "f :: Int -> Int\nmain = 0"
+          "lacks an accompanying binding";
+        check_error "two distinct rigid variables cannot unify"
+          "f :: a -> b -> a\nf x y = y\nmain = 0" "rigid";
+        case "inline annotations work like signatures" (fun () ->
+            Alcotest.(check string) "type" "Int"
+              (type_of "v = (id :: Int -> Int) 3\nmain = 0" "v"));
+      ] );
+    ( "monomorphism-restriction",
+      [
+        (* §8.7: a value binding's constrained variables are not
+           generalized; the value is computed once, not once per dictionary *)
+        case "restricted binding is shared and defaulted" (fun () ->
+            let rendered, counters =
+              run_counters "twice = 2 + 2\nmain = (twice, twice)"
+            in
+            Alcotest.(check string) "value" "(4, 4)" rendered;
+            (* no dictionaries pass through main *)
+            Alcotest.(check int) "no dict constructions" 0
+              counters.dict_constructions);
+        check_type "restricted binding gets a monomorphic type"
+          "twice = 2 + 2\nmain = twice" "twice" "Int";
+        check_type "function bindings are not restricted"
+          "d x = x + x\nmain = 0" "d" "Num a => a -> a";
+        check_type "a signature lifts the restriction"
+          "twice :: Num a => a\ntwice = 2 + 2\nmain = 0" "twice" "Num a => a";
+        case "signature-lifted binding usable at two types" (fun () ->
+            Alcotest.(check string) "value" "(4, 4.0)"
+              (run
+                 "twice :: Num a => a\ntwice = 2 + 2\nmain = (twice :: Int, twice :: Float)"));
+        check_type "unconstrained variables still generalize"
+          "pairUp = \\x -> (x, x)\nmain = 0" "pairUp" "a -> (a, a)";
+      ] );
+    ( "letrec",
+      [
+        check_type "mutual recursion with shared context (§8.3)"
+          {|
+isEven n = n == 0 || isOdd (n - 1)
+isOdd n = if n == 0 then False else isEven (n - 1)
+main = 0
+|}
+          "isEven" "Num a => a -> Bool";
+        case "common context member warning" (fun () ->
+            (* g's own type does not mention f's constrained variable *)
+            let c =
+              compile
+                {|
+f x = g (x == x)
+g b = if b then 1 else f (0 :: Int)
+main = 0
+|}
+            in
+            ignore c;
+            (* both belong to one group; typing succeeds *)
+            Alcotest.(check bool) "compiled" true true);
+        check_run "polymorphic recursion is not attempted (monomorphic rec)"
+          {|
+len :: [a] -> Int
+len [] = 0
+len (x:xs) = 1 + len xs
+main = len "abcd"
+|}
+          "4";
+        check_run "recursive overloaded function passes dictionaries through"
+          {|
+countDown :: Num a => a -> [a]
+countDown n = if n == 0 then [] else n : countDown (n - 1)
+main = countDown (3 :: Int)
+|}
+          "[3, 2, 1]";
+      ] );
+    ( "defaulting-ambiguity",
+      [
+        check_run "top-level numeric default is Int" "main = 2 + 3" "5";
+        check_run "defaulting picks Float when Int fails"
+          "main = 2 + 2.5" "4.5";
+        check_type "main type after defaulting" "main = 2 + 3" "main" "Int";
+        check_run "show of a defaulted literal" "main = str 42" "\"42\"";
+        check_error "ambiguity that defaulting cannot solve"
+          "main = [] == []" "ambiguous";
+        check_error "non-numeric ambiguity"
+          {|main = str (parse "hi")|} "ambiguous";
+        case "defaulting disabled is an error" (fun () ->
+            let opts =
+              {
+                Typeclasses.Pipeline.default_options with
+                infer =
+                  { Tc_infer.Infer.default_options with defaulting = false };
+              }
+            in
+            expect_error ~opts "main = 2 + 3" "ambiguous");
+        case "monomorphic literals option" (fun () ->
+            let opts =
+              {
+                Typeclasses.Pipeline.default_options with
+                infer =
+                  {
+                    Tc_infer.Infer.default_options with
+                    overloaded_literals = false;
+                  };
+              }
+            in
+            Alcotest.(check string) "type" "Int -> Int"
+              (type_of ~opts "f x = x + 1\nmain = 0" "f"));
+      ] );
+    ( "soundness",
+      [
+        (* level discipline: a lambda-bound variable's type must not be
+           generalized by an inner let *)
+        check_type "inner let does not generalize outer variables"
+          "f x = let g y = x in g\nmain = 0" "f" "a -> b -> a";
+        check_error "monomorphic lambda binder cannot be used at two types"
+          "f = \\x -> let y = x in (y True, y 'a')\nmain = 0" "mismatch";
+        check_run "inner let shares the outer value"
+          "f x = let g y = x in (g 1, g 'c')\nmain = f True" "(True, True)";
+        check_type "polymorphic inner lets still generalize their own vars"
+          "f x = let pair y = (y, y) in (pair x, pair 1)\nmain = 0" "f"
+          "Num b => a -> ((a, a), (b, b))";
+        case "local bindings shadow class methods" (fun () ->
+            Alcotest.(check string) "shadowed"
+              "(False, True)"
+              (run
+                 {|
+weird :: Int -> Int -> (Bool, Bool)
+weird a b = let (==) = \x y -> False in (a == b, a `primEqInt` a)
+main = weird 1 1
+|}));
+        check_run "recursive use inside a guard"
+          {|
+upTo :: Int -> [Int]
+upTo n | n == 0 = []
+       | otherwise = upTo (n - 1) ++ [n]
+main = upTo 4
+|}
+          "[1, 2, 3, 4]";
+        check_run "dictionaries for instance methods used polymorphically"
+          {|
+pairEq :: Eq a => (a, a) -> Bool
+pairEq p = fst p == snd p
+main = (pairEq (1, 1), pairEq ("a", "b"), pairEq ((1,'c'), (1,'c')))
+|}
+          "(True, False, True)";
+      ] );
+    ( "type-errors",
+      [
+        check_error "unbound variable" "main = nosuchthing" "not in scope";
+        check_error "unbound constructor" "main = Nope" "unknown data constructor";
+        check_error "no instance" "main = id == id" "no instance";
+        check_error "condition must be Bool" "main = if 1 then 2 else 3"
+          "no instance for 'Num Bool'";
+        check_error "condition must be Bool (non-literal)"
+          "main = if 'c' then 2 else 3" "mismatch";
+        check_error "branch types must agree" "main = if True then 1 else 'c'"
+          "no instance for 'Num Char'";
+        check_error "branch types must agree (non-literal)"
+          "main = if True then 'a' else []" "mismatch";
+        check_error "occurs check" "f x = x x\nmain = 0" "occurs";
+        check_error "application of non-function" "main = 'a' 'b'" "mismatch";
+        check_error "case alternatives must agree"
+          "f x = case x of\n  True -> 'a'\n  False -> []\nmain = 0" "mismatch";
+        check_error "redefining a method at top level"
+          "(==) :: Int -> Int -> Bool\nx == y = True\nmain = 0" "class method";
+        check_error "duplicate top-level binding" "f = 1\nf = 2\nmain = 0"
+          "bound more than once";
+        check_error "pattern variables are linear" "f x x = x\nmain = 0"
+          "bound twice";
+        check_error "arity mismatch between equations"
+          "f x = x\nf x y = x\nmain = 0" "different numbers of arguments";
+      ] );
+  ]

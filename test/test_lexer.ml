@@ -1,0 +1,104 @@
+(** Lexer and layout tests. *)
+
+open Tc_syntax
+
+let toks src =
+  List.map (fun (t : Token.spanned) -> t.tok) (Lexer.tokenize ~file:"t" src)
+
+let laid src =
+  List.map (fun (t : Token.spanned) -> t.tok) (Layout.tokenize ~file:"t" src)
+
+let show ts = String.concat " " (List.map Token.to_string ts)
+
+let check name src expected =
+  Helpers.case name (fun () ->
+      Alcotest.(check string) name expected (show (toks src)))
+
+let check_layout name src expected =
+  Helpers.case name (fun () ->
+      Alcotest.(check string) name expected (show (laid src)))
+
+let strip_eof s = s ^ " <eof>"
+
+let tests =
+  [
+    ( "lexer",
+      [
+        check "identifiers" "foo Bar baz'" (strip_eof "foo Bar baz'");
+        check "keywords" "let in where class instance data"
+          (strip_eof "let in where class instance data");
+        check "integers" "0 42 100" (strip_eof "0 42 100");
+        Helpers.case "floats" (fun () ->
+            match toks "1.5 2.0e3" with
+            | [ Token.FLOAT a; Token.FLOAT b; Token.EOF ] ->
+                Alcotest.(check (float 1e-9)) "a" 1.5 a;
+                Alcotest.(check (float 1e-9)) "b" 2000.0 b
+            | _ -> Alcotest.fail "expected two float tokens");
+        check "operators" "== /= <= + ++ . $"
+          (strip_eof "== /= <= + ++ . $");
+        check "reserved operators" "= :: => -> \\ | @"
+          (strip_eof "= :: => -> \\ | @");
+        check "cons is a consym" "x : xs" (strip_eof "x : xs");
+        Helpers.case "char literals" (fun () ->
+            match toks {|'a' '\n' '\\'|} with
+            | [ Token.CHAR 'a'; Token.CHAR '\n'; Token.CHAR '\\'; Token.EOF ] -> ()
+            | _ -> Alcotest.fail "bad char literals");
+        Helpers.case "string literals" (fun () ->
+            match toks {|"hello\nworld"|} with
+            | [ Token.STRING "hello\nworld"; Token.EOF ] -> ()
+            | _ -> Alcotest.fail "bad string literal");
+        check "line comment" "x -- a comment\ny" (strip_eof "x y");
+        check "dashes operator is not a comment start" "x --> y"
+          (strip_eof "x --> y");
+        check "block comment" "x {- hi -} y" (strip_eof "x y");
+        check "nested block comment" "x {- a {- b -} c -} y" (strip_eof "x y");
+        check "underscore wildcard" "_ _x" (strip_eof "_ _x");
+        check "negative-looking minus" "-5" (strip_eof "- 5");
+        Helpers.case "unterminated string fails" (fun () ->
+            match toks {|"abc|} with
+            | exception Tc_support.Diagnostic.Error _ -> ()
+            | _ -> Alcotest.fail "expected a lexer error");
+        Helpers.case "unterminated comment fails" (fun () ->
+            match toks "{- foo" with
+            | exception Tc_support.Diagnostic.Error _ -> ()
+            | _ -> Alcotest.fail "expected a lexer error");
+        Helpers.case "positions recorded" (fun () ->
+            match Lexer.tokenize ~file:"t" "ab\n  cd" with
+            | [ a; b; _eof ] ->
+                Alcotest.(check int) "a line" 1 a.loc.start_pos.line;
+                Alcotest.(check int) "b line" 2 b.loc.start_pos.line;
+                Alcotest.(check int) "b col" 3 b.loc.start_pos.col
+            | _ -> Alcotest.fail "expected two tokens");
+      ] );
+    ( "layout",
+      [
+        check_layout "empty input yields an empty block" ""
+          "{(layout) }(layout) <eof>";
+        check_layout "top level opens a block" "x = 1"
+          (strip_eof "{(layout) x = 1 }(layout)");
+        check_layout "same column separates" "x = 1\ny = 2"
+          (strip_eof "{(layout) x = 1 ;(layout) y = 2 }(layout)");
+        check_layout "continuation line" "x = 1 +\n      2"
+          (strip_eof "{(layout) x = 1 + 2 }(layout)");
+        check_layout "where opens nested block" "f = y where\n  y = 1"
+          (strip_eof "{(layout) f = y where {(layout) y = 1 }(layout) }(layout)");
+        check_layout "let/in inline" "v = let x = 1 in x"
+          (strip_eof "{(layout) v = let {(layout) x = 1 }(layout) in x }(layout)");
+        check_layout "let multiline with in" "v = let x = 1\n        y = 2\n    in x"
+          (strip_eof
+             "{(layout) v = let {(layout) x = 1 ;(layout) y = 2 }(layout) in \
+              x }(layout)");
+        check_layout "explicit braces respected" "f = g where { a = 1; b = 2 }"
+          (strip_eof
+             "{(layout) f = g where { a = 1 ; b = 2 } }(layout)");
+        check_layout "case alternatives" "f = case x of\n  1 -> a\n  2 -> b"
+          (strip_eof
+             "{(layout) f = case x of {(layout) 1 -> a ;(layout) 2 -> b \
+              }(layout) }(layout)");
+        check_layout "dedent closes nested blocks"
+          "f = x where\n  g = y where\n    h = 1\nk = 2"
+          (strip_eof
+             "{(layout) f = x where {(layout) g = y where {(layout) h = 1 \
+              }(layout) }(layout) ;(layout) k = 2 }(layout)");
+      ] );
+  ]

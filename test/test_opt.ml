@@ -1,0 +1,231 @@
+(** Optimizer tests (§8.4, §8.8, §6.3, §9): semantics preservation and the
+    operation-count improvements each pass promises. *)
+
+open Helpers
+module Opt = Tc_opt.Opt
+
+let programs =
+  [
+    ("member-nested", "main = member [1,2] [[1],[1,2],[3]]");
+    ("sum-int", "main = sum (enumFromTo 1 50)");
+    ( "sort",
+      {|
+qsort :: Ord a => [a] -> [a]
+qsort [] = []
+qsort (x:xs) = qsort (filter (\y -> y <= x) xs) ++ [x] ++ qsort (filter (\y -> y > x) xs)
+main = (qsort [3,1,2], qsort "typeclasses")
+|} );
+    ( "show-tree",
+      {|
+data Tree a = Leaf | Node (Tree a) a (Tree a) deriving (Eq, Text)
+insert :: Ord a => a -> Tree a -> Tree a
+insert x Leaf = Node Leaf x Leaf
+insert x (Node l v r) = if x <= v then Node (insert x l) v r else Node l v (insert x r)
+main = str (foldr insert Leaf [3,1,2])
+|} );
+    ( "defaults",
+      "main = (3 /= 4, max 'a' 'b', [1] >= [1], signum (-9), abs (-2.5))" );
+    ( "hoistable",
+      {|
+chain :: Eq a => a -> [[a]] -> Bool
+chain x []       = False
+chain x (ys:yss) = member [x] [ys] || chain x yss
+main = chain 5 (map (\n -> [n]) (enumFromTo 1 20))
+|} );
+  ]
+
+let pipelines =
+  [
+    ("none", []);
+    ("simplify", [ Opt.Simplify ]);
+    ("inner-entry", Opt.[ Simplify; Inner_entry ]);
+    ("hoist", Opt.[ Simplify; Inner_entry; Hoist ]);
+    ("spec", Opt.[ Simplify; Specialise; Simplify; Dce ]);
+    ("all", Opt.all);
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the realistic example programs join the preservation corpus (primes is
+   lazy-only: infinite streams) *)
+let example_programs =
+  List.map
+    (fun name ->
+      (name, read_file (Printf.sprintf "../examples/programs/%s.mhs" name)))
+    [ "matrix"; "set"; "calculator"; "regex"; "parsec"; "stats" ]
+
+let preservation_cases =
+  List.map
+    (fun (pname, src) ->
+      case (Printf.sprintf "%s preserved by every pipeline" pname) (fun () ->
+          let reference = run src in
+          List.iter
+            (fun (oname, passes) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s" pname oname)
+                reference (run ~passes src);
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s strict" pname oname)
+                reference
+                (run ~mode:`Strict ~passes src))
+            pipelines))
+    (programs @ example_programs)
+
+(* the same corpus under the flat dictionary layout: the optimizer must
+   respect whichever layout the translation chose *)
+let flat_opts =
+  {
+    Typeclasses.Pipeline.default_options with
+    infer =
+      { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
+  }
+
+let flat_preservation_cases =
+  List.map
+    (fun (pname, src) ->
+      case
+        (Printf.sprintf "%s preserved under the flat layout" pname)
+        (fun () ->
+          let reference = run ~opts:flat_opts src in
+          List.iter
+            (fun (oname, passes) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s/flat/%s" pname oname)
+                reference
+                (run ~opts:flat_opts ~passes src))
+            pipelines))
+    (programs @ example_programs)
+
+let tests =
+  [
+    ("opt-preservation", preservation_cases);
+    ("opt-preservation-flat", flat_preservation_cases);
+    ( "opt-improvements",
+      [
+        case "specialization eliminates dictionary operations (§9, E4)"
+          (fun () ->
+            let src = "main = (sum (enumFromTo 1 40), member 3 [1,2,3])" in
+            let _, before = run_counters src in
+            let _, after =
+              run_counters ~passes:Opt.[ Simplify; Specialise; Simplify; Dce ] src
+            in
+            Alcotest.(check bool) "had dispatch before" true
+              (before.selections > 0);
+            Alcotest.(check int) "no selections after" 0 after.selections;
+            Alcotest.(check int) "no constructions after" 0
+              after.dict_constructions);
+        case "hoisting makes per-iteration construction constant (§8.8, E5)"
+          (fun () ->
+            let src n =
+              Printf.sprintf
+                {|
+chain :: Eq a => a -> [[a]] -> Bool
+chain x []       = False
+chain x (ys:yss) = member [x] [ys] || chain x yss
+main = chain 0 (map (\n -> [n]) (enumFromTo 1 %d))
+|}
+                n
+            in
+            let dicts ?passes n =
+              (snd (run_counters ?passes (src n))).dict_constructions
+            in
+            (* naive: grows with n *)
+            Alcotest.(check bool) "naive grows" true (dicts 40 > dicts 20 + 10);
+            (* hoisted: constant in n *)
+            let h = Opt.[ Simplify; Inner_entry; Hoist ] in
+            Alcotest.(check int) "hoisted constant" (dicts ~passes:h 20)
+              (dicts ~passes:h 40));
+        case "inner entry avoids repeated dictionary passing (§6.3, E10)"
+          (fun () ->
+            let src = "main = sum (enumFromTo 1 60)" in
+            let _, plain = run_counters ~passes:[ Opt.Simplify ] src in
+            let _, inner =
+              run_counters ~passes:Opt.[ Simplify; Inner_entry ] src
+            in
+            Alcotest.(check bool) "fewer applications" true
+              (inner.applications < plain.applications));
+        case "dead code elimination shrinks the program" (fun () ->
+            let c = compile "main = 42" in
+            let count p =
+              List.length
+                (List.concat_map Tc_core_ir.Core.binds_of_group
+                   p.Typeclasses.Pipeline.core.p_binds)
+            in
+            let c' = Typeclasses.Pipeline.optimize [ Opt.Dce ] c in
+            Alcotest.(check bool) "smaller" true (count c' < count c));
+        case "simplify collapses selection from a literal dictionary" (fun () ->
+            let open Tc_core_ir.Core in
+            let tag =
+              { dt_class = Tc_support.Ident.intern "C";
+                dt_tycon = Tc_support.Ident.intern "T" }
+            in
+            let d = MkDict (tag, [ Lit (Tc_syntax.Ast.LInt 1); Lit (Tc_syntax.Ast.LInt 2) ]) in
+            let e =
+              Sel ({ sel_class = tag.dt_class; sel_index = 1; sel_label = "m" }, d)
+            in
+            match Tc_opt.Simplify.expr e with
+            | Lit (Tc_syntax.Ast.LInt 2) -> ()
+            | other ->
+                Alcotest.failf "expected literal 2, got %s"
+                  (Tc_core_ir.Core_pp.to_string other));
+        case "local function at one overloading loses its dictionary (§8.4)"
+          (fun () ->
+            (* "local functions which are inferred to have an overloaded
+               type but are used at only one overloading ... the dictionary
+               can be reduced to a constant" *)
+            let src =
+              {|
+f :: [Int] -> [Int]
+f xs = let g y = y + y + 1 in map g (map g xs)
+main = f [1,2,3]
+|}
+            in
+            let rendered, after =
+              run_counters ~passes:Opt.[ Simplify; Specialise; Simplify; Dce ] src
+            in
+            Alcotest.(check string) "result" "[7, 11, 15]" rendered;
+            Alcotest.(check int) "no selections" 0 after.selections;
+            Alcotest.(check int) "no constructions" 0 after.dict_constructions);
+        case "local reduction leaves multi-overloading functions alone"
+          (fun () ->
+            (* g is used at two types: its dictionary must stay *)
+            let src =
+              {|
+f :: (Int, Float)
+f = let g y = y + y in (g 1, g 1.5)
+main = f
+|}
+            in
+            Alcotest.(check string) "still correct" "(2, 3.0)"
+              (run ~passes:Opt.[ Simplify; Specialise; Simplify; Dce ] src));
+        case "specialization respects shadowing of overloaded names" (fun () ->
+            (* regression: a local binding shadowing a top-level overloaded
+               name (here the prelude's member) must not be rewritten
+               against the top-level body *)
+            let src = {|main = let member = \x -> x * 10 in member (3 :: Int)|} in
+            Alcotest.(check string) "shadowed local wins" "30"
+              (run ~passes:Opt.all src);
+            let src2 =
+              {|
+f :: Int -> Int
+f n = let g y = y + y in let g z = z * 100 in g n
+main = f 3
+|}
+            in
+            Alcotest.(check string) "nested shadowing" "300"
+              (run ~passes:Opt.all src2));
+        case "optimizer output stays lint-clean" (fun () ->
+            List.iter
+              (fun (_, src) ->
+                let c = compile src in
+                List.iter
+                  (fun (_, passes) ->
+                    ignore (Typeclasses.Pipeline.optimize passes c))
+                  pipelines)
+              programs);
+      ] );
+  ]

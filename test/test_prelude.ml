@@ -1,0 +1,146 @@
+(** Prelude behaviour battery: every prelude function does what its Haskell
+    namesake does (both evaluation modes where meaningful). *)
+
+open Helpers
+
+let t name src expected =
+  case name (fun () ->
+      Alcotest.(check string) (name ^ " lazy") expected (run src);
+      Alcotest.(check string) (name ^ " strict") expected (run ~mode:`Strict src))
+
+let lazy_only name src expected =
+  case name (fun () -> Alcotest.(check string) name expected (run src))
+
+let tests =
+  [
+    ( "prelude-core",
+      [
+        t "not / otherwise" "main = (not True, otherwise)" "(False, True)";
+        lazy_only "and or shortcut (non-strict)"
+          {|main = (False && error "no", True || error "no")|} "(False, True)";
+        t "and or truth table"
+          "main = (True && True, True && False, False || True, False || False)"
+          "(True, False, True, False)";
+        t "eq and neq" "main = (2 == 2, 2 /= 2, 'a' /= 'b')"
+          "(True, False, True)";
+        t "ord family" "main = (3 < 5, 3 > 5, 3 <= 3, 3 >= 4, max 2 9, min 2 9)"
+          "(True, False, True, False, 9, 2)";
+        t "num family" "main = (2 + 3, 2 - 3, 2 * 3, negate 2, abs (-7), signum (-7))"
+          "(5, -1, 6, -2, 7, -1)";
+        t "div mod even odd" "main = (div 17 5, mod 17 5, even 4, odd 4)"
+          "(3, 2, True, False)";
+        t "float family"
+          "main = (1.5 * 2.0, 7.0 / 2.0, abs (-1.5), signum 0.0, fromIntegral 3 + 0.5)"
+          "(3.0, 3.5, 1.5, 0.0, 3.5)";
+        t "char family" "main = (ord 'a', chr 98, 'a' < 'b')" "(97, 'b', True)";
+        t "id const flip" "main = (id 7, const 1 2, flip const 1 2)" "(7, 1, 2)";
+        t "composition" "main = ((not . not) True, (.) negate negate 5)"
+          "(True, 5)";
+        t "fst snd curry uncurry"
+          "main = (fst (1,2), snd (1,2), curry fst 3 4, uncurry const (5, 6))"
+          "(1, 2, 3, 5)";
+        t "maybe helpers"
+          "main = (maybe 0 negate (Just 3), maybe 0 negate Nothing, isJust (Just 1), fromMaybe 9 Nothing)"
+          "(-3, 0, True, 9)";
+        t "either helper"
+          "main = (either negate id (Left 3), either negate id (Right 4))"
+          "(-3, 4)";
+      ] );
+    ( "prelude-lists",
+      [
+        t "append" {|main = ([1,2] ++ [3], "ab" ++ "cd", [] ++ [1])|}
+          "([1, 2, 3], \"abcd\", [1])";
+        t "map filter" "main = (map negate [1,2], filter even [1,2,3,4])"
+          "([-1, -2], [2, 4])";
+        t "folds"
+          "main = (foldr (:) [] [1,2], foldl (flip (:)) [] [1,2,3], foldr (+) 0 [1,2,3])"
+          "([1, 2], [3, 2, 1], 6)";
+        t "length null reverse"
+          {|main = (length "abc", null [], null [1], reverse [1,2,3])|}
+          "(3, True, False, [3, 2, 1])";
+        t "member elem notElem"
+          "main = (member 2 [1,2], elem 5 [1,2], notElem 5 [1,2])"
+          "(True, False, True)";
+        t "sum product" "main = (sum [1,2,3], product [1,2,3,4], sum [0.5, 0.25])"
+          "(6, 24, 0.75)";
+        t "take drop" "main = (take 2 [1,2,3], drop 2 [1,2,3], take 9 [1], drop 9 [1])"
+          "([1, 2], [3], [1], [])";
+        t "replicate enumFromTo" "main = (replicate 3 'x', enumFromTo 2 5)"
+          "(\"xxx\", [2, 3, 4, 5])";
+        t "zip zipWith unzip"
+          "main = (zip [1,2] \"ab\", zipWith (+) [1,2] [10,20], unzip [(1,'a'),(2,'b')])"
+          "([(1, 'a'), (2, 'b')], [11, 22], ([1, 2], \"ab\"))";
+        t "concat concatMap"
+          "main = (concat [[1],[2,3]], concatMap (\\x -> [x,x]) [1,2])"
+          "([1, 2, 3], [1, 1, 2, 2])";
+        t "lookup" "main = (lookup 2 [(1,'a'),(2,'b')], lookup 9 [(1,'a')])"
+          "((Just 'b'), Nothing)";
+        t "all any" "main = (all even [2,4], all even [2,3], any odd [2,4], any odd [2,3])"
+          "(True, False, False, True)";
+        t "head tail last init"
+          "main = (head [1,2,3], tail [1,2,3], last [1,2,3], init [1,2,3])"
+          "(1, [2, 3], 3, [1, 2])";
+        t "takeWhile dropWhile"
+          "main = (takeWhile even [2,4,5,6], dropWhile even [2,4,5,6])"
+          "([2, 4], [5, 6])";
+        t "maximum minimum"
+          {|main = (maximum [3,1,2], minimum "banana", maximum [1.5, 2.5])|}
+          "(3, 'a', 2.5)";
+        t "break words lines"
+          {|main = (break even [1,3,4,5], words "ab cd  ef", lines "one\ntwo")|}
+          "(([1, 3], [4, 5]), [\"ab\", \"cd\", \"ef\"], [\"one\", \"two\"])";
+        lazy_only "iterate repeat are productive"
+          "main = (take 3 (iterate not True), take 2 (repeat 0))"
+          "([True, False, True], [0, 0])";
+      ] );
+    ( "prelude-extras",
+      [
+        t "Ordering and compare"
+          "main = (compare 1 2, compare 2 2, compare 3 2, LT < EQ, str GT)"
+          "(LT, EQ, GT, True, \"GT\")";
+        t "compare works on structures"
+          "main = (compare [1,2] [1,3], compare \"b\" \"a\", compare (1,'a') (1,'a'))"
+          "(LT, GT, EQ)";
+        t "sort and sortBy"
+          {|main = (sort [3,1,2], sort "cba", sortBy (\a b -> b <= a) [1,3,2])|}
+          "([1, 2, 3], \"abc\", [3, 2, 1])";
+        t "span splitAt"
+          "main = (span even [2,4,5,6], splitAt 2 [1,2,3])"
+          "(([2, 4], [5, 6]), ([1, 2], [3]))";
+        t "and or" "main = (and [True, True], and [True, False], or [False, True])"
+          "(True, False, True)";
+        t "zip3" "main = zip3 [1,2] \"ab\" [True, False]"
+          "[(1, 'a', True), (2, 'b', False)]";
+        t "nub delete" "main = (nub [1,2,1,3,2], delete 2 [1,2,3,2])"
+          "([1, 2, 3], [1, 3, 2])";
+        t "foldr1 foldl1" "main = (foldr1 (+) [1,2,3], foldl1 (flip const) [1,2,3])"
+          "(6, 3)";
+        t "intersperse" {|main = (intersperse ',' "abc", intersperse 0 [1,2])|}
+          "(\"a,b,c\", [1, 0, 2])";
+        t "until" "main = until (\\x -> x > 100) (\\x -> x * 2) 1" "128";
+        t "gcd lcm" "main = (gcd 12 18, gcd (-4) 6, lcm 4 6, lcm 0 5)"
+          "(6, 2, 12, 0)";
+        t "unwords unlines" {|main = (unwords ["a","b"], unlines ["x","y"])|}
+          "(\"a b\", \"x\\ny\\n\")";
+      ] );
+    ( "prelude-text-parse",
+      [
+        t "str on primitives" "main = (str 42, str (-3), str 2.5, str 'x', str True)"
+          "(\"42\", \"-3\", \"2.5\", \"x\", \"True\")";
+        t "str on structures"
+          "main = (str [1,2], str (1, True), str (Just [1]), str (1,2,3))"
+          "(\"[1, 2]\", \"(1, True)\", \"(Just [1])\", \"(1, 2, 3)\")";
+        t "show is str" "main = show [True]" "\"[True]\"";
+        t "parse int float bool"
+          {|main = (parse "42" + 0, parse "-7" + 0, parse "2.5" + 0.0, parse "True" && True)|}
+          "(42, -7, 2.5, True)";
+        t "parse-str round trip" {|main = parse (str (123 :: Int)) + (0 :: Int)|}
+          "123";
+        case "parse failure raises a user error" (fun () ->
+            match run {|main = (parse "zork" :: Int)|} with
+            | exception Tc_eval.Eval.User_error _ -> ()
+            | r -> Alcotest.failf "expected parse failure, got %s" r);
+        lazy_only "unused error is not raised (non-strict)"
+          {|main = const 1 (error "unused")|} "1";
+      ] );
+  ]

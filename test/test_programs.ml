@@ -1,0 +1,60 @@
+(** Golden tests for the example programs in examples/programs/: each must
+    compile, run (lazy; strict where meaningful) and print its expected
+    result — under plain dictionary passing and fully optimized. *)
+
+open Helpers
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let program name = read_file (Filename.concat "../examples/programs" (name ^ ".mhs"))
+
+let golden =
+  [
+    ( "matrix",
+      "([1, 2, 3, 5, 8, 13, 21, 34], True, \"[2 2; 2 0]\")",
+      `Both );
+    ( "set",
+      "([1, 2, 3, 4, 5, 6, 9], True, [(1, 'a'), (2, 'a'), (2, 'b')], 4)",
+      `Both );
+    ( "calculator",
+      "(-10, -9.5, \"(Add (Lit [2]) (Mul (Lit [3]) (Neg (Lit [4]))))\")",
+      `Both );
+    ( "nqueens",
+      "([1, 0, 0, 2, 10, 4], [(6, 5), (5, 3), (4, 1), (3, 6), (2, 4), (1, 2)])",
+      `Both );
+    ("parsec", "(7, 9, 101, 7)", `Both);
+    ("regex", "(True, False, True, False, True)", `Both);
+    ( "stats",
+      "(5.0, 4.0, 4.5, [1, 3, 6, 10], [0.5, 0.75], (2.0, 9.0), ('a', 't'))",
+      `Both );
+    (* infinite streams require call-by-need *)
+    ( "primes",
+      "([2, 3, 5, 7, 11, 13, 17, 19, 23, 29], [3, 5, 6, 9, 10, 12, 15, 18], \
+       [2, 3, 5, 7, 11, 13, 17, 19, 23, 29])",
+      `Lazy_only );
+  ]
+
+let tests =
+  [
+    ( "example-programs",
+      List.concat_map
+        (fun (name, expected, modes) ->
+          let src = lazy (program name) in
+          let check_mode mode_name mode passes =
+            case
+              (Printf.sprintf "%s (%s)" name mode_name)
+              (fun () ->
+                Alcotest.(check string) name expected
+                  (run ~mode ~passes (Lazy.force src)))
+          in
+          [ check_mode "lazy" `Lazy [] ]
+          @ (match modes with
+             | `Both -> [ check_mode "strict" `Strict [] ]
+             | `Lazy_only -> [])
+          @ [ check_mode "optimized" `Lazy Tc_opt.Opt.all ])
+        golden );
+  ]

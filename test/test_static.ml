@@ -1,0 +1,167 @@
+(** Static analysis tests (paper §4): declaration processing, instance
+    uniqueness, superclass coverage, deriving. *)
+
+open Helpers
+
+let tests =
+  [
+    ( "static",
+      [
+        check_error "duplicate instance"
+          {|
+instance Eq Bool where
+  x == y = True
+main = 0
+|}
+          "duplicate instance";
+        check_error "unknown class in instance" "instance Foo Int\nmain = 0"
+          "unknown class";
+        check_error "unknown superclass" "class Foo a => Bar a where\n  bar :: a -> a\nmain = 0"
+          "unknown superclass";
+        check_error "superclass cycle"
+          "class B a => A a where\n  fa :: a -> a\nclass A a => B a where\n  fb :: a -> a\nmain = 0"
+          "cycle";
+        check_error "missing superclass instance"
+          {|
+data T = T
+instance Ord T where
+  x <= y = True
+main = 0
+|}
+          "superclass instance";
+        check_error "instance context too weak for superclass dictionary"
+          {|
+data Box a = Box a
+instance Eq a => Eq (Box a) where
+  x == y = True
+instance Ord (Box a) where
+  x <= y = True
+|}
+          "cannot build its superclass";
+        check_error "duplicate data declaration" "data T = A\ndata T = B\nmain = 0"
+          "defined twice";
+        check_error "duplicate constructor" "data T = A\ndata U = A\nmain = 0"
+          "defined twice";
+        check_error "unbound type variable in data"
+          "data T = MkT b\nmain = 0" "not bound";
+        check_error "duplicate class" "class Eq a where\n  eqq :: a -> a\nmain = 0"
+          "defined twice";
+        check_error "method in two classes"
+          "class A a where\n  m :: a -> a\nclass B a where\n  m :: a -> a\nmain = 0"
+          "more than one class";
+        check_error "method must mention class variable"
+          "class A a where\n  m :: Int -> Int\nmain = 0" "class variable";
+        check_error "method context cannot constrain class variable"
+          "class A a where\n  m :: Eq a => a -> a\nmain = 0"
+          "may not further constrain";
+        check_error "instance head must use variables"
+          "instance Eq [Int] where\n  x == y = True\nmain = 0"
+          "instance head";
+        check_error "instance head variables distinct"
+          "instance Eq (a, a) where\n  x == y = True\nmain = 0" "duplicate";
+        check_error "instance method not in class"
+          {|
+data T = T
+instance Eq T where
+  x == y = True
+  foo x = x
+|}
+          "not a method";
+        check_error "cyclic type synonym" "type A = [B]\ntype B = [A]\nmain = 0"
+          "cyclic";
+        check_error "synonym arity" "type P a = (a, a)\nbad :: P\nbad = bad\nmain = 0"
+          "expects 1 argument";
+        check_error "instance on a synonym"
+          "type S = Int\nclass C a where\n  c :: a -> a\ninstance C S where\n  c x = x\nmain = 0"
+          "synonym";
+        case "instance body may use where clauses" (fun () ->
+            let out =
+              run
+                {|
+data T = T1 | T2
+instance Eq T where
+  x == y = both x y where
+    both T1 T1 = True
+    both T2 T2 = True
+    both a b = False
+main = (T1 == T1, T1 == T2)
+|}
+            in
+            Alcotest.(check string) "result" "(True, False)" out);
+        case "empty instance body uses defaults" (fun () ->
+            let out =
+              run
+                {|
+class Greet a where
+  greet :: a -> [Char]
+  greet x = "hello"
+data T = T
+instance Greet T
+main = greet T
+|}
+            in
+            Alcotest.(check string) "result" "\"hello\"" out);
+        case "missing method without default warns and fails at run time"
+          (fun () ->
+            let src =
+              {|
+data T = T
+class C a where
+  m1 :: a -> Int
+  m2 :: a -> Int
+instance C T where
+  m1 x = 1
+main = m2 T
+|}
+            in
+            let c = compile src in
+            Alcotest.(check bool) "warned" true (c.warnings <> []);
+            match Typeclasses.Pipeline.run c with
+            | exception Tc_eval.Eval.Pattern_fail m ->
+                Alcotest.(check bool) "message" true
+                  (contains ~needle:"no definition for method" m)
+            | _ -> Alcotest.fail "expected a run-time failure");
+      ] );
+    ( "deriving",
+      [
+        check_run "derived Eq on products"
+          {|
+data P = P Int Bool deriving (Eq)
+main = (P 1 True == P 1 True, P 1 True == P 1 False, P 1 True /= P 2 True)
+|}
+          "(True, False, True)";
+        check_run "derived Eq is structural and recursive"
+          {|
+data Tree = Leaf | Node Tree Int Tree deriving (Eq)
+main = ( Node Leaf 1 Leaf == Node Leaf 1 Leaf
+       , Node Leaf 1 Leaf == Leaf )
+|}
+          "(True, False)";
+        check_run "derived Ord orders by constructor then arguments"
+          {|
+data C = R | G | B deriving (Eq, Ord, Text)
+main = (R < G, B > G, G <= G, max R B, [R, B] < [R, B, G], minimum [B, R, G])
+|}
+          "(True, True, True, B, True, R)";
+        check_run "derived Text"
+          {|
+data Shape = Dot | Box Int Int deriving (Text)
+main = (str Dot, str (Box 1 2))
+|}
+          "(\"Dot\", \"(Box 1 2)\")";
+        check_run "derived instances on parametric types"
+          {|
+data Pair a b = Pair a b deriving (Eq, Text)
+main = (Pair 1 'x' == Pair 1 'x', str (Pair 2 False))
+|}
+          "(True, \"(Pair 2 False)\")";
+        check_error "deriving requires instances for fields"
+          {|
+data F = F (Int -> Int) deriving (Eq)
+main = F id == F id
+|}
+          "no instance";
+        check_error "unknown derivable class"
+          "data T = T deriving (Show)\nmain = 0" "cannot derive";
+      ] );
+  ]

@@ -1,0 +1,108 @@
+(** Run-time tag dispatch tests (§3): agreement with the dictionary
+    strategy on dispatchable programs, and rejection of return-type
+    overloading. *)
+
+open Helpers
+module Pipeline = Typeclasses.Pipeline
+
+let run_tags ?(mode = `Lazy) src =
+  let c = Pipeline.compile_tags ~file:"test.mhs" src in
+  (Pipeline.run ~mode ~fuel:50_000_000 c).rendered
+
+let counters_tags src =
+  let c = Pipeline.compile_tags ~file:"test.mhs" src in
+  let r = Pipeline.run ~fuel:50_000_000 c in
+  (r.rendered, r.counters)
+
+let check_agree name src =
+  case name (fun () ->
+      Alcotest.(check string) name (run src) (run_tags src))
+
+let expect_tags_error name src needle =
+  case name (fun () ->
+      match Pipeline.compile_tags ~file:"test.mhs" src with
+      | exception Tc_support.Diagnostic.Error d ->
+          if not (contains ~needle (Tc_support.Diagnostic.to_string d)) then
+            Alcotest.failf "wrong error: %s" (Tc_support.Diagnostic.to_string d)
+      | _ -> Alcotest.fail "expected tag-dispatch translation to fail")
+
+let tests =
+  [
+    ( "tag-dispatch",
+      [
+        check_agree "equality on primitives" "main = (1 == 1, 'a' == 'b', 1.5 == 1.5)";
+        check_agree "equality on structures"
+          "main = ([1,2] == [1,2], (1, 'x') == (1, 'y'), Just 1 == Just 1)";
+        check_agree "arithmetic dispatches per type"
+          "main = (1 + 2, 1.5 + 2.5, negate 4)";
+        check_agree "ordering with defaults"
+          "main = (1 < 2, 'b' >= 'a', max 1 2, min 2.5 1.5)";
+        check_agree "printing" "main = (str 42, str True, str [1,2])";
+        check_agree "user instances"
+          {|
+data C = R | G | B deriving (Eq, Text)
+main = (R == R, G == B, str B)
+|};
+        check_agree "overloaded user functions stay overloaded"
+          {|
+double x = x + x
+main = (double 2, double 2.5)
+|};
+        case "dispatch happens per call at run time" (fun () ->
+            (* the prelude's sum uses fromInt, which tags cannot run; use a
+               local accumulation instead *)
+            let _, c =
+              counters_tags
+                "total [] = 0\ntotal (x:xs) = x + total xs\nmain = total (enumFromTo 1 20)"
+            in
+            (* + dispatches on every element *)
+            Alcotest.(check bool) "many dispatches" true (c.tag_dispatches >= 20);
+            Alcotest.(check int) "no dictionaries" 0 c.dict_constructions);
+        case "structural equality re-dispatches per element" (fun () ->
+            let _, c10 = counters_tags "main = [1,2,3,4,5] == [1,2,3,4,5]" in
+            let _, c2 = counters_tags "main = [1] == [1]" in
+            Alcotest.(check bool) "grows with structure" true
+              (c10.tag_dispatches > c2.tag_dispatches));
+        expect_tags_error "return-type overloading rejected (the paper's read)"
+          {|main = (parse "1" :: Int)|} "result type";
+        expect_tags_error "fromInt in user code rejected"
+          "f :: Num a => Int -> a\nf = fromInt\nmain = 0" "result type";
+        expect_tags_error "class-constant methods rejected"
+          {|
+class HasZero a where
+  zero :: a
+instance HasZero Int where
+  zero = 0
+main = (zero :: Int)
+|}
+          "result type";
+        case "buried dispatch position rejected distinctly" (fun () ->
+            match
+              Pipeline.compile_tags ~file:"test.mhs"
+                {|
+class Sized a where
+  total :: [a] -> Int
+instance Sized Int where
+  total xs = length xs
+main = total [1,2,3 :: Int]
+|}
+            with
+            | exception Tc_support.Diagnostic.Error d ->
+                Alcotest.(check bool) "mentions buried" true
+                  (contains ~needle:"buried" (Tc_support.Diagnostic.to_string d))
+            | _ -> Alcotest.fail "expected rejection");
+        case "prelude survives in lenient mode; stub fails only when called"
+          (fun () ->
+            match run_tags "main = (fromIntegral 3 :: Float)" with
+            | exception Tc_eval.Eval.Pattern_fail m ->
+                Alcotest.(check bool) "explains" true
+                  (contains ~needle:"return-type overloading" m)
+            | r -> Alcotest.failf "expected run-time failure, got %s" r);
+        case "tags agree with dictionaries in strict mode too" (fun () ->
+            let src =
+              "total [] = 0\ntotal (x:xs) = x + total xs\nmain = (total (enumFromTo 1 10), [1,2] == [1,2])"
+            in
+            Alcotest.(check string) "strict" (run ~mode:`Strict src)
+              (run_tags ~mode:`Strict src));
+      ] );
+  ]
