@@ -25,14 +25,48 @@ let time_ns ?(quota = 0.25) name (f : unit -> 'a) : float =
 let ms_of_ns ns = ns /. 1.e6
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json).                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** When set, tables are suppressed and recorded metrics are emitted as a
+    JSON array at exit. *)
+let json_mode = ref false
+
+let records : (string * string * string * float) list ref = ref []
+
+let record ~experiment ~backend ~metric (value : float) =
+  records := (experiment, backend, metric, value) :: !records
+
+let dump_json () =
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+  in
+  print_string "[\n";
+  List.iteri
+    (fun i (e, b, m, v) ->
+      if i > 0 then print_string ",\n";
+      Printf.printf {|  {"experiment": %S, "backend": %S, "metric": %S, "value": %s}|}
+        e b m (num v))
+    (List.rev !records);
+  print_string "\n]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Table rendering.                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let print_heading id title claim =
-  Fmt.pr "@.=== %s: %s ===@." id title;
-  Fmt.pr "paper: %s@.@." claim
+  if not !json_mode then begin
+    Fmt.pr "@.=== %s: %s ===@." id title;
+    Fmt.pr "paper: %s@.@." claim
+  end
+
+let print_note fmt =
+  Format.kasprintf (fun s -> if not !json_mode then Fmt.pr "%s@." s) fmt
 
 let print_table (header : string list) (rows : string list list) =
+  if !json_mode then ()
+  else
   let cols = List.length header in
   let widths = Array.make cols 0 in
   List.iteri (fun i h -> widths.(i) <- String.length h) header;

@@ -31,6 +31,16 @@ let run_time ?(passes = []) ?opts name src : float =
   let c = Pipeline.optimize passes (compile ?opts src) in
   B.time_ns name (fun () -> ignore (Pipeline.run c))
 
+(* Wall clock of the bytecode VM on the same program. Lowering to
+   bytecode happens once, outside the timed thunk — it is a compile
+   phase, the tree backend's analogue being the core program itself. *)
+let vm_time ?(passes = []) ?opts ?(mode = `Lazy) name src : float =
+  let c = Pipeline.optimize passes (compile ?opts src) in
+  let cons = Tc_eval.Eval.con_table_of_env c.env in
+  let prog = Tc_vm.Compile.program ~mode ~cons c.core in
+  B.time_ns name (fun () ->
+      ignore (Tc_vm.Vm.run (Tc_vm.Vm.create_state cons) prog))
+
 let i = string_of_int
 
 (* ================================================================== *)
@@ -69,18 +79,29 @@ let e2 () =
         let direct = W.dispatch_direct ~size ~calls in
         let c_ov = run_counters ov and c_dir = run_counters direct in
         let t_ov = run_time "e2-ov" ov and t_dir = run_time "e2-dir" direct in
-        [ i size;
+        let t_vm = vm_time "e2-ov-vm" ov in
+        let sz = i size in
+        B.record ~experiment:"e2" ~backend:"tree"
+          ~metric:("dispatch_ms/size=" ^ sz) (B.ms_of_ns t_ov);
+        B.record ~experiment:"e2" ~backend:"vm"
+          ~metric:("dispatch_ms/size=" ^ sz) (B.ms_of_ns t_vm);
+        B.record ~experiment:"e2" ~backend:"tree"
+          ~metric:("direct_ms/size=" ^ sz) (B.ms_of_ns t_dir);
+        B.record ~experiment:"e2" ~backend:"tree"
+          ~metric:("selections/size=" ^ sz) (float_of_int c_ov.selections);
+        [ sz;
           i c_dir.steps; i c_ov.steps; i c_ov.selections;
           B.f2 (B.ms_of_ns t_dir); B.f2 (B.ms_of_ns t_ov);
-          B.pct ((t_ov -. t_dir) /. t_dir *. 100.) ])
+          B.pct ((t_ov -. t_dir) /. t_dir *. 100.);
+          B.f2 (B.ms_of_ns t_vm); B.f2 (t_ov /. t_vm) ^ "x" ])
       [ 0; 10; 100 ]
   in
   B.print_table
     [ "body size"; "steps direct"; "steps dict"; "selections";
-      "direct (ms)"; "dict (ms)"; "overhead" ]
+      "direct (ms)"; "dict (ms)"; "overhead"; "vm dict (ms)"; "vm speedup" ]
     rows;
-  Fmt.pr "  (dispatch adds one selection per call; relative cost shrinks as \
-          the method body grows)@."
+  B.print_note "  (dispatch adds one selection per call; relative cost shrinks as \
+          the method body grows)"
 
 let e3 () =
   B.print_heading "E3" "cost of passing dictionaries through calls"
@@ -92,13 +113,23 @@ let e3 () =
         let ov = W.overloaded_sum n and mono = W.monomorphic_sum n in
         let c_ov = run_counters ov and c_mono = run_counters mono in
         let t_ov = run_time "e3-ov" ov and t_mono = run_time "e3-mono" mono in
-        [ i n; i c_mono.applications; i c_ov.applications;
+        let t_vm = vm_time "e3-ov-vm" ov in
+        let d = i n in
+        B.record ~experiment:"e3" ~backend:"tree"
+          ~metric:("dict_ms/depth=" ^ d) (B.ms_of_ns t_ov);
+        B.record ~experiment:"e3" ~backend:"vm"
+          ~metric:("dict_ms/depth=" ^ d) (B.ms_of_ns t_vm);
+        B.record ~experiment:"e3" ~backend:"tree"
+          ~metric:("mono_ms/depth=" ^ d) (B.ms_of_ns t_mono);
+        [ d; i c_mono.applications; i c_ov.applications;
           i c_ov.selections;
-          B.f2 (B.ms_of_ns t_mono); B.f2 (B.ms_of_ns t_ov) ])
+          B.f2 (B.ms_of_ns t_mono); B.f2 (B.ms_of_ns t_ov);
+          B.f2 (B.ms_of_ns t_vm) ])
       [ 100; 400; 1600 ]
   in
   B.print_table
-    [ "depth"; "apps mono"; "apps dict"; "selections"; "mono (ms)"; "dict (ms)" ]
+    [ "depth"; "apps mono"; "apps dict"; "selections"; "mono (ms)";
+      "dict (ms)"; "vm dict (ms)" ]
     rows
 
 let e4 () =
@@ -138,15 +169,30 @@ let e5 () =
         let src = W.chain_member n in
         let naive = run_counters src in
         let hoisted = run_counters ~passes:hoist src in
-        [ i n; i naive.dict_constructions; i hoisted.dict_constructions;
-          i naive.selections; i hoisted.selections ])
+        let t_tree = run_time ~passes:hoist "e5-tree" src in
+        let t_vm = vm_time ~passes:hoist "e5-vm" src in
+        let len = i n in
+        B.record ~experiment:"e5" ~backend:"tree"
+          ~metric:("hoisted_ms/len=" ^ len) (B.ms_of_ns t_tree);
+        B.record ~experiment:"e5" ~backend:"vm"
+          ~metric:("hoisted_ms/len=" ^ len) (B.ms_of_ns t_vm);
+        B.record ~experiment:"e5" ~backend:"tree"
+          ~metric:("dicts_naive/len=" ^ len)
+          (float_of_int naive.dict_constructions);
+        B.record ~experiment:"e5" ~backend:"tree"
+          ~metric:("dicts_hoisted/len=" ^ len)
+          (float_of_int hoisted.dict_constructions);
+        [ len; i naive.dict_constructions; i hoisted.dict_constructions;
+          i naive.selections; i hoisted.selections;
+          B.f2 (B.ms_of_ns t_tree); B.f2 (B.ms_of_ns t_vm) ])
       [ 50; 100; 200; 400 ]
   in
   B.print_table
-    [ "list length"; "dicts naive"; "dicts hoisted"; "sels naive"; "sels hoisted" ]
+    [ "list length"; "dicts naive"; "dicts hoisted"; "sels naive";
+      "sels hoisted"; "tree (ms)"; "vm (ms)" ]
     rows;
-  Fmt.pr "  (naive grows linearly; hoisted is constant — the paper's O(n) -> \
-          O(1))@."
+  B.print_note "  (naive grows linearly; hoisted is constant — the paper's O(n) -> \
+          O(1))"
 
 let e6 () =
   B.print_heading "E6" "nested vs flattened dictionaries (§8.1)"
@@ -170,10 +216,10 @@ let e6 () =
       "dicts nested"; "dicts flat";
       "fields nested"; "fields flat" ]
     rows;
-  Fmt.pr "  (method reach: selection chains grow with depth under the nested \
+  B.print_note "  (method reach: selection chains grow with depth under the nested \
           layout, one hop when flat;@.   superclass-dictionary extraction: \
           free selections when nested, a fresh repack per use when flat —@.   \
-          the paper's construction-vs-selection trade-off)@."
+          the paper's construction-vs-selection trade-off)"
 
 let e7 () =
   B.print_heading "E7" "dictionaries vs run-time tag dispatch (§3)"
@@ -197,9 +243,9 @@ let e7 () =
     ];
   (match Pipeline.compile_tags {|main = (parse "42" :: Int)|} with
    | exception Tc_support.Diagnostic.Error _ ->
-       Fmt.pr "  return-type overloading (parse): dictionaries OK, tags \
-               REJECTED at compile time, as §3 predicts@."
-   | _ -> Fmt.pr "  UNEXPECTED: tags accepted return-type overloading@.")
+       B.print_note "  return-type overloading (parse): dictionaries OK, tags \
+               REJECTED at compile time, as §3 predicts"
+   | _ -> B.print_note "  UNEXPECTED: tags accepted return-type overloading")
 
 let e8 () =
   B.print_heading "E8" "code that does not use overloading pays nothing"
@@ -225,8 +271,8 @@ let e8 () =
         i c_ov_opt.dict_constructions; i c_ov_opt.selections;
         i c_ov_opt.applications; i c_ov_opt.steps ];
     ];
-  Fmt.pr "  (methods at a known type compile to direct calls to the instance \
-          functions — zero dictionary operations)@."
+  B.print_note "  (methods at a known type compile to direct calls to the instance \
+          functions — zero dictionary operations)"
 
 let e9 () =
   B.print_heading "E9" "where checker time goes"
@@ -318,9 +364,9 @@ main = (sum (enumFromTo 1 200), poly (7 :: Int), poly 2.5)
       [ "monomorphic"; i mono_stats.holes_created; i mono_stats.unifications;
         i mono.selections; i mono.steps ];
     ];
-  Fmt.pr "  (overloaded literals cost one placeholder each at check time; \
+  B.print_note "  (overloaded literals cost one placeholder each at check time; \
           at known types they@.   resolve to direct fromInt calls, so \
-          run-time costs stay comparable)@."
+          run-time costs stay comparable)"
 
 let a2 () =
   B.print_heading "A2" "ablation: lazy vs strict evaluation of the translation"
@@ -376,18 +422,23 @@ let experiments =
     ("a1", a1); ("a2", a2); ("a3", a3) ]
 
 let () =
-  let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
-    | _ -> List.map fst experiments
+  let args = List.tl (Array.to_list Sys.argv) in
+  B.json_mode := List.mem "--json" args;
+  let names =
+    List.filter (fun a -> a <> "--json") args
+    |> List.map String.lowercase_ascii
   in
-  Fmt.pr "Reproduction harness for \"Implementing Type Classes\" (Peterson & \
-          Jones, PLDI 1993)@.";
-  Fmt.pr "Operation counts are machine-independent; times are Bechamel OLS \
-          estimates on this machine.@.";
+  let selected = if names = [] then List.map fst experiments else names in
+  if not !B.json_mode then begin
+    Fmt.pr "Reproduction harness for \"Implementing Type Classes\" (Peterson & \
+            Jones, PLDI 1993)@.";
+    Fmt.pr "Operation counts are machine-independent; times are Bechamel OLS \
+            estimates on this machine.@."
+  end;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
       | None -> Fmt.epr "unknown experiment %s@." name)
-    selected
+    selected;
+  if !B.json_mode then B.dump_json ()

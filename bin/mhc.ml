@@ -3,8 +3,9 @@
    Subcommands:
      check    type check; print the inferred qualified types
      core     print the dictionary-converted core program
-     run      evaluate `main`
+     run      evaluate `main` (--backend tree|vm)
      counters evaluate `main` and report operation counters
+     disasm   print the VM bytecode
      stats    type check and report checker instrumentation
 
    Common flags select the implementation strategy (dictionaries with
@@ -67,6 +68,16 @@ let mode_arg =
     value
     & opt (enum [ ("lazy", `Lazy); ("strict", `Strict) ]) `Lazy
     & info [ "eval" ] ~docv:"MODE" ~doc:"Evaluation mode: $(b,lazy) or $(b,strict).")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tree", `Tree); ("vm", `Vm) ]) `Tree
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,tree) (the instrumented tree-walking \
+           evaluator) or $(b,vm) (compile to bytecode and run on the stack \
+           VM). Both report identical results and dictionary counters.")
 
 let no_prelude_arg =
   Arg.(value & flag & info [ "no-prelude" ] ~doc:"Do not load the prelude.")
@@ -171,30 +182,45 @@ let core_cmd =
 
 let run_cmd =
   let doc = "Compile and evaluate $(b,main)." in
+  let run strategy no_prelude mono passes mode backend file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    print_warnings c;
+    let r = Pipeline.exec ~backend ~mode c in
+    Fmt.pr "%s@." r.Pipeline.x_rendered
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ mode_arg $ backend_arg $ file_arg)
+
+let counters_cmd =
+  let doc = "Evaluate $(b,main) and report run-time operation counters." in
+  let run strategy no_prelude mono passes mode backend file =
+    handle_errors @@ fun () ->
+    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    let r = Pipeline.exec ~backend ~mode c in
+    Fmt.pr "result: %s@." r.Pipeline.x_rendered;
+    Fmt.pr "%a@." Tc_eval.Counters.pp r.Pipeline.x_counters
+  in
+  Cmd.v (Cmd.info "counters" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ mode_arg $ backend_arg $ file_arg)
+
+let disasm_cmd =
+  let doc = "Compile to VM bytecode and print the disassembly." in
   let run strategy no_prelude mono passes mode file =
     handle_errors @@ fun () ->
     let c = compile strategy (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
-    let r = Pipeline.run ~mode c in
-    Fmt.pr "%s@." r.rendered
+    let prog = Pipeline.bytecode ~mode c in
+    Fmt.pr "%a@?" Tc_vm.Bytecode.pp_program prog
   in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(
-      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
-      $ mode_arg $ file_arg)
-
-let counters_cmd =
-  let doc = "Evaluate $(b,main) and report run-time operation counters." in
-  let run strategy no_prelude mono passes mode file =
-    handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
-    let c = Pipeline.optimize passes c in
-    let r = Pipeline.run ~mode c in
-    Fmt.pr "result: %s@." r.rendered;
-    Fmt.pr "%a@." Tc_eval.Counters.pp r.counters
-  in
-  Cmd.v (Cmd.info "counters" ~doc)
+  Cmd.v (Cmd.info "disasm" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ file_arg)
@@ -364,6 +390,7 @@ let main_cmd =
   let doc = "A MiniHaskell compiler implementing type classes by dictionary \
              conversion (Peterson & Jones, PLDI 1993)" in
   Cmd.group (Cmd.info "mhc" ~doc ~version:"1.0.0")
-    [ check_cmd; core_cmd; run_cmd; counters_cmd; stats_cmd; repl_cmd ]
+    [ check_cmd; core_cmd; run_cmd; counters_cmd; disasm_cmd; stats_cmd;
+      repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

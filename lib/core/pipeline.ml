@@ -310,6 +310,39 @@ let run ?(mode = `Lazy) ?(fuel = -1) ?entry (c : compiled) : run_result =
   let value = Eval.run ?entry st c.core in
   { value; rendered = Eval.render st value; counters = st.counters }
 
+type backend = [ `Tree | `Vm ]
+
+(** Lower a compiled program to bytecode. The [mode] is baked in at
+    compile time: lazy code delays arguments and let bindings, strict code
+    evaluates them inline (dictionary fields stay delayed in both). *)
+let bytecode ?(mode = `Lazy) (c : compiled) : Tc_vm.Bytecode.program =
+  let cons = Eval.con_table_of_env c.env in
+  Tc_vm.Compile.program ~mode ~cons c.core
+
+type exec_result = {
+  x_rendered : string;
+  x_counters : Counters.t;
+}
+
+(** Backend-agnostic execution: run on the tree evaluator or compile to
+    bytecode and run on the stack VM. Both report the same rendered value
+    and the same dictionary counters. *)
+let exec ?(backend = `Tree) ?(mode = `Lazy) ?(fuel = -1) ?max_frames ?entry
+    (c : compiled) : exec_result =
+  match backend with
+  | `Tree ->
+      let r = run ~mode ~fuel ?entry c in
+      { x_rendered = r.rendered; x_counters = r.counters }
+  | `Vm ->
+      let cons = Eval.con_table_of_env c.env in
+      let prog = Tc_vm.Compile.program ~mode ~cons c.core in
+      let st = Tc_vm.Vm.create_state ~fuel ?max_frames cons in
+      let v = Tc_vm.Vm.run ?entry st prog in
+      {
+        x_rendered = Tc_vm.Vm.render st v;
+        x_counters = Tc_vm.Vm.counters st;
+      }
+
 (** Convenience: compile and run in one step. *)
 let compile_and_run ?opts ?file ?(mode = `Lazy) ?fuel src =
   let c = compile ?opts ?file src in

@@ -57,6 +57,31 @@ val run :
   compiled ->
   run_result
 
+type backend = [ `Tree | `Vm ]
+
+(** Lower a compiled program to VM bytecode ([mode] is baked in at
+    compile time). *)
+val bytecode :
+  ?mode:[ `Lazy | `Strict ] -> compiled -> Tc_vm.Bytecode.program
+
+type exec_result = {
+  x_rendered : string;
+  x_counters : Counters.t;
+}
+
+(** Backend-agnostic execution: the tree evaluator or the bytecode VM.
+    Both produce the same rendered value and dictionary counters. [fuel]
+    bounds evaluation steps (tree) or instructions (VM); [max_frames]
+    bounds the VM frame stack. *)
+val exec :
+  ?backend:backend ->
+  ?mode:[ `Lazy | `Strict ] ->
+  ?fuel:int ->
+  ?max_frames:int ->
+  ?entry:Ident.t ->
+  compiled ->
+  exec_result
+
 val compile_and_run :
   ?opts:options ->
   ?file:string ->

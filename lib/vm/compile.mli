@@ -1,0 +1,13 @@
+(** Core → bytecode: closure conversion, slot assignment, constant
+    pooling. The [mode] selects the reduction strategy the bytecode
+    realises (argument thunks vs inline evaluation); dictionary fields are
+    always delayed and top-level bindings stay lazy (CAFs) in both modes,
+    matching {!Tc_eval.Eval} so the dictionary counters agree exactly. *)
+
+module Core = Tc_core_ir.Core
+module Eval = Tc_eval.Eval
+
+type mode = [ `Lazy | `Strict ]
+
+val program :
+  ?mode:mode -> cons:Eval.con_table -> Core.program -> Bytecode.program

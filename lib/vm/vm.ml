@@ -1,0 +1,884 @@
+(** A stack-based interpreter for {!Bytecode}.
+
+    The machine is fully iterative: calls, tail calls and thunk updates
+    are explicit frames on a growable frame stack, so deep non-tail
+    recursion is reported as a clean {!Tc_eval.Eval.Runtime_error} (the
+    [max_frames] budget) instead of a native stack overflow, and the
+    {!Tc_eval.Eval.Out_of_fuel} step budget is honoured per instruction.
+
+    Laziness lives in slots: a slot is a mutable cell holding either a
+    value, a delayed closure (thunk) or a black hole. Forcing pushes an
+    update frame; when it returns, the result is written back into the
+    cell (call-by-need sharing, as in the tree evaluator's [Todo]/[Done]
+    cells).
+
+    Dictionaries are contiguous slot arrays: [MKDICT n] is one allocation,
+    [DICTSEL i] one bounds-checked indexed load. All dictionary operations
+    bump the same {!Tc_eval.Counters} the tree evaluator maintains. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+module Core = Tc_core_ir.Core
+module Eval = Tc_eval.Eval
+module Counters = Tc_eval.Counters
+module B = Bytecode
+
+(* The VM reuses the evaluator's exceptions so callers handle both
+   backends uniformly. *)
+let runtime fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VChar of char
+  | VStr of string                        (* internal message strings *)
+  | VData of Eval.rcon * slot array
+  | VConPartial of Eval.rcon * slot list  (* unsaturated ctor, args reversed *)
+  | VClosure of closure
+  | VPap of closure * slot list           (* partial application, in order *)
+  | VDict of Core.dict_tag * slot array
+  | VPrim of prim * slot list             (* partial primitive, in order *)
+
+and closure = { c_proto : B.proto; c_env : slot array }
+
+and slot = { mutable cell : cell }
+
+and cell =
+  | Ready of value
+  | Delay of closure
+  | Busy  (* black hole *)
+
+and prim = {
+  pr_name : string;
+  pr_arity : int;
+  pr_fn : state -> slot list -> value;
+}
+
+(* Frames are mutated in place and reused from a preallocated pool (the
+   frame stack), so a call allocates no frame record. *)
+and frame = {
+  mutable f_proto : B.proto;
+  mutable f_code : B.instr array;
+  mutable f_pc : int;
+  mutable f_locals : slot array;
+  mutable f_env : slot array;
+  mutable f_base : int;   (* operand-stack watermark to restore on return *)
+  mutable f_update : slot option;
+                          (* thunk cell to update instead of pushing *)
+}
+
+and state = {
+  cons : Eval.con_table;
+  counters : Counters.t;
+  mutable fuel : int;       (* remaining instructions; negative = unlimited *)
+  max_frames : int;
+  mutable protos : B.proto array;
+  mutable consts : slot array;
+  mutable globals : slot array;
+  mutable global_names : (Ident.t * int) list;  (* latest binding first *)
+  mutable bools : (value * value) option;  (* cached True/False values *)
+  (* operand stack *)
+  mutable stack : slot array;
+  mutable sp : int;
+  (* frame stack *)
+  mutable frames : frame array;
+  mutable fp : int;
+}
+
+let counters (st : state) : Counters.t = st.counters
+
+let ready v = { cell = Ready v }
+
+let dummy_slot = { cell = Busy }
+
+let fresh_frame () =
+  {
+    f_proto =
+      { B.p_name = "<none>"; p_arity = 0; p_nlocals = 0;
+        p_captures = [||]; p_code = [||] };
+    f_code = [||];
+    f_pc = 0;
+    f_locals = [||];
+    f_env = [||];
+    f_base = 0;
+    f_update = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stacks.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let push (st : state) (s : slot) : unit =
+  if st.sp = Array.length st.stack then begin
+    let a = Array.make (2 * st.sp) dummy_slot in
+    Array.blit st.stack 0 a 0 st.sp;
+    st.stack <- a
+  end;
+  st.stack.(st.sp) <- s;
+  st.sp <- st.sp + 1
+
+let pop (st : state) : slot =
+  st.sp <- st.sp - 1;
+  st.stack.(st.sp)
+
+let make_closure (fr : frame) (proto : B.proto) : closure =
+  let caps = proto.B.p_captures in
+  let n = Array.length caps in
+  if n = 0 then { c_proto = proto; c_env = [||] }
+  else begin
+    let env = Array.make n dummy_slot in
+    for i = 0 to n - 1 do
+      env.(i) <-
+        (match Array.unsafe_get caps i with
+         | B.Cap_local j -> fr.f_locals.(j)
+         | B.Cap_env j -> fr.f_env.(j))
+    done;
+    { c_proto = proto; c_env = env }
+  end
+
+(* A proto with no locals never reads or writes a slot, so all its frames
+   can share one array. *)
+let no_locals = [| dummy_slot |]
+
+let make_locals (proto : B.proto) : slot array =
+  if proto.B.p_nlocals = 0 then no_locals
+  else Array.make proto.B.p_nlocals dummy_slot
+
+let push_frame (st : state) (proto : B.proto) ~(env : slot array)
+    ~(locals : slot array) ~(update : slot option) : unit =
+  if st.fp >= st.max_frames then
+    runtime
+      "stack overflow: %d frames (deep non-tail recursion in '%s'); the \
+       tree backend would overflow the native stack here"
+      st.fp proto.B.p_name;
+  if st.fp = Array.length st.frames then
+    st.frames <-
+      Array.init (2 * st.fp) (fun i ->
+          if i < st.fp then st.frames.(i) else fresh_frame ());
+  let fr = st.frames.(st.fp) in
+  fr.f_proto <- proto;
+  fr.f_code <- proto.B.p_code;
+  fr.f_pc <- 0;
+  fr.f_locals <- locals;
+  fr.f_env <- env;
+  fr.f_base <- st.sp;
+  fr.f_update <- update;
+  st.fp <- st.fp + 1
+
+(** Begin forcing [s] if it is a thunk (the update frame completes the
+    job); no-op when already a value. *)
+let start_force (st : state) (s : slot) : unit =
+  match s.cell with
+  | Ready _ -> ()
+  | Busy -> runtime "<<loop>> (value depends on itself)"
+  | Delay clo ->
+      st.counters.Counters.thunk_forces <-
+        st.counters.Counters.thunk_forces + 1;
+      s.cell <- Busy;
+      push_frame st clo.c_proto ~env:clo.c_env
+        ~locals:(make_locals clo.c_proto) ~update:(Some s)
+
+let value_of (s : slot) : value =
+  match s.cell with
+  | Ready v -> v
+  | _ -> runtime "internal error: expected a forced slot"
+
+(* Synthetic protos for over-application: after an inner call returns a
+   function, apply it to the [n] pending arguments held in the frame's
+   locals. *)
+let apply_protos : (int, B.proto) Hashtbl.t = Hashtbl.create 8
+
+let apply_proto (n : int) : B.proto =
+  match Hashtbl.find_opt apply_protos n with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          B.p_name = Printf.sprintf "<apply/%d>" n;
+          p_arity = n;
+          p_nlocals = n;
+          p_captures = [||];
+          p_code = [| B.APPLY_LOCALS n |];
+        }
+      in
+      Hashtbl.replace apply_protos n p;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter loop.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lit_matches (l : Ast.lit) (v : value) : bool =
+  match (l, v) with
+  | Ast.LInt a, VInt b -> a = b
+  | Ast.LFloat a, VFloat b -> a = b
+  | Ast.LChar a, VChar b -> a = b
+  | Ast.LString a, VStr b -> a = b  (* tag-dispatch branches on type tags *)
+  | _ -> false
+
+let return_value (st : state) (v : value) : unit =
+  let fr = st.frames.(st.fp - 1) in
+  st.sp <- fr.f_base;
+  st.fp <- st.fp - 1;
+  match fr.f_update with
+  | Some s -> s.cell <- Ready v
+  | None -> push st (ready v)
+
+(** Apply [fnv] to [args]; [tail] means the current frame is finished and
+    should be replaced (or returned through) rather than grown. *)
+let rec do_apply (st : state) ~(tail : bool) (fnv : value) (args : slot list) :
+    unit =
+  st.counters.Counters.applications <-
+    st.counters.Counters.applications + List.length args;
+  apply_value st ~tail fnv args
+
+and apply_value (st : state) ~tail (fnv : value) (args : slot list) : unit =
+  match fnv with
+  | VClosure clo -> apply_closure st ~tail clo args
+  | VPap (clo, prev) -> apply_closure st ~tail clo (prev @ args)
+  | VConPartial (rc, prev) -> apply_con st ~tail rc prev args
+  | VPrim (p, prev) -> apply_prim st ~tail p prev args
+  | VInt _ | VFloat _ | VChar _ | VStr _ | VData _ | VDict _ ->
+      runtime "applied a non-function value"
+
+and apply_closure (st : state) ~tail (clo : closure) (args : slot list) : unit =
+  let m = clo.c_proto.B.p_arity in
+  let n = List.length args in
+  if n < m then begin
+    st.counters.Counters.allocations <- st.counters.Counters.allocations + 1;
+    finish st ~tail (VPap (clo, args))
+  end
+  else begin
+    let locals = make_locals clo.c_proto in
+    let rec fill i = function
+      | [] -> []
+      | a :: rest when i < m ->
+          locals.(i) <- a;
+          fill (i + 1) rest
+      | rest -> rest
+    in
+    let rest = fill 0 args in
+    (if tail then begin
+       (* the current frame is done: collapse to its watermark and reuse
+          its return obligation *)
+       let cur = st.frames.(st.fp - 1) in
+       st.sp <- cur.f_base;
+       st.fp <- st.fp - 1;
+       if rest = [] then
+         push_frame st clo.c_proto ~env:clo.c_env ~locals
+           ~update:cur.f_update
+       else begin
+         let k = apply_proto (List.length rest) in
+         push_frame st k ~env:[||] ~locals:(Array.of_list rest)
+           ~update:cur.f_update;
+         push_frame st clo.c_proto ~env:clo.c_env ~locals ~update:None
+       end
+     end
+     else begin
+       (if rest <> [] then
+          let k = apply_proto (List.length rest) in
+          push_frame st k ~env:[||] ~locals:(Array.of_list rest) ~update:None);
+       push_frame st clo.c_proto ~env:clo.c_env ~locals ~update:None
+     end)
+  end
+
+and apply_con (st : state) ~tail (rc : Eval.rcon) (prev : slot list)
+    (args : slot list) : unit =
+  (* accumulate one argument at a time, as the tree evaluator does *)
+  let rec go acc = function
+    | [] -> finish st ~tail (VConPartial (rc, acc))
+    | a :: rest ->
+        let acc' = a :: acc in
+        if List.length acc' = rc.Eval.rc_arity then begin
+          st.counters.Counters.allocations <-
+            st.counters.Counters.allocations + 1;
+          let v = VData (rc, Array.of_list (List.rev acc')) in
+          if rest = [] then finish st ~tail v
+          else apply_value st ~tail v rest (* errors: data is not a function *)
+        end
+        else go acc' rest
+  in
+  go prev args
+
+and apply_prim (st : state) ~tail (p : prim) (prev : slot list)
+    (args : slot list) : unit =
+  let all = prev @ args in
+  let n = List.length all in
+  if n < p.pr_arity then finish st ~tail (VPrim (p, all))
+  else begin
+    let rec split i = function
+      | rest when i = 0 -> ([], rest)
+      | a :: rest ->
+          let used, over = split (i - 1) rest in
+          (a :: used, over)
+      | [] -> assert false
+    in
+    let used, over = split p.pr_arity all in
+    st.counters.Counters.prim_calls <- st.counters.Counters.prim_calls + 1;
+    let v = p.pr_fn st used in
+    if over = [] then finish st ~tail v else apply_value st ~tail v over
+  end
+
+and finish (st : state) ~tail (v : value) : unit =
+  if tail then return_value st v else push st (ready v)
+
+(** Execute until the frame stack drops back to depth [stop]. *)
+and run_loop (st : state) ~(stop : int) : unit =
+  while st.fp > stop do
+    let fr = st.frames.(st.fp - 1) in
+    if st.fuel >= 0 then begin
+      if st.fuel = 0 then raise Eval.Out_of_fuel;
+      st.fuel <- st.fuel - 1
+    end;
+    st.counters.Counters.steps <- st.counters.Counters.steps + 1;
+    let i = fr.f_code.(fr.f_pc) in
+    fr.f_pc <- fr.f_pc + 1;
+    match i with
+    | B.CONST k -> push st st.consts.(k)
+    | B.LOCAL i -> push st fr.f_locals.(i)
+    | B.LOCALV i ->
+        let s = fr.f_locals.(i) in
+        push st s;
+        start_force st s
+    | B.ENV i -> push st fr.f_env.(i)
+    | B.ENVV i ->
+        let s = fr.f_env.(i) in
+        push st s;
+        start_force st s
+    | B.GLOBAL i -> push st st.globals.(i)
+    | B.GLOBALV i ->
+        let s = st.globals.(i) in
+        push st s;
+        start_force st s
+    | B.CON rc ->
+        if rc.Eval.rc_arity = 0 then begin
+          st.counters.Counters.allocations <-
+            st.counters.Counters.allocations + 1;
+          push st (ready (VData (rc, [||])))
+        end
+        else push st (ready (VConPartial (rc, [])))
+    | B.CLOSURE p ->
+        st.counters.Counters.allocations <-
+          st.counters.Counters.allocations + 1;
+        push st (ready (VClosure (make_closure fr st.protos.(p))))
+    | B.DELAY p -> push st { cell = Delay (make_closure fr st.protos.(p)) }
+    | B.STORE i -> fr.f_locals.(i) <- pop st
+    | B.REC_ALLOC i -> fr.f_locals.(i) <- { cell = Busy }
+    | B.REC_SET (l, p) ->
+        fr.f_locals.(l).cell <- Delay (make_closure fr st.protos.(p))
+    | B.FORCE_LOCAL i -> start_force st fr.f_locals.(i)
+    | B.JUMP pc -> fr.f_pc <- pc
+    | B.IFELSE pc_false -> (
+        match value_of (pop st) with
+        | VData (rc, _) -> (
+            match Ident.text rc.Eval.rc_name with
+            | "True" -> ()
+            | "False" -> fr.f_pc <- pc_false
+            | s -> runtime "if: expected a Bool, got constructor '%s'" s)
+        | _ -> runtime "if: condition is not a Bool")
+    | B.SWITCH sw -> (
+        let s = pop st in
+        fr.f_locals.(sw.B.sw_scrut) <- s;
+        let find_con name =
+          let n = Array.length sw.B.sw_cons in
+          let rec go i =
+            if i >= n then None
+            else
+              let c, pc = sw.B.sw_cons.(i) in
+              if Ident.equal c name then Some pc else go (i + 1)
+          in
+          go 0
+        in
+        let find_lit v =
+          let n = Array.length sw.B.sw_lits in
+          let rec go i =
+            if i >= n then None
+            else
+              let l, pc = sw.B.sw_lits.(i) in
+              if lit_matches l v then Some pc else go (i + 1)
+          in
+          go 0
+        in
+        let jump = function
+          | Some pc -> fr.f_pc <- pc
+          | None ->
+              if sw.B.sw_default >= 0 then fr.f_pc <- sw.B.sw_default
+              else runtime "case: no matching alternative"
+        in
+        match value_of s with
+        | VData (rc, _) -> jump (find_con rc.Eval.rc_name)
+        | (VInt _ | VFloat _ | VChar _ | VStr _) as v -> jump (find_lit v)
+        | _ -> runtime "case: scrutinee is not a data value")
+    | B.FIELD (l, i) -> (
+        match fr.f_locals.(l).cell with
+        | Ready (VData (_, fields)) -> push st fields.(i)
+        | _ -> runtime "internal error: FIELD of a non-data value")
+    | B.MKDICT (tag, n) ->
+        st.counters.Counters.dict_constructions <-
+          st.counters.Counters.dict_constructions + 1;
+        st.counters.Counters.dict_fields <-
+          st.counters.Counters.dict_fields + n;
+        st.counters.Counters.allocations <-
+          st.counters.Counters.allocations + 1;
+        let fields = Array.make (max n 1) dummy_slot in
+        for k = n - 1 downto 0 do
+          fields.(k) <- pop st
+        done;
+        push st (ready (VDict (tag, if n = 0 then [||] else fields)))
+    | B.DICTSEL info -> (
+        st.counters.Counters.selections <-
+          st.counters.Counters.selections + 1;
+        match value_of (pop st) with
+        | VDict (_, fields) ->
+            if info.Core.sel_index >= Array.length fields then
+              runtime "dictionary selection out of range (%d of %d)"
+                info.Core.sel_index (Array.length fields)
+            else begin
+              let s = fields.(info.Core.sel_index) in
+              push st s;
+              start_force st s
+            end
+        | _ -> runtime "selection from a non-dictionary value")
+    | B.CALL n -> (
+        match (pop st).cell with
+        (* fast path: saturated closure call, args copied straight from
+           the operand stack into the callee's locals *)
+        | Ready (VClosure clo) when clo.c_proto.B.p_arity = n ->
+            st.counters.Counters.applications <-
+              st.counters.Counters.applications + n;
+            let locals = make_locals clo.c_proto in
+            Array.blit st.stack (st.sp - n) locals 0 n;
+            st.sp <- st.sp - n;
+            push_frame st clo.c_proto ~env:clo.c_env ~locals ~update:None
+        (* fast path: saturated primitive call *)
+        | Ready (VPrim (p, [])) when p.pr_arity = n ->
+            st.counters.Counters.applications <-
+              st.counters.Counters.applications + n;
+            st.counters.Counters.prim_calls <-
+              st.counters.Counters.prim_calls + 1;
+            let args = ref [] in
+            for k = st.sp - 1 downto st.sp - n do
+              args := st.stack.(k) :: !args
+            done;
+            st.sp <- st.sp - n;
+            push st (ready (p.pr_fn st !args))
+        | cell ->
+            let fnv =
+              match cell with
+              | Ready v -> v
+              | _ -> runtime "internal error: expected a forced slot"
+            in
+            let args = ref [] in
+            for _ = 1 to n do
+              args := pop st :: !args
+            done;
+            do_apply st ~tail:false fnv !args)
+    | B.TAILCALL n -> (
+        match (pop st).cell with
+        | Ready (VClosure clo) when clo.c_proto.B.p_arity = n ->
+            st.counters.Counters.applications <-
+              st.counters.Counters.applications + n;
+            let locals = make_locals clo.c_proto in
+            Array.blit st.stack (st.sp - n) locals 0 n;
+            let update = fr.f_update in
+            st.sp <- fr.f_base;
+            st.fp <- st.fp - 1;
+            push_frame st clo.c_proto ~env:clo.c_env ~locals ~update
+        | Ready (VPrim (p, [])) when p.pr_arity = n ->
+            st.counters.Counters.applications <-
+              st.counters.Counters.applications + n;
+            st.counters.Counters.prim_calls <-
+              st.counters.Counters.prim_calls + 1;
+            let args = ref [] in
+            for k = st.sp - 1 downto st.sp - n do
+              args := st.stack.(k) :: !args
+            done;
+            st.sp <- st.sp - n;
+            return_value st (p.pr_fn st !args)
+        | cell ->
+            let fnv =
+              match cell with
+              | Ready v -> v
+              | _ -> runtime "internal error: expected a forced slot"
+            in
+            let args = ref [] in
+            for _ = 1 to n do
+              args := pop st :: !args
+            done;
+            do_apply st ~tail:true fnv !args)
+    | B.APPLY_LOCALS n ->
+        let fnv = value_of (pop st) in
+        let args = ref [] in
+        for k = n - 1 downto 0 do
+          args := fr.f_locals.(k) :: !args
+        done;
+        apply_value st ~tail:true fnv !args
+    | B.RETURN -> (
+        let res = pop st in
+        st.sp <- fr.f_base;
+        st.fp <- st.fp - 1;
+        match fr.f_update with
+        | Some s -> s.cell <- res.cell
+        | None -> push st res)
+    | B.FAIL m -> raise (Eval.Runtime_error m)
+  done
+
+(** Force a slot to a value, running the machine as needed. Re-entrant:
+    primitives use this on their arguments. *)
+and force (st : state) (s : slot) : value =
+  match s.cell with
+  | Ready v -> v
+  | _ ->
+      let stop = st.fp in
+      start_force st s;
+      run_loop st ~stop;
+      value_of s
+
+(* ------------------------------------------------------------------ *)
+(* Conversions between values and OCaml strings / lists.               *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_char_list st (v : value) : string =
+  let buf = Buffer.create 16 in
+  let rec go v =
+    match v with
+    | VData (rc, fields) -> (
+        match Ident.text rc.Eval.rc_name with
+        | "[]" -> ()
+        | ":" -> (
+            (match force st fields.(0) with
+             | VChar c -> Buffer.add_char buf c
+             | _ -> runtime "expected a character in a string");
+            go (force st fields.(1)))
+        | s -> runtime "expected a list of characters, got '%s'" s)
+    | _ -> runtime "expected a list of characters"
+  in
+  go v;
+  Buffer.contents buf
+
+let char_list_of_string st (s : string) : value =
+  let nil_rc =
+    match Ident.Tbl.find_opt st.cons (Ident.intern "[]") with
+    | Some rc -> rc
+    | None -> runtime "list constructors not registered"
+  in
+  let cons_rc = Option.get (Ident.Tbl.find_opt st.cons (Ident.intern ":")) in
+  let rec build i =
+    if i >= String.length s then VData (nil_rc, [||])
+    else VData (cons_rc, [| ready (VChar s.[i]); ready (build (i + 1)) |])
+  in
+  build 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering results (forces the value's spine).                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec render ?(depth = 50) st (v : value) : string =
+  if depth = 0 then "..."
+  else
+    match v with
+    | VInt n -> string_of_int n
+    | VFloat f -> Eval.float_str f
+    | VChar c -> Printf.sprintf "%C" c
+    | VStr s -> Printf.sprintf "%S" s
+    | VDict (tag, fields) ->
+        Printf.sprintf "<dict %s %s (%d fields)>"
+          (Ident.text tag.Core.dt_class) (Ident.text tag.Core.dt_tycon)
+          (Array.length fields)
+    | VClosure _ | VPap _ | VConPartial _ | VPrim _ -> "<function>"
+    | VData (rc, fields) -> render_data ~depth st rc fields
+
+and render_data ~depth st rc fields =
+  let name = Ident.text rc.Eval.rc_name in
+  if name = ":" || name = "[]" then render_list ~depth st rc fields
+  else if
+    String.length name >= 2 && name.[0] = '(' && (name.[1] = ',' || name.[1] = ')')
+  then
+    if Array.length fields = 0 then "()"
+    else
+      "("
+      ^ String.concat ", "
+          (Array.to_list
+             (Array.map (fun t -> render ~depth:(depth - 1) st (force st t)) fields))
+      ^ ")"
+  else if Array.length fields = 0 then name
+  else
+    "("
+    ^ name
+    ^ Array.fold_left
+        (fun acc t -> acc ^ " " ^ render ~depth:(depth - 1) st (force st t))
+        "" fields
+    ^ ")"
+
+and render_list ~depth st rc fields =
+  let items = ref [] in
+  let rec collect rc fields =
+    match Ident.text rc.Eval.rc_name with
+    | "[]" -> true
+    | ":" -> (
+        items := force st fields.(0) :: !items;
+        match force st fields.(1) with
+        | VData (rc', fields') -> collect rc' fields'
+        | _ -> false)
+    | _ -> false
+  in
+  let proper = collect rc fields in
+  let items = List.rev !items in
+  if proper && items <> [] && List.for_all (function VChar _ -> true | _ -> false) items
+  then
+    Printf.sprintf "%S"
+      (String.init (List.length items)
+         (fun i ->
+           match List.nth items i with VChar c -> c | _ -> assert false))
+  else
+    "["
+    ^ String.concat ", " (List.map (render ~depth:(depth - 1) st) items)
+    ^ (if proper then "" else " ...")
+    ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Primitives.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prim name arity fn =
+  (Ident.intern name, { pr_name = name; pr_arity = arity; pr_fn = fn })
+
+let bool_value st b : value =
+  match st.bools with
+  | Some (t, f) -> if b then t else f
+  | None ->
+      let find name =
+        match Ident.Tbl.find_opt st.cons (Ident.intern name) with
+        | Some rc -> VData (rc, [||])
+        | None -> runtime "Bool is not defined (missing prelude?)"
+      in
+      let t = find "True" and f = find "False" in
+      st.bools <- Some (t, f);
+      if b then t else f
+
+let int_arg st t =
+  match force st t with
+  | VInt n -> n
+  | _ -> runtime "primitive expected an Int"
+
+let float_arg st t =
+  match force st t with
+  | VFloat f -> f
+  | _ -> runtime "primitive expected a Float"
+
+let char_arg st t =
+  match force st t with
+  | VChar c -> c
+  | _ -> runtime "primitive expected a Char"
+
+let int2 f = fun st args ->
+  match args with
+  | [ a; b ] -> VInt (f (int_arg st a) (int_arg st b))
+  | _ -> assert false
+
+let float2 f = fun st args ->
+  match args with
+  | [ a; b ] -> VFloat (f (float_arg st a) (float_arg st b))
+  | _ -> assert false
+
+let primitives : (Ident.t * prim) list =
+  [
+    prim "primEqInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (int_arg st a = int_arg st b)
+        | _ -> assert false);
+    prim "primEqFloat" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (float_arg st a = float_arg st b)
+        | _ -> assert false);
+    prim "primEqChar" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (char_arg st a = char_arg st b)
+        | _ -> assert false);
+    prim "primLeInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (int_arg st a <= int_arg st b)
+        | _ -> assert false);
+    prim "primLeFloat" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (float_arg st a <= float_arg st b)
+        | _ -> assert false);
+    prim "primLeChar" 2 (fun st args ->
+        match args with
+        | [ a; b ] -> bool_value st (char_arg st a <= char_arg st b)
+        | _ -> assert false);
+    prim "primAddInt" 2 (int2 ( + ));
+    prim "primSubInt" 2 (int2 ( - ));
+    prim "primMulInt" 2 (int2 ( * ));
+    prim "primDivInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            let d = int_arg st b in
+            if d = 0 then runtime "division by zero"
+            else VInt (int_arg st a / d)
+        | _ -> assert false);
+    prim "primModInt" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            let d = int_arg st b in
+            if d = 0 then runtime "modulo by zero"
+            else VInt (int_arg st a mod d)
+        | _ -> assert false);
+    prim "primNegInt" 1 (fun st args ->
+        match args with
+        | [ a ] -> VInt (-int_arg st a)
+        | _ -> assert false);
+    prim "primAddFloat" 2 (float2 ( +. ));
+    prim "primSubFloat" 2 (float2 ( -. ));
+    prim "primMulFloat" 2 (float2 ( *. ));
+    prim "primDivFloat" 2 (float2 ( /. ));
+    prim "primNegFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> VFloat (-.float_arg st a)
+        | _ -> assert false);
+    prim "primIntToFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> VFloat (float_of_int (int_arg st a))
+        | _ -> assert false);
+    prim "primIntStr" 1 (fun st args ->
+        match args with
+        | [ a ] -> char_list_of_string st (string_of_int (int_arg st a))
+        | _ -> assert false);
+    prim "primFloatStr" 1 (fun st args ->
+        match args with
+        | [ a ] -> char_list_of_string st (Eval.float_str (float_arg st a))
+        | _ -> assert false);
+    prim "primStrInt" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            let s = string_of_char_list st (force st a) in
+            match int_of_string_opt (String.trim s) with
+            | Some n -> VInt n
+            | None ->
+                raise
+                  (Eval.User_error
+                     (Printf.sprintf "primStrInt: cannot parse %S" s)))
+        | _ -> assert false);
+    prim "primStrFloat" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            let s = string_of_char_list st (force st a) in
+            match float_of_string_opt (String.trim s) with
+            | Some f -> VFloat f
+            | None ->
+                raise
+                  (Eval.User_error
+                     (Printf.sprintf "primStrFloat: cannot parse %S" s)))
+        | _ -> assert false);
+    prim "primChr" 1 (fun st args ->
+        match args with
+        | [ a ] ->
+            let n = int_arg st a in
+            if n < 0 || n > 255 then runtime "primChr: out of range"
+            else VChar (Char.chr n)
+        | _ -> assert false);
+    prim "primOrd" 1 (fun st args ->
+        match args with
+        | [ a ] -> VInt (Char.code (char_arg st a))
+        | _ -> assert false);
+    prim "primError" 1 (fun st args ->
+        match args with
+        | [ a ] ->
+            raise (Eval.User_error (string_of_char_list st (force st a)))
+        | _ -> assert false);
+    prim "primFailure" 1 (fun st args ->
+        match args with
+        | [ a ] -> (
+            match force st a with
+            | VStr s -> raise (Eval.Pattern_fail s)
+            | _ -> raise (Eval.Pattern_fail "pattern-match failure"))
+        | _ -> assert false);
+    prim "primTypeTag" 1 (fun st args ->
+        match args with
+        | [ a ] ->
+            st.counters.Counters.tag_dispatches <-
+              st.counters.Counters.tag_dispatches + 1;
+            let tag =
+              match force st a with
+              | VInt _ -> "Int"
+              | VFloat _ -> "Float"
+              | VChar _ -> "Char"
+              | VStr _ -> "<str>"
+              | VData (rc, _) -> Ident.text rc.Eval.rc_tycon
+              | VClosure _ | VPap _ | VConPartial _ | VPrim _ -> "->"
+              | VDict _ -> "<dict>"
+            in
+            VStr tag
+        | _ -> assert false);
+    prim "primForce" 2 (fun st args ->
+        match args with
+        | [ a; b ] ->
+            ignore (force st a);
+            force st b
+        | _ -> assert false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let create_state ?(fuel = -1) ?(max_frames = 1_000_000)
+    (cons : Eval.con_table) : state =
+  {
+    cons;
+    counters = Counters.create ();
+    fuel;
+    max_frames;
+    protos = [||];
+    consts = [||];
+    globals = [||];
+    global_names = [];
+    bools = None;
+    stack = Array.make 256 dummy_slot;
+    sp = 0;
+    frames = Array.init 64 (fun _ -> fresh_frame ());
+    fp = 0;
+  }
+
+let value_of_lit (l : Ast.lit) : value =
+  match l with
+  | Ast.LInt n -> VInt n
+  | Ast.LFloat f -> VFloat f
+  | Ast.LChar c -> VChar c
+  | Ast.LString s -> VStr s
+
+(** Install a program's constant pool and global table (primitives plus
+    delayed CAFs) into the state. *)
+let load_program (st : state) (p : B.program) : unit =
+  st.protos <- p.B.protos;
+  st.consts <- Array.map (fun l -> ready (value_of_lit l)) p.B.consts;
+  st.globals <-
+    Array.map
+      (fun (_, init) ->
+        match init with
+        | B.Gprim name -> (
+            match
+              List.find_opt
+                (fun (n, _) -> Ident.text n = name)
+                primitives
+            with
+            | Some (_, pr) -> ready (VPrim (pr, []))
+            | None -> runtime "unknown primitive '%s'" name)
+        | B.Gproto ix ->
+            { cell = Delay { c_proto = p.B.protos.(ix); c_env = [||] } })
+      p.B.globals;
+  st.global_names <-
+    List.rev (Array.to_list (Array.mapi (fun i (n, _) -> (n, i)) p.B.globals))
+
+(** Run the requested [entry], or the program's [main]. *)
+let run ?entry (st : state) (p : B.program) : value =
+  load_program st p;
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> (
+        match p.B.entry with Some m -> m | None -> Ident.intern "main")
+  in
+  match B.find_global p entry with
+  | Some g -> force st st.globals.(g)
+  | None -> runtime "no '%s' binding to run" (Ident.text entry)

@@ -1,0 +1,60 @@
+(** A stack-based interpreter for {!Bytecode}, with the same observable
+    behaviour and {!Tc_eval.Counters} dictionary accounting as the tree
+    evaluator. Fully iterative: deep non-tail recursion hits the
+    [max_frames] budget and raises {!Tc_eval.Eval.Runtime_error} instead
+    of overflowing the native stack; the instruction budget raises
+    {!Tc_eval.Eval.Out_of_fuel}. *)
+
+open Tc_support
+module Ast = Tc_syntax.Ast
+module Core = Tc_core_ir.Core
+module Eval = Tc_eval.Eval
+module Counters = Tc_eval.Counters
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VChar of char
+  | VStr of string
+  | VData of Eval.rcon * slot array
+  | VConPartial of Eval.rcon * slot list
+  | VClosure of closure
+  | VPap of closure * slot list
+  | VDict of Core.dict_tag * slot array
+  | VPrim of prim * slot list
+
+and closure = { c_proto : Bytecode.proto; c_env : slot array }
+
+and slot = { mutable cell : cell }
+
+and cell =
+  | Ready of value
+  | Delay of closure
+  | Busy
+
+and prim = {
+  pr_name : string;
+  pr_arity : int;
+  pr_fn : state -> slot list -> value;
+}
+
+and state
+
+val counters : state -> Counters.t
+
+(** [create_state ?fuel ?max_frames cons]: [fuel] is an instruction
+    budget ([-1] = unlimited, the default); [max_frames] bounds the frame
+    stack (default [1_000_000]). *)
+val create_state :
+  ?fuel:int -> ?max_frames:int -> Eval.con_table -> state
+
+(** Load [program] and force its entry point ([?entry], the program's
+    [main] otherwise). Raises the {!Tc_eval.Eval} exceptions. *)
+val run : ?entry:Ident.t -> state -> Bytecode.program -> value
+
+(** Force a slot to a value (runs the machine as needed). *)
+val force : state -> slot -> value
+
+(** Render a value the same way the tree evaluator does (forces the
+    spine; lists of characters print as strings). *)
+val render : ?depth:int -> state -> value -> string

@@ -25,6 +25,28 @@ let runs_cleanly src =
   | exception Tc_eval.Eval.Pattern_fail _ -> true
   | exception Tc_eval.Eval.Out_of_fuel -> true
 
+(** Generated programs that run successfully on the tree evaluator must
+    replay identically on the bytecode VM; a VM crash or a different
+    rendered result is a located failure. *)
+let vm_agrees src =
+  match Pipeline.compile ~file:"fuzz.mhs" src with
+  | exception Tc_support.Diagnostic.Error _ -> true
+  | c -> (
+      match Pipeline.exec ~backend:`Tree ~fuel:2_000_000 c with
+      | exception _ -> true (* only successful tree runs are replayed *)
+      | t -> (
+          match Pipeline.exec ~backend:`Vm ~fuel:50_000_000 c with
+          | v ->
+              if t.Pipeline.x_rendered = v.Pipeline.x_rendered then true
+              else
+                QCheck2.Test.fail_reportf
+                  "backends disagree:@.tree: %s@.vm:   %s@.on:@.%s"
+                  t.Pipeline.x_rendered v.Pipeline.x_rendered src
+          | exception e ->
+              QCheck2.Test.fail_reportf
+                "tree succeeded (%s) but the VM raised %s on:@.%s"
+                t.Pipeline.x_rendered (Printexc.to_string e) src))
+
 (* ------------------------------------------------------------------ *)
 (* Generators.                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -108,6 +130,12 @@ let tests =
           compiles_cleanly;
         prop "random programs never crash compile-or-run" ~count:200
           program_gen runs_cleanly;
+        prop "tree-successful programs replay identically on the VM"
+          ~count:200 program_gen vm_agrees;
+        prop "random expressions replay identically on the VM" ~count:150
+          (let* e = expr_gen 5 in
+           pure ("main = " ^ e))
+          vm_agrees;
         prop "token soup never crashes the tag translation" ~count:200
           token_soup
           (fun src ->

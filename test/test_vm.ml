@@ -1,0 +1,303 @@
+(** Differential tests: the bytecode VM against the tree evaluator.
+
+    For every example program and a small inline corpus, across
+    strategy (dict, dict-flat, tags) × optimization (none, all) ×
+    evaluation mode (lazy, strict), both backends must print the same
+    result and report identical dictionary counters
+    (dict_constructions, dict_fields, selections — plus applications,
+    prim_calls and tag_dispatches, which also agree by construction).
+    Error programs must fail with the same exception and message.
+    The VM additionally honours its fuel and frame budgets. *)
+
+open Helpers
+module Pipeline = Typeclasses.Pipeline
+module Counters = Tc_eval.Counters
+module Eval = Tc_eval.Eval
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let program name =
+  read_file (Filename.concat "../examples/programs" (name ^ ".mhs"))
+
+let flat_opts =
+  {
+    Pipeline.default_options with
+    infer =
+      { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
+  }
+
+(* The counters that must agree exactly between backends. *)
+let signature (c : Counters.t) : int list =
+  [
+    c.dict_constructions; c.dict_fields; c.selections; c.applications;
+    c.prim_calls; c.tag_dispatches;
+  ]
+
+let check_parity ?(what = "") (c : Pipeline.compiled) mode =
+  let t = Pipeline.exec ~backend:`Tree ~mode ~fuel:50_000_000 c in
+  let v = Pipeline.exec ~backend:`Vm ~mode ~fuel:500_000_000 c in
+  Alcotest.(check string)
+    (what ^ " rendered result") t.Pipeline.x_rendered v.Pipeline.x_rendered;
+  Alcotest.(check (list int))
+    (what ^ " counters [dicts; fields; sels; apps; prims; tags]")
+    (signature t.Pipeline.x_counters)
+    (signature v.Pipeline.x_counters)
+
+(* ------------------------------------------------------------------ *)
+(* Example programs: full matrix.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let examples =
+  [
+    ("matrix", `Both); ("set", `Both); ("calculator", `Both);
+    ("nqueens", `Both); ("parsec", `Both); ("regex", `Both);
+    ("stats", `Both); ("primes", `Lazy_only);
+  ]
+
+let example_cases =
+  List.concat_map
+    (fun (name, modes) ->
+      let src = lazy (program name) in
+      List.concat_map
+        (fun (sname, opts) ->
+          List.map
+            (fun (pname, passes) ->
+              case
+                (Printf.sprintf "%s %s %s" name sname pname)
+                (fun () ->
+                  let c = compile ~opts (Lazy.force src) in
+                  let c = Pipeline.optimize passes c in
+                  check_parity ~what:"lazy" c `Lazy;
+                  match modes with
+                  | `Both -> check_parity ~what:"strict" c `Strict
+                  | `Lazy_only -> ()))
+            [ ("opt=none", []); ("opt=all", Tc_opt.Opt.all) ])
+        [ ("dict", Pipeline.default_options); ("dict-flat", flat_opts) ]
+      @ [
+          (* the §3 baseline runs on both backends too *)
+          case (name ^ " tags") (fun () ->
+              match
+                Pipeline.compile_tags ~file:"test.mhs" (Lazy.force src)
+              with
+              | c -> check_parity ~what:"tags" c `Lazy
+              | exception Tc_support.Diagnostic.Error _ ->
+                  (* some examples legitimately need dictionaries *)
+                  ());
+        ])
+    examples
+
+(* ------------------------------------------------------------------ *)
+(* Inline corpus: targeted language features.                          *)
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [
+    ( "superclass and defaults",
+      {|
+class MyEq a where
+  eq :: a -> a -> Bool
+
+class MyEq a => MyOrd a where
+  lte :: a -> a -> Bool
+  gt :: a -> a -> Bool
+  gt x y = if lte x y then False else True
+
+instance MyEq Int where
+  eq = (==)
+
+instance MyOrd Int where
+  lte = (<=)
+
+biggest :: MyOrd a => [a] -> a -> a
+biggest [] b = b
+biggest (x:xs) b = biggest xs (if gt x b then x else b)
+
+main = (biggest [3,1,4,1,5] 0, eq (2 :: Int) 2)
+|} );
+    ( "dictionaries over nested lists",
+      {|
+elemOf :: Eq a => a -> [a] -> Bool
+elemOf x [] = False
+elemOf x (y:ys) = x == y || elemOf x ys
+
+main = ( elemOf [1,2] [[0],[1,2],[3]]
+       , elemOf "ab" ["cd", "ab"]
+       , elemOf (1, 'x') [(2, 'y'), (1, 'x')] )
+|} );
+    ( "return-type overloading via literals",
+      {|
+double :: Num a => a -> a
+double x = x + x
+
+main = (double 21, double 1.25, double (3 :: Int))
+|} );
+    ( "case on literals with default",
+      {|
+describe :: Int -> [Char]
+describe 0 = "zero"
+describe 1 = "one"
+describe n = "many"
+
+main = (describe 0, describe 1, describe 7, case 'x' of { 'y' -> 0; _ -> 1 })
+|} );
+    ( "over- and partial application",
+      {|
+add :: Int -> Int -> Int
+add x y = x + y
+
+compose f g x = f (g x)
+
+main = ( (\x -> \y -> x + y) 3 4
+       , map (add 10) [1,2,3]
+       , compose (add 1) (add 2) 5 )
+|} );
+    ( "mutual recursion in a letrec",
+      {|
+main =
+  let isEven n = if n == 0 then True else isOdd (n - 1)
+      isOdd n = if n == 0 then False else isEven (n - 1)
+  in (isEven 10, isOdd 7, take 5 fibs)
+  where fibs = 1 : 1 : zipWith (+) fibs (tail fibs)
+|} );
+    ( "laziness: infinite structures",
+      {|
+nats :: [Int]
+nats = 0 : map (\n -> n + 1) nats
+
+main = (take 5 nats, head (filter (\n -> n > 10) nats))
+|} );
+  ]
+
+let corpus_cases =
+  List.concat_map
+    (fun (name, src) ->
+      List.map
+        (fun (sname, opts, passes) ->
+          case
+            (Printf.sprintf "corpus: %s (%s)" name sname)
+            (fun () ->
+              let c = compile ~opts src in
+              let c = Pipeline.optimize passes c in
+              check_parity ~what:"lazy" c `Lazy))
+        [
+          ("dict", Pipeline.default_options, []);
+          ("dict-flat", flat_opts, []);
+          ("dict opt", Pipeline.default_options, Tc_opt.Opt.all);
+        ])
+    corpus
+
+(* ------------------------------------------------------------------ *)
+(* Error parity: same exception, same message, both backends.          *)
+(* ------------------------------------------------------------------ *)
+
+let outcome f =
+  match f () with
+  | (r : Pipeline.exec_result) -> "ok: " ^ r.Pipeline.x_rendered
+  | exception Eval.User_error m -> "user error: " ^ m
+  | exception Eval.Pattern_fail m -> "pattern fail: " ^ m
+  | exception Eval.Runtime_error m -> "runtime error: " ^ m
+  | exception Eval.Out_of_fuel -> "out of fuel"
+
+let error_programs =
+  [
+    ("user error", {|main = if True then error "boom" else (0 :: Int)|});
+    ( "pattern fail",
+      {|
+firstOdd :: [Int] -> Int
+firstOdd (x:xs) = if x == 1 then x else firstOdd xs
+main = firstOdd [2, 4, 6]
+|} );
+    ( "error inside laziness",
+      {|main = take 3 (1 : 2 : 3 : error "tail") |} );
+  ]
+
+let error_cases =
+  List.map
+    (fun (name, src) ->
+      case ("errors: " ^ name) (fun () ->
+          let c = compile src in
+          let t = outcome (fun () -> Pipeline.exec ~backend:`Tree c) in
+          let v = outcome (fun () -> Pipeline.exec ~backend:`Vm c) in
+          Alcotest.(check string) name t v))
+    error_programs
+
+(* ------------------------------------------------------------------ *)
+(* Budgets: fuel and the frame-stack runaway guard.                    *)
+(* ------------------------------------------------------------------ *)
+
+let deep_src =
+  {|
+count :: Int -> Int
+count n = if n == 0 then 0 else 1 + count (n - 1)
+main = count 50000
+|}
+
+let loop_src =
+  {|
+loop :: Int -> Int -> Int
+loop acc n = if n == 0 then acc else loop (acc + n) (n - 1)
+main = loop 0 100000
+|}
+
+let budget_cases =
+  [
+    case "deep non-tail recursion completes within the default budget"
+      (fun () ->
+        let c = compile deep_src in
+        let r = Pipeline.exec ~backend:`Vm c in
+        Alcotest.(check string) "result" "50000" r.Pipeline.x_rendered);
+    case "frame budget reports deep recursion as a clean Runtime_error"
+      (fun () ->
+        let c = compile deep_src in
+        match Pipeline.exec ~backend:`Vm ~max_frames:1_000 c with
+        | _ -> Alcotest.fail "expected Runtime_error from the frame budget"
+        | exception Eval.Runtime_error m ->
+            if not (contains ~needle:"stack overflow" m) then
+              Alcotest.failf "unexpected message: %s" m);
+    case "fuel budget raises Out_of_fuel" (fun () ->
+        let c = compile deep_src in
+        match Pipeline.exec ~backend:`Vm ~fuel:1_000 c with
+        | _ -> Alcotest.fail "expected Out_of_fuel"
+        | exception Eval.Out_of_fuel -> ());
+    case "tail calls run in constant frame space" (fun () ->
+        (* 100k iterations under a 1k frame budget: only possible if
+           TAILCALL replaces the frame instead of growing the stack *)
+        let c = compile loop_src in
+        let r = Pipeline.exec ~backend:`Vm ~mode:`Strict ~max_frames:1_000 c in
+        Alcotest.(check string) "result" "5000050000" r.Pipeline.x_rendered);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The disassembler names the dictionary instructions.                 *)
+(* ------------------------------------------------------------------ *)
+
+let disasm_cases =
+  [
+    case "disassembly spells out MKDICT/DICTSEL/TAILCALL" (fun () ->
+        let c =
+          compile
+            {|
+elemOf :: Eq a => a -> [a] -> Bool
+elemOf x [] = False
+elemOf x (y:ys) = x == y || elemOf x ys
+main = elemOf [1] [[2], [1]]
+|}
+        in
+        let text = Fmt.str "%a" Tc_vm.Bytecode.pp_program (Pipeline.bytecode c) in
+        List.iter
+          (fun needle ->
+            if not (contains ~needle text) then
+              Alcotest.failf "disassembly does not mention %s" needle)
+          [ "MKDICT"; "DICTSEL"; "TAILCALL"; "SWITCH"; "proto" ]);
+  ]
+
+let tests =
+  [
+    ("vm-differential", example_cases);
+    ("vm-corpus", corpus_cases @ error_cases);
+    ("vm-budgets", budget_cases @ disasm_cases);
+  ]
