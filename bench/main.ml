@@ -17,19 +17,16 @@ module B = Bench_util
 module W = Workloads
 
 let compile = Pipeline.compile
-let flat_opts =
-  {
-    Pipeline.default_options with
-    infer = { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
-  }
+let flat_opts = { Pipeline.default_options with strategy = Pipeline.Dicts_flat }
+let tags_opts = { Pipeline.default_options with strategy = Pipeline.Tags }
 
 let run_counters ?(passes = []) ?opts src : C.t =
   let c = Pipeline.optimize passes (compile ?opts src) in
-  (Pipeline.run c).counters
+  (Pipeline.exec c).counters
 
 let run_time ?(passes = []) ?opts name src : float =
   let c = Pipeline.optimize passes (compile ?opts src) in
-  B.time_ns name (fun () -> ignore (Pipeline.run c))
+  B.time_ns name (fun () -> ignore (Pipeline.exec c))
 
 (* Wall clock of the bytecode VM on the same program. Lowering to
    bytecode happens once, outside the timed thunk — it is a compile
@@ -42,6 +39,20 @@ let vm_time ?(passes = []) ?opts ?(mode = `Lazy) name src : float =
       ignore (Tc_vm.Vm.run (Tc_vm.Vm.create_state cons) prog))
 
 let i = string_of_int
+
+(* The hottest selection site of a workload, from the dispatch profiler:
+   "Class.method xCOUNT". Attributes the dispatch cost the table reports
+   to a concrete call site instead of an aggregate counter. *)
+let hot_site ?(passes = []) ?opts src : string * int =
+  let c = Pipeline.optimize passes (compile ?opts src) in
+  let r = Pipeline.exec ~profile:true c in
+  match (Option.get r.profile).Tc_obs.Profile.r_sels with
+  | [] -> ("-", 0)
+  | e :: _ ->
+      ( Printf.sprintf "%s.%s x%d"
+          (Tc_support.Ident.text e.e_site.Tc_obs.Profile.s_class)
+          e.e_site.Tc_obs.Profile.s_detail e.e_count,
+        e.e_count )
 
 (* ================================================================== *)
 
@@ -89,19 +100,24 @@ let e2 () =
           ~metric:("direct_ms/size=" ^ sz) (B.ms_of_ns t_dir);
         B.record ~experiment:"e2" ~backend:"tree"
           ~metric:("selections/size=" ^ sz) (float_of_int c_ov.selections);
+        let hot, hot_count = hot_site ov in
+        B.record ~experiment:"e2" ~backend:"tree"
+          ~metric:("hot_site_sels/size=" ^ sz) (float_of_int hot_count);
         [ sz;
           i c_dir.steps; i c_ov.steps; i c_ov.selections;
           B.f2 (B.ms_of_ns t_dir); B.f2 (B.ms_of_ns t_ov);
           B.pct ((t_ov -. t_dir) /. t_dir *. 100.);
-          B.f2 (B.ms_of_ns t_vm); B.f2 (t_ov /. t_vm) ^ "x" ])
+          B.f2 (B.ms_of_ns t_vm); B.f2 (t_ov /. t_vm) ^ "x"; hot ])
       [ 0; 10; 100 ]
   in
   B.print_table
     [ "body size"; "steps direct"; "steps dict"; "selections";
-      "direct (ms)"; "dict (ms)"; "overhead"; "vm dict (ms)"; "vm speedup" ]
+      "direct (ms)"; "dict (ms)"; "overhead"; "vm dict (ms)"; "vm speedup";
+      "hot site (profile)" ]
     rows;
   B.print_note "  (dispatch adds one selection per call; relative cost shrinks as \
-          the method body grows)"
+          the method body grows;@.   the profile column names the call site \
+          carrying the dispatch load)"
 
 let e3 () =
   B.print_heading "E3" "cost of passing dictionaries through calls"
@@ -228,10 +244,10 @@ let e7 () =
      type\"";
   let src = W.tag_friendly 200 in
   let dict_c = run_counters src in
-  let tags = Pipeline.compile_tags src in
-  let tags_c = (Pipeline.run tags).counters in
+  let tags = Pipeline.compile ~opts:tags_opts src in
+  let tags_c = (Pipeline.exec tags).counters in
   let t_dict = run_time "e7-dict" src in
-  let t_tags = B.time_ns "e7-tags" (fun () -> ignore (Pipeline.run tags)) in
+  let t_tags = B.time_ns "e7-tags" (fun () -> ignore (Pipeline.exec tags)) in
   B.print_table
     [ "strategy"; "dict-constructions"; "selections"; "tag-dispatches";
       "steps"; "time (ms)" ]
@@ -241,7 +257,7 @@ let e7 () =
       [ "run-time tags"; i tags_c.dict_constructions; i tags_c.selections;
         i tags_c.tag_dispatches; i tags_c.steps; B.f2 (B.ms_of_ns t_tags) ];
     ];
-  (match Pipeline.compile_tags {|main = (parse "42" :: Int)|} with
+  (match Pipeline.compile ~opts:tags_opts {|main = (parse "42" :: Int)|} with
    | exception Tc_support.Diagnostic.Error _ ->
        B.print_note "  return-type overloading (parse): dictionaries OK, tags \
                REJECTED at compile time, as §3 predicts"
@@ -331,11 +347,7 @@ let a1 () =
     "Haskell-style literals (fromInt n :: Num a => a) vs ML-style \
      monomorphic Int literals — what the generality costs";
   let mono_opts =
-    {
-      Pipeline.default_options with
-      infer =
-        { Tc_infer.Infer.default_options with overloaded_literals = false };
-    }
+    { Pipeline.default_options with overloaded_literals = false }
   in
   let src =
     {|
@@ -382,8 +394,8 @@ main = (length (qsort (enumFromTo 1 60)), sum (enumFromTo 1 200))
 |}
   in
   let c = compile src in
-  let lz = (Pipeline.run ~mode:`Lazy c).counters in
-  let strict = (Pipeline.run ~mode:`Strict c).counters in
+  let lz = (Pipeline.exec ~mode:`Lazy c).counters in
+  let strict = (Pipeline.exec ~mode:`Strict c).counters in
   B.print_table
     [ "mode"; "dicts"; "selections"; "apps"; "forces"; "steps" ]
     [

@@ -5,6 +5,8 @@
      core     print the dictionary-converted core program
      run      evaluate `main` (--backend tree|vm)
      counters evaluate `main` and report operation counters
+     trace    print the structured compile-time event trace (--json)
+     profile  rank overloaded dispatch sites by run-time hits (--json)
      disasm   print the VM bytecode
      stats    type check and report checker instrumentation
 
@@ -14,6 +16,9 @@
 
 open Cmdliner
 module Pipeline = Typeclasses.Pipeline
+module Trace = Tc_obs.Trace
+module Profile = Tc_obs.Profile
+module Json = Tc_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -23,23 +28,19 @@ let read_file path =
 
 (* ---- common options ---- *)
 
-type strategy = Dicts | Dicts_flat | Tags
-
 let strategy_conv =
   let parse = function
-    | "dict" | "dicts" | "nested" -> Ok Dicts
-    | "dict-flat" | "flat" -> Ok Dicts_flat
-    | "tags" | "tag" -> Ok Tags
+    | "dict" | "dicts" | "nested" -> Ok Pipeline.Dicts
+    | "dict-flat" | "flat" -> Ok Pipeline.Dicts_flat
+    | "tags" | "tag" -> Ok Pipeline.Tags
     | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
   in
-  Arg.conv (parse, fun ppf s ->
-      Fmt.string ppf
-        (match s with Dicts -> "dict" | Dicts_flat -> "dict-flat" | Tags -> "tags"))
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Pipeline.strategy_name s))
 
 let strategy_arg =
   Arg.(
     value
-    & opt strategy_conv Dicts
+    & opt strategy_conv Pipeline.Dicts
     & info [ "strategy"; "s" ] ~docv:"STRATEGY"
         ~doc:
           "Implementation strategy: $(b,dict) (dictionary passing, nested \
@@ -91,26 +92,19 @@ let mono_literals_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mhs")
 
-let build_opts strategy no_prelude mono_lits : Pipeline.options =
+let build_opts ?(trace = Trace.none) strategy no_prelude mono_lits :
+    Pipeline.options =
   {
-    Pipeline.infer =
-      {
-        Tc_infer.Infer.strategy =
-          (match strategy with
-           | Dicts_flat -> Tc_dicts.Layout.Flat
-           | _ -> Tc_dicts.Layout.Nested);
-        overloaded_literals = not mono_lits;
-        defaulting = true;
-      };
+    Pipeline.default_options with
+    strategy;
+    overloaded_literals = not mono_lits;
     include_prelude = not no_prelude;
-    lint = true;
+    trace;
   }
 
-let compile strategy opts file =
+let compile opts file =
   let src = read_file file in
-  match strategy with
-  | Tags -> Pipeline.compile_tags ~opts ~file src
-  | Dicts | Dicts_flat -> Pipeline.compile ~opts ~file src
+  Pipeline.compile ~opts ~file src
 
 let handle_errors f =
   try f () with
@@ -136,7 +130,7 @@ let check_cmd =
   let doc = "Type check a program and print the inferred qualified types." in
   let run strategy no_prelude mono file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     print_warnings c;
     List.iter
       (fun (n, s) ->
@@ -156,7 +150,7 @@ let core_cmd =
   in
   let run strategy no_prelude mono passes full file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let user_names =
@@ -184,11 +178,11 @@ let run_cmd =
   let doc = "Compile and evaluate $(b,main)." in
   let run strategy no_prelude mono passes mode backend file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let r = Pipeline.exec ~backend ~mode c in
-    Fmt.pr "%s@." r.Pipeline.x_rendered
+    Fmt.pr "%s@." r.Pipeline.rendered
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -199,22 +193,109 @@ let counters_cmd =
   let doc = "Evaluate $(b,main) and report run-time operation counters." in
   let run strategy no_prelude mono passes mode backend file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     let r = Pipeline.exec ~backend ~mode c in
-    Fmt.pr "result: %s@." r.Pipeline.x_rendered;
-    Fmt.pr "%a@." Tc_eval.Counters.pp r.Pipeline.x_counters
+    Fmt.pr "result: %s@." r.Pipeline.rendered;
+    Fmt.pr "%a@." Tc_eval.Counters.pp r.Pipeline.counters
   in
   Cmd.v (Cmd.info "counters" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ file_arg)
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let counters_json (t : Tc_eval.Counters.t) : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tc_eval.Counters.pairs t))
+
+let trace_cmd =
+  let doc =
+    "Compile (and optionally optimize) with the structured event trace \
+     attached, then print every event: context reductions, instance \
+     lookups, placeholder creation/resolution, defaulting decisions, and \
+     per-pass optimizer deltas."
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Include events arising from the prelude's own declarations.")
+  in
+  let run strategy no_prelude mono passes json full file =
+    handle_errors @@ fun () ->
+    let trace, events = Trace.collector () in
+    let c = compile (build_opts ~trace strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    print_warnings c;
+    let keep (e : Trace.event) =
+      full
+      ||
+      match Trace.loc_of_event e with
+      | None -> true  (* whole-program events (optimizer passes) *)
+      | Some l -> Tc_support.Loc.is_none l || l.Tc_support.Loc.file = file
+    in
+    let evs = List.filter keep (events ()) in
+    if json then
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Json.Obj
+              [ ("file", Json.Str file); ("events", Trace.events_json evs) ]))
+    else List.iter (fun e -> Fmt.pr "%a@." Trace.pp_event e) evs
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ json_arg $ full_arg $ file_arg)
+
+let profile_cmd =
+  let doc =
+    "Compile, execute $(b,main), and rank overloaded dispatch sites (method \
+     selections and dictionary constructions) by run-time hits. Per-site \
+     totals sum exactly to the aggregate counters, on either backend."
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show the $(docv) hottest sites of each kind (-1 = all).")
+  in
+  let run strategy no_prelude mono passes mode backend top json file =
+    handle_errors @@ fun () ->
+    let c = compile (build_opts strategy no_prelude mono) file in
+    let c = Pipeline.optimize passes c in
+    print_warnings c;
+    let r = Pipeline.exec ~backend ~mode ~profile:true c in
+    let report = Option.get r.Pipeline.profile in
+    if json then
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Json.Obj
+              [
+                ("file", Json.Str file);
+                ( "backend",
+                  Json.Str (match backend with `Tree -> "tree" | `Vm -> "vm") );
+                ("result", Json.Str r.Pipeline.rendered);
+                ("counters", counters_json r.Pipeline.counters);
+                ("profile", Profile.report_json ~top report);
+              ]))
+    else begin
+      Fmt.pr "result: %s@." r.Pipeline.rendered;
+      Fmt.pr "%a@." Tc_eval.Counters.pp r.Pipeline.counters;
+      Fmt.pr "%a@?" (Profile.pp_report ~top) report
+    end
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
+      $ mode_arg $ backend_arg $ top_arg $ json_arg $ file_arg)
+
 let disasm_cmd =
   let doc = "Compile to VM bytecode and print the disassembly." in
   let run strategy no_prelude mono passes mode file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let prog = Pipeline.bytecode ~mode c in
@@ -230,7 +311,7 @@ let stats_cmd =
              context reductions, placeholders)." in
   let run strategy no_prelude mono file =
     handle_errors @@ fun () ->
-    let c = compile strategy (build_opts strategy no_prelude mono) file in
+    let c = compile (build_opts strategy no_prelude mono) file in
     Fmt.pr "%a@." Tc_types.Stats.pp c.checker_stats
   in
   Cmd.v (Cmd.info "stats" ~doc)
@@ -390,7 +471,7 @@ let main_cmd =
   let doc = "A MiniHaskell compiler implementing type classes by dictionary \
              conversion (Peterson & Jones, PLDI 1993)" in
   Cmd.group (Cmd.info "mhc" ~doc ~version:"1.0.0")
-    [ check_cmd; core_cmd; run_cmd; counters_cmd; disasm_cmd; stats_cmd;
-      repl_cmd ]
+    [ check_cmd; core_cmd; run_cmd; counters_cmd; trace_cmd; profile_cmd;
+      disasm_cmd; stats_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -75,7 +75,7 @@ let () =
   Fmt.pr "== main: call sites pass concrete dictionaries ==@.";
   show_binding compiled "main";
 
-  let r = Pipeline.run compiled in
+  let r = Pipeline.exec compiled in
   Fmt.pr "Result: %s@." r.rendered;
   Fmt.pr "  dictionary constructions: %d, method selections: %d@.@."
     r.counters.dict_constructions r.counters.selections;
@@ -98,7 +98,7 @@ main = chainMember (400 :: Int) (map (\n -> [n]) (enumFromTo 1 400))
   let hoisted =
     Pipeline.optimize Tc_opt.Opt.[ Simplify; Inner_entry; Hoist ] naive
   in
-  let rn = Pipeline.run naive and rh = Pipeline.run hoisted in
+  let rn = Pipeline.exec naive and rh = Pipeline.exec hoisted in
   Fmt.pr "== §8.8: repeated dictionary construction (list length 400) ==@.";
   Fmt.pr "  naive translation:    %d dictionary constructions@."
     rn.counters.dict_constructions;

@@ -77,7 +77,7 @@ let () =
       Fmt.pr "  %s :: %s@." (Tc_support.Ident.text name)
         (Tc_types.Scheme.to_string scheme))
     compiled.user_schemes;
-  let r = Pipeline.run compiled in
+  let r = Pipeline.exec compiled in
   Fmt.pr "@.Result: %s@." r.rendered;
   Fmt.pr "  (%d dictionary constructions, %d selections)@."
     r.counters.dict_constructions r.counters.selections

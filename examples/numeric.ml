@@ -49,14 +49,18 @@ let () =
         (Tc_types.Scheme.to_string scheme))
     compiled.user_schemes;
 
-  let r = Pipeline.run compiled in
+  let r = Pipeline.exec compiled in
   Fmt.pr "@.Result: %s@." r.rendered;
 
   (* The same program under the run-time tag strategy (§3): rejected,
      because parse/fromInt are overloaded only in their result types. *)
   Fmt.pr "@.== Run-time tag dispatch (§3) on the same program ==@.";
   (try
-     let _ = Pipeline.compile_tags ~file:"numeric.mhs" program in
+     let _ =
+       Pipeline.compile
+         ~opts:{ Pipeline.default_options with strategy = Pipeline.Tags }
+         ~file:"numeric.mhs" program
+     in
      Fmt.pr "unexpectedly compiled!@."
    with Tc_support.Diagnostic.Error d ->
      Fmt.pr "rejected, as the paper predicts:@.  %a@." Tc_support.Diagnostic.pp d);
@@ -68,7 +72,11 @@ double x = x + x
 main = (double 21, double 1.5, [1,2] == [1,2], max 'a' 'q')
 |}
   in
-  let tags = Pipeline.compile_tags ~file:"tagfriendly.mhs" tag_friendly in
-  let rt = Pipeline.run tags in
+  let tags =
+    Pipeline.compile
+      ~opts:{ Pipeline.default_options with strategy = Pipeline.Tags }
+      ~file:"tagfriendly.mhs" tag_friendly
+  in
+  let rt = Pipeline.exec tags in
   Fmt.pr "@.A tag-friendly program under tags: %s (%d tag dispatches)@."
     rt.rendered rt.counters.tag_dispatches

@@ -43,14 +43,14 @@ let () =
     compiled.user_schemes;
 
   (* 3. run the translated program *)
-  let result = Pipeline.run compiled in
+  let result = Pipeline.exec compiled in
   Fmt.pr "@.Result: %s@." result.rendered;
   Fmt.pr "Dictionary ops: %d constructions, %d selections@."
     result.counters.dict_constructions result.counters.selections;
 
   (* 4. the same program, fully specialized: dispatch disappears (§9) *)
   let optimized = Pipeline.optimize Tc_opt.Opt.all compiled in
-  let result' = Pipeline.run optimized in
+  let result' = Pipeline.exec optimized in
   Fmt.pr "@.After specialization: %s@." result'.rendered;
   Fmt.pr "Dictionary ops: %d constructions, %d selections@."
     result'.counters.dict_constructions result'.counters.selections

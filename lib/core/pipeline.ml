@@ -3,9 +3,15 @@
     [compile] takes MiniHaskell source text through:
     lex → layout → parse → fixity resolution → static analysis (§4) →
     desugaring/match compilation → type inference with dictionary
-    conversion (§5–6) → dictionary generation → core program.
+    conversion (§5–6) → dictionary generation → core program. One
+    [options] record selects the implementation strategy (nested
+    dictionaries, flat dictionaries, or §3 run-time tags) and carries the
+    observability sink ({!Tc_obs.Trace}) that the whole pipeline reports
+    into.
 
-    [run] evaluates the result with the instrumented evaluator. *)
+    [exec] evaluates the result on either backend (tree evaluator or
+    bytecode VM), optionally collecting a per-call-site dispatch profile
+    ({!Tc_obs.Profile}). *)
 
 open Tc_support
 module Ast = Tc_syntax.Ast
@@ -22,20 +28,61 @@ module Prims = Tc_infer.Prims
 module Core = Tc_core_ir.Core
 module Lint = Tc_core_ir.Lint
 module Scc = Tc_core_ir.Scc
+module Layout = Tc_dicts.Layout
 module Construct = Tc_dicts.Construct
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
+module Trace = Tc_obs.Trace
+module Profile = Tc_obs.Profile
 
 let err = Diagnostic.errorf
 
+(* ------------------------------------------------------------------ *)
+(* Options.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type strategy =
+  | Dicts       (* dictionary passing, nested superclass layout (§4) *)
+  | Dicts_flat  (* dictionary passing, flat layout (§8.1) *)
+  | Tags        (* run-time tag dispatch (§3) *)
+
+let strategy_name = function
+  | Dicts -> "dicts"
+  | Dicts_flat -> "dicts-flat"
+  | Tags -> "tags"
+
 type options = {
-  infer : Infer.options;
+  strategy : strategy;
+  overloaded_literals : bool;  (* integer literals via fromInt (Num a => a) *)
+  defaulting : bool;           (* resolve ambiguous numeric contexts *)
   include_prelude : bool;
   lint : bool;
+  trace : Trace.t;             (* compile-time event sink; off by default *)
 }
 
 let default_options =
-  { infer = Infer.default_options; include_prelude = true; lint = true }
+  {
+    strategy = Dicts;
+    overloaded_literals = true;
+    defaulting = true;
+    include_prelude = true;
+    lint = true;
+    trace = Trace.none;
+  }
+
+(** The checker-level options implied by the pipeline options. Under [Tags]
+    the program is still checked with the nested dictionary translation
+    (for safety and reported types) before the independent §3 translation
+    replaces the core program. *)
+let infer_options (o : options) : Infer.options =
+  {
+    Infer.strategy =
+      (match o.strategy with
+       | Dicts_flat -> Layout.Flat
+       | Dicts | Tags -> Layout.Nested);
+    overloaded_literals = o.overloaded_literals;
+    defaulting = o.defaulting;
+  }
 
 type compiled = {
   env : Class_env.t;
@@ -145,11 +192,13 @@ let front ~include_prelude ~file src :
   let groups = Desugar.top_decls env value_decls in
   (env, groups, fixities)
 
-let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
-    compiled =
+(** The dictionary-passing translation (both layouts). *)
+let compile_dicts ~(opts : options) ~file (src : string) : compiled =
   Stats.reset ();
+  let iopts = infer_options opts in
   let env, groups, fixities = front ~include_prelude:opts.include_prelude ~file src in
-  let st = Infer.create_state ~opts:opts.infer env in
+  env.Class_env.trace <- opts.trace;
+  let st = Infer.create_state ~opts:iopts env in
   Infer.push_scope st;
   let venv0 =
     List.fold_left
@@ -253,7 +302,7 @@ let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
       (Class_env.all_instances env)
   in
   (* dictionary bindings (mechanical, §4) *)
-  let dict_binds = Construct.all_dict_bindings env opts.infer.strategy in
+  let dict_binds = Construct.all_dict_bindings env iopts.strategy in
   Infer.final_resolve st;
   let main_id = Ident.intern "main" in
   let has_main =
@@ -294,23 +343,41 @@ let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
     fixities;
   }
 
-(* ------------------------------------------------------------------ *)
-(* Running.                                                            *)
-(* ------------------------------------------------------------------ *)
+let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
+    compiled =
+  match opts.strategy with
+  | Dicts | Dicts_flat -> compile_dicts ~opts ~file src
+  | Tags ->
+      (* 1. ordinary type checking, for safety and reported types. (Checking
+         keeps overloaded literals; the tag translation then treats integer
+         literals as monomorphic Int, as ML does — code that relies on
+         return-type overloading of literals misbehaves under tags, which is
+         part of the point of §3.) *)
+      let checked = compile_dicts ~opts ~file src in
+      (* 2. independent tag-dispatch translation of the same source *)
+      let env, groups, _ =
+        front ~include_prelude:opts.include_prelude ~file src
+      in
+      let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
+      if opts.lint then Lint.check_program ~primitives:Prims.names core;
+      { checked with env; core }
 
-type run_result = {
-  value : Eval.value;
-  rendered : string;
-  counters : Counters.t;
-}
-
-let run ?(mode = `Lazy) ?(fuel = -1) ?entry (c : compiled) : run_result =
-  let cons = Eval.con_table_of_env c.env in
-  let st = Eval.create_state ~mode ~fuel cons in
-  let value = Eval.run ?entry st c.core in
-  { value; rendered = Eval.render st value; counters = st.counters }
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+(* ------------------------------------------------------------------ *)
 
 type backend = [ `Tree | `Vm ]
+
+type result = {
+  rendered : string;
+  counters : Counters.t;
+  value : Eval.value option;            (* tree backend only *)
+  profile : Profile.report option;      (* when requested *)
+}
+
+(* deprecated names for [result]; see the interface *)
+type run_result = result
+type exec_result = result
 
 (** Lower a compiled program to bytecode. The [mode] is baked in at
     compile time: lazy code delays arguments and let bindings, strict code
@@ -319,34 +386,43 @@ let bytecode ?(mode = `Lazy) (c : compiled) : Tc_vm.Bytecode.program =
   let cons = Eval.con_table_of_env c.env in
   Tc_vm.Compile.program ~mode ~cons c.core
 
-type exec_result = {
-  x_rendered : string;
-  x_counters : Counters.t;
-}
-
 (** Backend-agnostic execution: run on the tree evaluator or compile to
     bytecode and run on the stack VM. Both report the same rendered value
-    and the same dictionary counters. *)
+    and the same dictionary counters. With [~profile:true], every
+    [Sel]/[MkDict] executed is also charged to its compile-time dispatch
+    site and the result carries the ranked report. *)
 let exec ?(backend = `Tree) ?(mode = `Lazy) ?(fuel = -1) ?max_frames ?entry
-    (c : compiled) : exec_result =
+    ?(profile = false) (c : compiled) : result =
+  let cons = Eval.con_table_of_env c.env in
+  let rt = if profile then Some (Profile.create_rt ()) else None in
+  let finish ~rendered ~counters ~value =
+    let report =
+      Option.map
+        (fun rt -> Profile.make ~sites:(Profile.site_table c.core) rt)
+        rt
+    in
+    { rendered; counters; value; profile = report }
+  in
   match backend with
   | `Tree ->
-      let r = run ~mode ~fuel ?entry c in
-      { x_rendered = r.rendered; x_counters = r.counters }
+      let st = Eval.create_state ~mode ~fuel ?profile:rt cons in
+      let v = Eval.run ?entry st c.core in
+      finish ~rendered:(Eval.render st v) ~counters:st.Eval.counters
+        ~value:(Some v)
   | `Vm ->
-      let cons = Eval.con_table_of_env c.env in
       let prog = Tc_vm.Compile.program ~mode ~cons c.core in
-      let st = Tc_vm.Vm.create_state ~fuel ?max_frames cons in
+      let st = Tc_vm.Vm.create_state ~fuel ?max_frames ?profile:rt cons in
       let v = Tc_vm.Vm.run ?entry st prog in
-      {
-        x_rendered = Tc_vm.Vm.render st v;
-        x_counters = Tc_vm.Vm.counters st;
-      }
+      finish ~rendered:(Tc_vm.Vm.render st v)
+        ~counters:(Tc_vm.Vm.counters st) ~value:None
 
-(** Convenience: compile and run in one step. *)
-let compile_and_run ?opts ?file ?(mode = `Lazy) ?fuel src =
+let run ?mode ?fuel ?entry (c : compiled) : result =
+  exec ~backend:`Tree ?mode ?fuel ?entry c
+
+(** Convenience: compile and run in one step (on either backend). *)
+let compile_and_run ?opts ?file ?backend ?(mode = `Lazy) ?fuel ?profile src =
   let c = compile ?opts ?file src in
-  (c, run ~mode ?fuel c)
+  (c, exec ?backend ~mode ?fuel ?profile c)
 
 (** Type check only; returns the inferred qualified types of the user's
     top-level bindings, rendered. *)
@@ -362,37 +438,34 @@ let expression_type (c : compiled) (src : string) : string =
   let e = Parser.parse_expression ~file:"<interactive>" src in
   let e = Fixity.expr c.fixities e in
   let k = Tc_desugar.Desugar.expr c.env e in
-  let st = Infer.create_state ~opts:c.options.infer c.env in
+  let st = Infer.create_state ~opts:(infer_options c.options) c.env in
   Infer.push_scope st;
   let ty, _core = Infer.infer_expr st c.venv k in
   ignore (Infer.pop_scope st);
   Fmt.str "%a" Tc_types.Ty.pp_qualified ty
 
-(** Apply an optimizer pipeline to a compiled program. *)
+(** Apply an optimizer pipeline to a compiled program, reporting a
+    per-pass [Opt_pass] event (program size and static dictionary-operation
+    deltas) to the compile's trace sink. *)
 let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
-  let core = Tc_opt.Opt.run passes c.core in
+  let tr = c.options.trace in
+  let core =
+    List.fold_left
+      (fun core pass ->
+        if Trace.is_on tr then begin
+          let size_before = Profile.program_size core in
+          let sels_before, dicts_before = Profile.static_dict_ops core in
+          let core' = Tc_opt.Opt.run_pass pass core in
+          Trace.emit tr (fun () ->
+              let size_after = Profile.program_size core' in
+              let sels_after, dicts_after = Profile.static_dict_ops core' in
+              Trace.Opt_pass
+                { pass = Tc_opt.Opt.pass_name pass; size_before; size_after;
+                  sels_before; sels_after; dicts_before; dicts_after });
+          core'
+        end
+        else Tc_opt.Opt.run_pass pass core)
+      c.core passes
+  in
   if c.options.lint then Lint.check_program ~primitives:Prims.names core;
   { c with core }
-
-(* ------------------------------------------------------------------ *)
-(* The §3 baseline: run-time tag dispatch.                             *)
-(* ------------------------------------------------------------------ *)
-
-(** Compile under the run-time tag dispatch strategy (paper §3). The
-    program is still type checked (with monomorphic integer literals, as in
-    ML), then translated without dictionaries: methods branch on the
-    dynamic type tag of their dispatch argument. Return-type overloading is
-    rejected ([Diagnostic.Error]). *)
-let compile_tags ?(opts = default_options) ?(file = "<input>") (src : string) :
-    compiled =
-  (* 1. ordinary type checking, for safety and reported types. (Checking
-     keeps overloaded literals; the tag translation then treats integer
-     literals as monomorphic Int, as ML does — code that relies on
-     return-type overloading of literals misbehaves under tags, which is
-     part of the point of §3.) *)
-  let checked = compile ~opts ~file src in
-  (* 2. independent tag-dispatch translation of the same source *)
-  let env, groups, _ = front ~include_prelude:opts.include_prelude ~file src in
-  let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
-  if opts.lint then Lint.check_program ~primitives:Prims.names core;
-  { checked with env; core }

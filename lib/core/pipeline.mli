@@ -3,10 +3,16 @@
     [compile] takes MiniHaskell source through lex → layout → parse →
     fixity resolution → static analysis (§4) → desugaring/match
     compilation → type inference with dictionary conversion (§5–§6) →
-    dictionary generation → linted core program. [run] evaluates the
-    result with the instrumented evaluator; [optimize] applies §8/§9
-    optimizer passes; [compile_tags] uses the §3 run-time tag strategy
-    instead of dictionaries. *)
+    dictionary generation → linted core program. One {!options} record
+    selects the implementation {!strategy} (nested dictionaries, flat
+    dictionaries, or §3 run-time tags) and carries the {!Tc_obs.Trace}
+    sink the whole pipeline reports into (context reduction, placeholder
+    life cycle, instance lookups, defaulting, optimizer passes).
+
+    [exec] evaluates the result on either backend — the instrumented tree
+    evaluator or the bytecode VM — and can collect a per-call-site
+    dispatch profile ({!Tc_obs.Profile}); [optimize] applies §8/§9
+    optimizer passes, reporting per-pass deltas to the trace sink. *)
 
 open Tc_support
 module Class_env = Tc_types.Class_env
@@ -18,13 +24,29 @@ module Core = Tc_core_ir.Core
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
 
+(** How overloading is implemented (paper §3, §4, §8.1). *)
+type strategy =
+  | Dicts       (** dictionary passing, nested superclass layout (§4) *)
+  | Dicts_flat  (** dictionary passing, flat layout (§8.1) *)
+  | Tags        (** run-time tag dispatch (§3) *)
+
+val strategy_name : strategy -> string
+
 type options = {
-  infer : Infer.options;
+  strategy : strategy;
+  overloaded_literals : bool;
+      (** integer literals via [fromInt] ([Num a => a]) *)
+  defaulting : bool;  (** resolve ambiguous numeric contexts *)
   include_prelude : bool;
   lint : bool;
+  trace : Tc_obs.Trace.t;
+      (** compile-time event sink; {!Tc_obs.Trace.none} (off) by default *)
 }
 
 val default_options : options
+
+(** The checker-level options implied by the pipeline options. *)
+val infer_options : options -> Infer.options
 
 type compiled = {
   env : Class_env.t;
@@ -38,57 +60,69 @@ type compiled = {
   fixities : Fixity.env; (** tooling: the program's fixity table *)
 }
 
-(** Compile a program under the dictionary-passing strategy. Raises
-    {!Diagnostic.Error} on any compile-time error. *)
+(** Compile a program under [opts.strategy]. Raises {!Diagnostic.Error} on
+    any compile-time error. Under {!Tags} the program is still type checked
+    (methods overloaded only in their result type are rejected in user
+    code) before the independent §3 translation. *)
 val compile : ?opts:options -> ?file:string -> string -> compiled
 
-type run_result = {
-  value : Eval.value;
-  rendered : string;
-  counters : Counters.t;
+type backend = [ `Tree | `Vm ]
+
+(** What executing a compiled program produced, on either backend. *)
+type result = {
+  rendered : string;             (** the rendered value of [main]/[entry] *)
+  counters : Counters.t;         (** aggregate dictionary-operation counts *)
+  value : Eval.value option;     (** the raw value ([`Tree] backend only) *)
+  profile : Tc_obs.Profile.report option;
+      (** per-site dispatch profile, when requested *)
 }
 
-(** Evaluate [main] (or [entry]). [fuel] bounds evaluation steps
-    (negative = unlimited). *)
-val run :
-  ?mode:[ `Lazy | `Strict ] ->
-  ?fuel:int ->
-  ?entry:Ident.t ->
-  compiled ->
-  run_result
+type run_result = result
+[@@ocaml.deprecated "use Pipeline.result"]
 
-type backend = [ `Tree | `Vm ]
+type exec_result = result
+[@@ocaml.deprecated "use Pipeline.result"]
 
 (** Lower a compiled program to VM bytecode ([mode] is baked in at
     compile time). *)
 val bytecode :
   ?mode:[ `Lazy | `Strict ] -> compiled -> Tc_vm.Bytecode.program
 
-type exec_result = {
-  x_rendered : string;
-  x_counters : Counters.t;
-}
-
-(** Backend-agnostic execution: the tree evaluator or the bytecode VM.
-    Both produce the same rendered value and dictionary counters. [fuel]
-    bounds evaluation steps (tree) or instructions (VM); [max_frames]
-    bounds the VM frame stack. *)
+(** Backend-agnostic execution: the tree evaluator ([`Tree], the default)
+    or the bytecode VM ([`Vm]). Both produce the same rendered value and
+    dictionary counters. [fuel] bounds evaluation steps (tree) or
+    instructions (VM); [max_frames] bounds the VM frame stack.
+    [~profile:true] additionally charges every [Sel]/[MkDict] executed to
+    its compile-time dispatch site; the per-site totals sum exactly to the
+    aggregate [counters]. *)
 val exec :
   ?backend:backend ->
   ?mode:[ `Lazy | `Strict ] ->
   ?fuel:int ->
   ?max_frames:int ->
   ?entry:Ident.t ->
+  ?profile:bool ->
   compiled ->
-  exec_result
+  result
 
+val run :
+  ?mode:[ `Lazy | `Strict ] ->
+  ?fuel:int ->
+  ?entry:Ident.t ->
+  compiled ->
+  result
+[@@ocaml.deprecated "use Pipeline.exec"]
+
+(** Compile and execute in one step (on either backend). *)
 val compile_and_run :
   ?opts:options ->
   ?file:string ->
+  ?backend:backend ->
   ?mode:[ `Lazy | `Strict ] ->
   ?fuel:int ->
+  ?profile:bool ->
   string ->
-  compiled * run_result
+  compiled * result
 
 (** Type check only; user bindings with rendered qualified types. *)
 val check_types : ?opts:options -> ?file:string -> string -> (string * string) list
@@ -97,10 +131,7 @@ val check_types : ?opts:options -> ?file:string -> string -> (string * string) l
     program's environment (the REPL's [:type]). *)
 val expression_type : compiled -> string -> string
 
-(** Apply an optimizer pipeline (re-linting the result). *)
+(** Apply an optimizer pipeline (re-linting the result). Each pass reports
+    an [Opt_pass] event — program size and static [Sel]/[MkDict] deltas —
+    to the compile's trace sink. *)
 val optimize : Tc_opt.Opt.pass list -> compiled -> compiled
-
-(** Compile under the §3 run-time tag dispatch strategy. The program is
-    still type checked; methods overloaded only in their result type are
-    rejected in user code. *)
-val compile_tags : ?opts:options -> ?file:string -> string -> compiled

@@ -13,10 +13,21 @@ open Tc_support
 
 type lit = Tc_syntax.Ast.lit
 
+(** A dispatch site: the identity of one [Sel]/[MkDict] node as created by
+    dictionary conversion. Ids are unique per process; the optimizer and
+    the VM compiler reuse the carrying records, so a site survives into
+    whatever code finally runs and per-site runtime counts can be
+    attributed back to this source location. *)
+type site = {
+  site_id : int;
+  site_loc : Loc.t;
+}
+
 (** Debug/statistics label for a dictionary value: which instance built it. *)
 type dict_tag = {
   dt_class : Ident.t;
   dt_tycon : Ident.t;
+  dt_site : site;
 }
 
 (** A selection out of a dictionary tuple. *)
@@ -24,6 +35,7 @@ type sel_info = {
   sel_class : Ident.t;   (* class whose dictionary layout is consulted *)
   sel_index : int;       (* slot *)
   sel_label : string;    (* method or superclass name, for printing *)
+  sel_site : site;
 }
 
 (** A placeholder awaiting resolution at generalization time. *)
@@ -73,6 +85,11 @@ type program = {
 let hole_supply = Supply.create ~start:1 ()
 
 let fresh_hole () : hole = { hole_id = Supply.next hole_supply; hole_fill = None }
+
+let site_supply = Supply.create ~start:1 ()
+
+let fresh_site ?(loc = Loc.none) () : site =
+  { site_id = Supply.next site_supply; site_loc = loc }
 
 let var x = Var x
 let app f a = App (f, a)

@@ -8,10 +8,19 @@ open Tc_support
 
 type lit = Tc_syntax.Ast.lit
 
+(** A dispatch site: the identity of one [Sel]/[MkDict] node as created by
+    dictionary conversion. Ids are unique per process and survive
+    optimization and VM compilation, enabling per-site runtime profiling. *)
+type site = {
+  site_id : int;
+  site_loc : Loc.t;
+}
+
 (** Which instance built a dictionary (debugging/statistics). *)
 type dict_tag = {
   dt_class : Ident.t;
   dt_tycon : Ident.t;
+  dt_site : site;
 }
 
 (** A selection out of a dictionary tuple. *)
@@ -19,6 +28,7 @@ type sel_info = {
   sel_class : Ident.t;
   sel_index : int;
   sel_label : string;  (** method or superclass name, for printing *)
+  sel_site : site;
 }
 
 (** A placeholder awaiting resolution at generalization time. *)
@@ -62,6 +72,9 @@ type program = {
 }
 
 val fresh_hole : unit -> hole
+
+(** Mint a dispatch site (see {!site}); [loc] defaults to {!Loc.none}. *)
+val fresh_site : ?loc:Loc.t -> unit -> site
 
 (** {2 Constructors and helpers} *)
 

@@ -1,20 +1,27 @@
 (** Code generation for consulting dictionaries: method selection and
-    superclass-dictionary extraction, under either layout. *)
+    superclass-dictionary extraction, under either layout.
+
+    Every generated [Sel]/[MkDict] node is minted a fresh dispatch site
+    ({!Core.fresh_site}) carrying [loc] — the source position of the
+    overloaded occurrence being translated — so runtime profiling can rank
+    call sites. *)
 
 open Tc_support
 module Class_env = Tc_types.Class_env
 module Core = Tc_core_ir.Core
 
-(** [method_access env strategy ~have ~cls ~meth dict] selects method [meth]
-    of class [cls] out of [dict], a dictionary for class [have] (where
-    [have] implies [cls]). *)
-let method_access env strategy ~(have : Ident.t) ~(cls : Ident.t)
-    ~(meth : Ident.t) (dict : Core.expr) : Core.expr =
+(** [method_access env strategy ~loc ~have ~cls ~meth dict] selects method
+    [meth] of class [cls] out of [dict], a dictionary for class [have]
+    (where [have] implies [cls]). *)
+let method_access env strategy ?(loc = Loc.none) ~(have : Ident.t)
+    ~(cls : Ident.t) ~(meth : Ident.t) (dict : Core.expr) : Core.expr =
   match strategy with
   | Layout.Flat ->
       let idx = Layout.flat_index env have ~owner:cls ~meth in
       Core.Sel
-        ({ sel_class = have; sel_index = idx; sel_label = Ident.text meth }, dict)
+        ( { sel_class = have; sel_index = idx; sel_label = Ident.text meth;
+            sel_site = Core.fresh_site ~loc () },
+          dict )
   | Layout.Nested ->
       let chain =
         match Layout.super_chain env ~have ~target:cls with
@@ -30,21 +37,25 @@ let method_access env strategy ~(have : Ident.t) ~(cls : Ident.t)
             let idx = Option.get (Layout.nested_super_index env at s) in
             ( Core.Sel
                 ( { Core.sel_class = at; sel_index = idx;
-                    sel_label = "super:" ^ Ident.text s },
+                    sel_label = "super:" ^ Ident.text s;
+                    sel_site = Core.fresh_site ~loc () },
                   d ),
               s ))
           (dict, have) chain
       in
       let idx = Layout.nested_method_index env cls meth in
       Core.Sel
-        ({ sel_class = cls; sel_index = idx; sel_label = Ident.text meth }, dict')
+        ( { sel_class = cls; sel_index = idx; sel_label = Ident.text meth;
+            sel_site = Core.fresh_site ~loc () },
+          dict' )
 
-(** [super_dict env strategy ~have ~target dict] produces a dictionary value
-    for class [target] given [dict] for class [have] (where [have] implies
-    [target]). Under the nested layout this is a selection chain; under the
-    flat layout a fresh dictionary must be packed (the §8.1 trade-off). *)
-let super_dict env strategy ~(have : Ident.t) ~(target : Ident.t)
-    (dict : Core.expr) : Core.expr =
+(** [super_dict env strategy ~loc ~have ~target dict] produces a dictionary
+    value for class [target] given [dict] for class [have] (where [have]
+    implies [target]). Under the nested layout this is a selection chain;
+    under the flat layout a fresh dictionary must be packed (the §8.1
+    trade-off). *)
+let super_dict env strategy ?(loc = Loc.none) ~(have : Ident.t)
+    ~(target : Ident.t) (dict : Core.expr) : Core.expr =
   if Ident.equal have target then dict
   else
     match strategy with
@@ -63,7 +74,8 @@ let super_dict env strategy ~(have : Ident.t) ~(target : Ident.t)
               let idx = Option.get (Layout.nested_super_index env at s) in
               ( Core.Sel
                   ( { Core.sel_class = at; sel_index = idx;
-                      sel_label = "super:" ^ Ident.text s },
+                      sel_label = "super:" ^ Ident.text s;
+                      sel_site = Core.fresh_site ~loc () },
                     d ),
                 s ))
             (dict, have) chain
@@ -79,9 +91,12 @@ let super_dict env strategy ~(have : Ident.t) ~(target : Ident.t)
               let idx = Layout.flat_index env have ~owner ~meth in
               Core.Sel
                 ( { Core.sel_class = have; sel_index = idx;
-                    sel_label = Ident.text meth },
+                    sel_label = Ident.text meth;
+                    sel_site = Core.fresh_site ~loc () },
                   dict ))
             slots
         in
         Core.MkDict
-          ({ dt_class = target; dt_tycon = Ident.intern "<repack>" }, fields)
+          ( { dt_class = target; dt_tycon = Ident.intern "<repack>";
+              dt_site = Core.fresh_site ~loc () },
+            fields )

@@ -1,27 +1,31 @@
-(** Code generation for consulting dictionaries. *)
+(** Code generation for consulting dictionaries. Generated [Sel]/[MkDict]
+    nodes are minted fresh dispatch sites at [loc] (default {!Loc.none})
+    for runtime profiling. *)
 
 open Tc_support
 module Class_env = Tc_types.Class_env
 module Core = Tc_core_ir.Core
 
-(** [method_access env strategy ~have ~cls ~meth dict] selects method
+(** [method_access env strategy ~loc ~have ~cls ~meth dict] selects method
     [meth] of class [cls] out of [dict], a dictionary for [have] (where
     [have] implies [cls]). *)
 val method_access :
   Class_env.t ->
   Layout.strategy ->
+  ?loc:Loc.t ->
   have:Ident.t ->
   cls:Ident.t ->
   meth:Ident.t ->
   Core.expr ->
   Core.expr
 
-(** [super_dict env strategy ~have ~target dict] produces a [target]-class
-    dictionary from a [have]-class one: a selection chain when nested, a
-    repack when flat (the §8.1 trade-off). *)
+(** [super_dict env strategy ~loc ~have ~target dict] produces a
+    [target]-class dictionary from a [have]-class one: a selection chain
+    when nested, a repack when flat (the §8.1 trade-off). *)
 val super_dict :
   Class_env.t ->
   Layout.strategy ->
+  ?loc:Loc.t ->
   have:Ident.t ->
   target:Ident.t ->
   Core.expr ->

@@ -35,7 +35,7 @@ let dict_for env strategy (inst : Class_env.inst_info) ~(param : int) cls :
   let available = inst.in_context.(param) in
   match List.find_opt (fun c' -> Class_env.implies env c' cls) available with
   | Some c' ->
-      Access.super_dict env strategy ~have:c' ~target:cls
+      Access.super_dict env strategy ~loc:inst.in_loc ~have:c' ~target:cls
         (Core.Var (param_name param c'))
   | None ->
       invalid_arg
@@ -94,7 +94,10 @@ and method_slot env strategy ~(self : Ident.t)
 (** The body of an instance's dictionary binding. *)
 let instance_dict_expr env strategy (inst : Class_env.inst_info) : Core.expr =
   let self = Ident.gensym "self" in
-  let tag = { Core.dt_class = inst.in_class; dt_tycon = inst.in_tycon } in
+  let tag =
+    { Core.dt_class = inst.in_class; dt_tycon = inst.in_tycon;
+      dt_site = Core.fresh_site ~loc:inst.in_loc () }
+  in
   let uses_default = ref false in
   let fields =
     match strategy with

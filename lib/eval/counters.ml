@@ -40,6 +40,19 @@ let reset t =
   t.prim_calls <- 0;
   t.tag_dispatches <- 0
 
+let pairs t =
+  [
+    ("steps", t.steps);
+    ("applications", t.applications);
+    ("dict_constructions", t.dict_constructions);
+    ("dict_fields", t.dict_fields);
+    ("selections", t.selections);
+    ("thunk_forces", t.thunk_forces);
+    ("allocations", t.allocations);
+    ("prim_calls", t.prim_calls);
+    ("tag_dispatches", t.tag_dispatches);
+  ]
+
 let pp ppf t =
   Fmt.pf ppf
     "steps=%d apps=%d dict-constructions=%d dict-fields=%d selections=%d \

@@ -15,4 +15,9 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Every counter as a (name, value) pair, in declaration order — the basis
+    for the JSON renderings used by [mhc counters]/[trace]/[profile]. *)
+val pairs : t -> (string * int) list
+
 val pp : Format.formatter -> t -> unit

@@ -75,6 +75,7 @@ and state = {
   mode : [ `Lazy | `Strict ];
   cons : con_table;
   counters : Counters.t;
+  profile : Tc_obs.Profile.rt option;  (* per-site dispatch counts *)
   mutable fuel : int;          (* remaining steps; negative = unlimited *)
   mutable globals : env;       (* top-level bindings, for rendering etc. *)
 }
@@ -194,10 +195,16 @@ and eval st (env : env) (e : Core.expr) : value =
       st.counters.dict_constructions <- st.counters.dict_constructions + 1;
       st.counters.dict_fields <- st.counters.dict_fields + List.length fields;
       st.counters.allocations <- st.counters.allocations + 1;
+      (match st.profile with
+       | Some p -> Tc_obs.Profile.hit_dict p tag
+       | None -> ());
       (* dictionary fields are always delayed; see module comment *)
       VDict (tag, Array.of_list (List.map (fun f -> { cell = Todo (env, f) }) fields))
   | Core.Sel (info, d) -> (
       st.counters.selections <- st.counters.selections + 1;
+      (match st.profile with
+       | Some p -> Tc_obs.Profile.hit_sel p info
+       | None -> ());
       match eval st env d with
       | VDict (_, fields) ->
           if info.sel_index >= Array.length fields then
@@ -532,11 +539,13 @@ let primitives : (Ident.t * prim) list =
 (* Whole programs.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ?(mode = `Lazy) ?(fuel = -1) (cons : con_table) : state =
+let create_state ?(mode = `Lazy) ?(fuel = -1) ?profile (cons : con_table) :
+    state =
   {
     mode;
     cons;
     counters = Counters.create ();
+    profile;
     fuel;
     globals = Ident.Map.empty;
   }

@@ -59,6 +59,7 @@ and state = {
   mode : [ `Lazy | `Strict ];
   cons : con_table;
   counters : Counters.t;
+  profile : Tc_obs.Profile.rt option;  (** per-site dispatch counts *)
   mutable fuel : int;          (** remaining steps; negative = unlimited *)
   mutable globals : env;
 }
@@ -85,7 +86,14 @@ val primitives : (Ident.t * prim) list
 
 (** {2 Whole programs} *)
 
-val create_state : ?mode:[ `Lazy | `Strict ] -> ?fuel:int -> con_table -> state
+(** [profile] attaches a per-site dispatch profile; every [Sel]/[MkDict]
+    evaluated is also counted against its compile-time site. *)
+val create_state :
+  ?mode:[ `Lazy | `Strict ] ->
+  ?fuel:int ->
+  ?profile:Tc_obs.Profile.rt ->
+  con_table ->
+  state
 
 (** Install a program's top-level bindings (plus the primitives) into the
     state's global environment; top-level groups stay lazy (CAFs). *)

@@ -32,6 +32,7 @@ module Kernel = Tc_desugar.Kernel
 module Core = Tc_core_ir.Core
 module Layout = Tc_dicts.Layout
 module Access = Tc_dicts.Access
+module Trace = Tc_obs.Trace
 
 let err = Diagnostic.errorf
 
@@ -79,6 +80,15 @@ type state = {
 let create_state ?(opts = default_options) env =
   { env; opts; sink = env.Class_env.sink; level = 0; scopes = [] }
 
+(** The trace sink events go to (owned by the class environment so that
+    unification can reach it too). *)
+let trace st = st.env.Class_env.trace
+
+let kind_label = function
+  | PhDict c -> "dict " ^ Ident.text c
+  | PhMethod (mi : Class_env.method_info) -> "method " ^ Ident.text mi.mi_name
+  | PhRec x -> "recursive " ^ Ident.text x
+
 let push_scope st = st.scopes <- ref [] :: st.scopes
 
 (** The unresolved placeholders of a popped scope. *)
@@ -98,6 +108,10 @@ let new_hole st kind ty loc : ph * Core.expr =
   (match st.scopes with
    | s :: _ -> s := ph :: !s
    | [] -> invalid_arg "Infer.new_hole: no scope");
+  Trace.emit (trace st) (fun () ->
+      Trace.Placeholder_created
+        { id = hole.Core.hole_id; kind = kind_label kind;
+          ty = Fmt.str "%a" Ty.pp_qualified ty; loc });
   (ph, Core.Hole hole)
 
 (* ------------------------------------------------------------------ *)
@@ -312,7 +326,7 @@ and resolve_dict st (penv : param_env) ~loc (cls : Ident.t) (ty : Ty.t) :
           penv
       with
       | Some (_, c', p) ->
-          Access.super_dict st.env st.opts.strategy ~have:c' ~target:cls
+          Access.super_dict st.env st.opts.strategy ~loc ~have:c' ~target:cls
             (Core.Var p)
       | None ->
           err ~loc
@@ -339,7 +353,11 @@ and resolve_dict st (penv : param_env) ~loc (cls : Ident.t) (ty : Ty.t) :
   | Ty.TCon (tc, args) -> (
       (* case 2: instantiated to a constructor — use the instance dictionary,
          recursively resolving the instance's own context *)
-      match Class_env.find_instance st.env ~cls ~tycon:tc.Tycon.name with
+      let found = Class_env.find_instance st.env ~cls ~tycon:tc.Tycon.name in
+      Trace.emit (trace st) (fun () ->
+          Trace.Instance_lookup
+            { cls; tycon = tc.Tycon.name; found = found <> None; loc });
+      match found with
       | None ->
           err ~loc "no instance for '%a %a'" Ident.pp cls (Ty.pp_with 2)
             (Ty.TCon (tc, args))
@@ -387,27 +405,59 @@ and try_default st ~loc (v : Ty.tyvar) : bool =
         && List.exists (fun c -> Class_env.implies st.env c num) u.context
       in
       numeric
-      && List.exists
-           (fun candidate ->
-             (* trial unification: instantiation links the variable before
-                context propagation can fail, so restore its representation
-                when a candidate is rejected *)
-             let saved = v.Ty.tv_repr in
-             try
-               Unify.unify st.env ~loc (Ty.TVar v) candidate;
-               true
-             with Diagnostic.Error _ ->
-               v.Ty.tv_repr <- saved;
-               false)
-           [ Ty.int; Ty.float ]
+      &&
+      let tr = trace st in
+      (* render the qualified variable before trial unification links it *)
+      let rendered =
+        if Trace.is_on tr then Fmt.str "%a" Ty.pp_qualified (Ty.TVar v) else ""
+      in
+      let chosen =
+        List.find_opt
+          (fun candidate ->
+            (* trial unification: instantiation links the variable before
+               context propagation can fail, so restore its representation
+               when a candidate is rejected *)
+            let saved = v.Ty.tv_repr in
+            try
+              Unify.unify st.env ~loc (Ty.TVar v) candidate;
+              true
+            with Diagnostic.Error _ ->
+              v.Ty.tv_repr <- saved;
+              false)
+          [ Ty.int; Ty.float ]
+      in
+      Trace.emit tr (fun () ->
+          Trace.Defaulting
+            { ty = rendered; chosen = Option.map (Fmt.str "%a" Ty.pp) chosen;
+              loc });
+      chosen <> None
 
 (** Resolve one placeholder (§6.3). *)
 and resolve_ph st (penv : param_env) (ph : ph) : unit =
   if ph.ph_hole.hole_fill = None then begin
     Stats.current.holes_resolved <- Stats.current.holes_resolved + 1;
-    let fill e = ph.ph_hole.hole_fill <- Some e in
+    (* [why] is only forced when a trace sink is attached *)
+    let fill ~why e =
+      Trace.emit (trace st) (fun () ->
+          let via, detail = why () in
+          Trace.Placeholder_resolved
+            { id = ph.ph_hole.Core.hole_id; via; detail; loc = ph.ph_loc });
+      ph.ph_hole.hole_fill <- Some e
+    in
     match ph.ph_kind with
-    | PhDict cls -> fill (resolve_dict st penv ~loc:ph.ph_loc cls ph.ph_ty)
+    | PhDict cls ->
+        let e = resolve_dict st penv ~loc:ph.ph_loc cls ph.ph_ty in
+        (* classify after resolution: case 4 defaulting may have just fixed
+           the type to a constructor *)
+        let why () =
+          match Ty.prune ph.ph_ty with
+          | Ty.TVar v when Ty.is_generic v ->
+              ("dict-parameter", Ident.text cls)
+          | Ty.TVar _ -> ("deferred", Ident.text cls)
+          | Ty.TCon (tc, _) ->
+              ("instance", Ident.text cls ^ " " ^ Ident.text tc.Tycon.name)
+        in
+        fill ~why e
     | PhMethod mi -> (
         let loc = ph.ph_loc in
         match Ty.prune ph.ph_ty with
@@ -421,7 +471,8 @@ and resolve_ph st (penv : param_env) (ph : ph) : unit =
             with
             | Some (_, c', p) ->
                 fill
-                  (Access.method_access st.env st.opts.strategy ~have:c'
+                  ~why:(fun () -> ("dict-parameter", Ident.text c'))
+                  (Access.method_access st.env st.opts.strategy ~loc ~have:c'
                      ~cls:mi.mi_class ~meth:mi.mi_name (Core.Var p))
             | None ->
                 err ~loc
@@ -432,7 +483,7 @@ and resolve_ph st (penv : param_env) (ph : ph) : unit =
             if u.level <= st.level then begin
               let ph', h = new_hole_deferred st ph.ph_kind ph.ph_ty loc in
               ignore ph';
-              fill h
+              fill ~why:(fun () -> ("deferred", Ident.text mi.mi_name)) h
             end
             else if try_default st ~loc v then resolve_ph_again st penv ph
             else
@@ -441,10 +492,15 @@ and resolve_ph st (penv : param_env) (ph : ph) : unit =
                  '%a' at type %a"
                 Ident.pp mi.mi_name Ty.pp_qualified (Ty.TVar v)
         | Ty.TCon (tc, args) -> (
-            match
+            let found =
               Class_env.find_instance st.env ~cls:mi.mi_class
                 ~tycon:tc.Tycon.name
-            with
+            in
+            Trace.emit (trace st) (fun () ->
+                Trace.Instance_lookup
+                  { cls = mi.mi_class; tycon = tc.Tycon.name;
+                    found = found <> None; loc });
+            match found with
             | None ->
                 err ~loc "no instance for '%a %a'" Ident.pp mi.mi_class
                   (Ty.pp_with 2)
@@ -463,12 +519,17 @@ and resolve_ph st (penv : param_env) (ph : ph) : unit =
                                inst.in_context.(i))
                            args)
                     in
-                    fill (Core.apps (Core.Var impl) sub)
+                    fill
+                      ~why:(fun () -> ("direct-call", Ident.text impl))
+                      (Core.apps (Core.Var impl) sub)
                 | Some Class_env.Default_impl ->
                     let dict =
                       resolve_dict st penv ~loc mi.mi_class ph.ph_ty
                     in
                     fill
+                      ~why:(fun () ->
+                        ( "default-method",
+                          Ident.text mi.mi_class ^ "." ^ Ident.text mi.mi_name ))
                       (Core.App
                          ( Core.Var
                              (Class_env.default_name ~cls:mi.mi_class
@@ -656,11 +717,20 @@ and infer_group st (venv : venv) (g : Kernel.group) : venv * Core.bind_group =
                             (Ty.unbound_exn tv).context)
                         xs.vars
                     in
+                    Trace.emit (trace st) (fun () ->
+                        Trace.Placeholder_resolved
+                          { id = ph.ph_hole.Core.hole_id;
+                            via = "recursive-call"; detail = Ident.text x;
+                            loc = ph.ph_loc });
                     ph.ph_hole.hole_fill <- Some (Core.apps (Core.Var x) dicts)
                   end
               | None ->
                   (* recursive reference to an outer group: defer *)
                   let _, h = new_hole_deferred st ph.ph_kind ph.ph_ty ph.ph_loc in
+                  Trace.emit (trace st) (fun () ->
+                      Trace.Placeholder_resolved
+                        { id = ph.ph_hole.Core.hole_id; via = "deferred";
+                          detail = Ident.text x; loc = ph.ph_loc });
                   ph.ph_hole.hole_fill <- Some h)
           | PhDict _ | PhMethod _ -> resolve_ph st penv ph)
         pending)

@@ -1,0 +1,53 @@
+(** A minimal JSON value type and printer.
+
+    The observability layer emits machine-readable output ([mhc trace
+    --json], [mhc profile --json]) without an external JSON dependency;
+    this is the one place the encoding lives. Output is deterministic:
+    object fields print in the order given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let rec pp ppf (v : t) =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.string ppf (if b then "true" else "false")
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.string ppf (float_str f)
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List vs ->
+      Fmt.pf ppf "@[<hv 2>[%a]@]"
+        (Fmt.list ~sep:(Fmt.any ",@ ") pp) vs
+  | Obj fields ->
+      Fmt.pf ppf "@[<hv 2>{%a}@]"
+        (Fmt.list ~sep:(Fmt.any ",@ ")
+           (fun ppf (k, v) -> Fmt.pf ppf "\"%s\": %a" (escape k) pp v))
+        fields
+
+let to_string (v : t) : string = Fmt.str "%a" pp v

@@ -1,0 +1,14 @@
+(** A minimal JSON value type and printer (no external dependency).
+    Object fields print in the order given, so output is deterministic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -66,6 +66,9 @@ type t = {
   (* instances: class -> tycon -> info *)
   mutable instances : inst_info Ident.Map.t Ident.Map.t;
   sink : Diagnostic.Sink.sink;
+  (* observability: where inference/unification emit trace events. Set by
+     the pipeline after construction; [Trace.none] disables tracing. *)
+  mutable trace : Tc_obs.Trace.t;
 }
 
 (** Builtin data constructors: nil, cons, unit. Tuple constructors are
@@ -137,6 +140,7 @@ let create ?(sink = Diagnostic.Sink.create ()) () =
     methods = Ident.Map.empty;
     instances = Ident.Map.empty;
     sink;
+    trace = Tc_obs.Trace.none;
   }
 
 (** The constructor of the [n]-tuple, registered on first use. *)

@@ -61,6 +61,9 @@ type t = {
   mutable methods : method_info Ident.Map.t;
   mutable instances : inst_info Ident.Map.t Ident.Map.t;  (** class → tycon → info *)
   sink : Diagnostic.Sink.sink;
+  mutable trace : Tc_obs.Trace.t;
+  (** where inference/unification emit trace events; [Trace.none] (the
+      default) disables tracing *)
 }
 
 (** A fresh environment containing the builtin tycons and data constructors

@@ -63,6 +63,9 @@ let rec propagate_classes env ~loc (classes : Ty.Context.t) (t : Ty.t) : unit =
 (** Context reduction at a constructor (the paper's [propagateClassTycon]). *)
 and propagate_class_tycon env ~loc c (tc : Tycon.t) args =
   Stats.current.context_reductions <- Stats.current.context_reductions + 1;
+  Tc_obs.Trace.emit env.Class_env.trace (fun () ->
+      Tc_obs.Trace.Context_reduction
+        { cls = c; ty = Fmt.str "%a" (Ty.pp_with 2) (Ty.TCon (tc, args)); loc });
   match Class_env.find_instance env ~cls:c ~tycon:tc.Tycon.name with
   | None ->
       Diagnostic.errorf ~loc "no instance for '%a %a'" Ident.pp c

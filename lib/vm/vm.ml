@@ -70,6 +70,7 @@ and frame = {
 and state = {
   cons : Eval.con_table;
   counters : Counters.t;
+  profile : Tc_obs.Profile.rt option;  (* per-site dispatch counts *)
   mutable fuel : int;       (* remaining instructions; negative = unlimited *)
   max_frames : int;
   mutable protos : B.proto array;
@@ -420,6 +421,9 @@ and run_loop (st : state) ~(stop : int) : unit =
           st.counters.Counters.dict_fields + n;
         st.counters.Counters.allocations <-
           st.counters.Counters.allocations + 1;
+        (match st.profile with
+         | Some p -> Tc_obs.Profile.hit_dict p tag
+         | None -> ());
         let fields = Array.make (max n 1) dummy_slot in
         for k = n - 1 downto 0 do
           fields.(k) <- pop st
@@ -428,6 +432,9 @@ and run_loop (st : state) ~(stop : int) : unit =
     | B.DICTSEL info -> (
         st.counters.Counters.selections <-
           st.counters.Counters.selections + 1;
+        (match st.profile with
+         | Some p -> Tc_obs.Profile.hit_sel p info
+         | None -> ());
         match value_of (pop st) with
         | VDict (_, fields) ->
             if info.Core.sel_index >= Array.length fields then
@@ -822,11 +829,12 @@ let primitives : (Ident.t * prim) list =
 (* Whole programs.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ?(fuel = -1) ?(max_frames = 1_000_000)
+let create_state ?(fuel = -1) ?(max_frames = 1_000_000) ?profile
     (cons : Eval.con_table) : state =
   {
     cons;
     counters = Counters.create ();
+    profile;
     fuel;
     max_frames;
     protos = [||];

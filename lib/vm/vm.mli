@@ -42,11 +42,17 @@ and state
 
 val counters : state -> Counters.t
 
-(** [create_state ?fuel ?max_frames cons]: [fuel] is an instruction
+(** [create_state ?fuel ?max_frames ?profile cons]: [fuel] is an instruction
     budget ([-1] = unlimited, the default); [max_frames] bounds the frame
-    stack (default [1_000_000]). *)
+    stack (default [1_000_000]); [profile] attaches a per-site dispatch
+    profile counting every [MKDICT]/[DICTSEL] against its compile-time
+    site. *)
 val create_state :
-  ?fuel:int -> ?max_frames:int -> Eval.con_table -> state
+  ?fuel:int ->
+  ?max_frames:int ->
+  ?profile:Tc_obs.Profile.rt ->
+  Eval.con_table ->
+  state
 
 (** Load [program] and force its entry point ([?entry], the program's
     [main] otherwise). Raises the {!Tc_eval.Eval} exceptions. *)

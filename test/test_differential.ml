@@ -126,14 +126,13 @@ let gen_program : string QCheck2.Gen.t =
 (* ------------------------------------------------------------------ *)
 
 let flat_opts =
-  {
-    Pipeline.default_options with
-    infer = { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
-  }
+  { Pipeline.default_options with strategy = Pipeline.Dicts_flat }
+
+let tags_opts = { Pipeline.default_options with strategy = Pipeline.Tags }
 
 let run_tags src =
-  let c = Pipeline.compile_tags ~file:"diff.mhs" src in
-  (Pipeline.run ~fuel:50_000_000 c).rendered
+  let c = Pipeline.compile ~opts:tags_opts ~file:"diff.mhs" src in
+  (Pipeline.exec ~fuel:50_000_000 c).rendered
 
 let tests =
   [

@@ -37,15 +37,15 @@ let vm_agrees src =
       | t -> (
           match Pipeline.exec ~backend:`Vm ~fuel:50_000_000 c with
           | v ->
-              if t.Pipeline.x_rendered = v.Pipeline.x_rendered then true
+              if t.Pipeline.rendered = v.Pipeline.rendered then true
               else
                 QCheck2.Test.fail_reportf
                   "backends disagree:@.tree: %s@.vm:   %s@.on:@.%s"
-                  t.Pipeline.x_rendered v.Pipeline.x_rendered src
+                  t.Pipeline.rendered v.Pipeline.rendered src
           | exception e ->
               QCheck2.Test.fail_reportf
                 "tree succeeded (%s) but the VM raised %s on:@.%s"
-                t.Pipeline.x_rendered (Printexc.to_string e) src))
+                t.Pipeline.rendered (Printexc.to_string e) src))
 
 (* ------------------------------------------------------------------ *)
 (* Generators.                                                          *)
@@ -139,7 +139,12 @@ let tests =
         prop "token soup never crashes the tag translation" ~count:200
           token_soup
           (fun src ->
-            match Pipeline.compile_tags ~file:"fuzz.mhs" src with
+            match
+              Pipeline.compile
+                ~opts:{ Pipeline.default_options with
+                        strategy = Pipeline.Tags }
+                ~file:"fuzz.mhs" src
+            with
             | _ -> true
             | exception Tc_support.Diagnostic.Error _ -> true);
         prop "random bytes never crash the lexer+layout" ~count:300

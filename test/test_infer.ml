@@ -139,23 +139,13 @@ main = countDown (3 :: Int)
           {|main = str (parse "hi")|} "ambiguous";
         case "defaulting disabled is an error" (fun () ->
             let opts =
-              {
-                Typeclasses.Pipeline.default_options with
-                infer =
-                  { Tc_infer.Infer.default_options with defaulting = false };
-              }
+              { Typeclasses.Pipeline.default_options with defaulting = false }
             in
             expect_error ~opts "main = 2 + 3" "ambiguous");
         case "monomorphic literals option" (fun () ->
             let opts =
-              {
-                Typeclasses.Pipeline.default_options with
-                infer =
-                  {
-                    Tc_infer.Infer.default_options with
-                    overloaded_literals = false;
-                  };
-              }
+              { Typeclasses.Pipeline.default_options with
+                overloaded_literals = false }
             in
             Alcotest.(check string) "type" "Int -> Int"
               (type_of ~opts "f x = x + 1\nmain = 0" "f"));

@@ -1,0 +1,400 @@
+(** Observability tests: the structured compile-time trace ({!Tc_obs.Trace}),
+    the per-site dispatch profile ({!Tc_obs.Profile}), the JSON renderings,
+    and the [mhc trace]/[mhc profile] subcommands.
+
+    The load-bearing invariant: per-site dispatch totals sum {e exactly} to
+    the aggregate counters, with the tree evaluator and the VM agreeing on
+    every site. *)
+
+open Typeclasses
+module Trace = Tc_obs.Trace
+module Profile = Tc_obs.Profile
+module Json = Tc_obs.Json
+
+let case = Helpers.case
+
+(** Compile with a collector sink attached; returns the compile and the
+    events recorded so far. *)
+let compile_traced ?(opts = Pipeline.default_options) src =
+  let trace, events = Trace.collector () in
+  let c = Pipeline.compile ~opts:{ opts with trace } ~file:"obs.mhs" src in
+  (c, events)
+
+let demo = "double :: Num a => a -> a\ndouble x = x + x\nmain = double 21\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    case "strings are escaped" (fun () ->
+        Alcotest.(check string) "escapes"
+          {|"a\"b\\c\nd\u0001"|}
+          (Json.to_string (Json.Str "a\"b\\c\nd\001")));
+    case "objects keep field order" (fun () ->
+        Alcotest.(check string) "order"
+          {|{"b": 1, "a": [true, null, 2.5]}|}
+          (Json.to_string
+             (Json.Obj
+                [ ("b", Json.Int 1);
+                  ("a", Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ]);
+                ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The compile-time trace                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count_kind name evs =
+  List.length
+    (List.filter
+       (fun e ->
+         match (Trace.event_json e : Json.t) with
+         | Json.Obj (("event", Json.Str n) :: _) -> n = name
+         | _ -> false)
+       evs)
+
+let trace_tests =
+  [
+    case "tracing is off by default" (fun () ->
+        Alcotest.(check bool) "no sink" false
+          (Trace.is_on Pipeline.default_options.trace));
+    case "compiling emits inference events" (fun () ->
+        let _, events = compile_traced demo in
+        let evs = events () in
+        Alcotest.(check bool) "placeholders created" true
+          (count_kind "placeholder-created" evs > 0);
+        Alcotest.(check bool) "placeholders resolved" true
+          (count_kind "placeholder-resolved" evs > 0);
+        Alcotest.(check bool) "context reductions" true
+          (count_kind "context-reduction" evs > 0);
+        Alcotest.(check bool) "instance lookups" true
+          (count_kind "instance-lookup" evs > 0));
+    case "every placeholder created is resolved" (fun () ->
+        let _, events = compile_traced demo in
+        let created = Hashtbl.create 16 and resolved = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            match e with
+            | Trace.Placeholder_created { id; _ } ->
+                Hashtbl.replace created id ()
+            | Trace.Placeholder_resolved { id; _ } ->
+                Hashtbl.replace resolved id ()
+            | _ -> ())
+          (events ());
+        Alcotest.(check bool) "some placeholders" true
+          (Hashtbl.length created > 0);
+        Hashtbl.iter
+          (fun id () ->
+            if not (Hashtbl.mem resolved id) then
+              Alcotest.failf "placeholder %d never resolved" id)
+          created);
+    case "restricted top-level bindings record a defaulting decision"
+      (fun () ->
+        let _, events = compile_traced "main = 2 + 3\n" in
+        let chosen =
+          List.filter_map
+            (function
+              | Trace.Defaulting { chosen; _ } -> Some chosen
+              | _ -> None)
+            (events ())
+        in
+        Alcotest.(check bool) "defaulting happened" true (chosen <> []);
+        Alcotest.(check bool) "Int chosen" true
+          (List.mem (Some "Int") chosen));
+    case "optimizer passes report size and dict-op deltas" (fun () ->
+        let c, events = compile_traced demo in
+        let before = List.length (events ()) in
+        let _ = Pipeline.optimize Tc_opt.Opt.all c in
+        let opt_evs =
+          List.filteri (fun i _ -> i >= before) (events ())
+          |> List.filter_map (function
+               | Trace.Opt_pass
+                   { pass; size_before; size_after; sels_before; sels_after;
+                     dicts_before; dicts_after } ->
+                   Some
+                     ( pass,
+                       (size_before, size_after),
+                       (sels_before, sels_after, dicts_before, dicts_after) )
+               | _ -> None)
+        in
+        Alcotest.(check int) "one event per pass"
+          (List.length Tc_opt.Opt.all)
+          (List.length opt_evs);
+        List.iter
+          (fun (pass, (size_before, size_after), (sb, sa, db, da)) ->
+            Alcotest.(check bool) (pass ^ " sizes positive") true
+              (size_before > 0 && size_after > 0);
+            Alcotest.(check bool) (pass ^ " static counts sane") true
+              (sb >= 0 && sa >= 0 && db >= 0 && da >= 0))
+          opt_evs);
+    case "trace events render as JSON with stable tags" (fun () ->
+        let _, events = compile_traced demo in
+        match Json.to_string (Trace.events_json (events ())) with
+        | "" -> Alcotest.fail "empty rendering"
+        | s ->
+            Alcotest.(check bool) "mentions placeholder-created" true
+              (Helpers.contains ~needle:{|"event": "placeholder-created"|} s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch profile                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let example_programs =
+  [ "calculator"; "matrix"; "nqueens"; "primes"; "set"; "stats" ]
+
+let example_source name =
+  read_file (Filename.concat "../examples/programs" (name ^ ".mhs"))
+
+(** (site id -> count) pairs of a report, sorted by id. *)
+let site_counts (entries : Profile.entry list) : (int * int) list =
+  entries
+  |> List.map (fun (e : Profile.entry) -> (e.e_site.Profile.s_id, e.e_count))
+  |> List.sort compare
+
+let totals (entries : Profile.entry list) : int =
+  List.fold_left (fun acc (e : Profile.entry) -> acc + e.e_count) 0 entries
+
+(** The acceptance invariant, on one backend. *)
+let check_profile_invariant what (r : Pipeline.result) =
+  let report = Option.get r.Pipeline.profile in
+  Alcotest.(check int)
+    (what ^ ": selection sites sum to the selections counter")
+    r.Pipeline.counters.Tc_eval.Counters.selections
+    (totals report.Profile.r_sels);
+  Alcotest.(check int)
+    (what ^ ": construction sites sum to the dict-constructions counter")
+    r.Pipeline.counters.Tc_eval.Counters.dict_constructions
+    (totals report.Profile.r_dicts);
+  Alcotest.(check int) (what ^ ": report total (sels)")
+    r.Pipeline.counters.Tc_eval.Counters.selections
+    report.Profile.r_sel_total;
+  Alcotest.(check int) (what ^ ": report total (dicts)")
+    r.Pipeline.counters.Tc_eval.Counters.dict_constructions
+    report.Profile.r_dict_total;
+  report
+
+let differential_case ?opts ?(passes = []) name src =
+  case name (fun () ->
+      let c = Pipeline.compile ?opts ~file:(name ^ ".mhs") src in
+      let c = Pipeline.optimize passes c in
+      let t =
+        Pipeline.exec ~backend:`Tree ~fuel:50_000_000 ~profile:true c
+      in
+      let v =
+        Pipeline.exec ~backend:`Vm ~fuel:500_000_000 ~profile:true c
+      in
+      let tr = check_profile_invariant (name ^ " tree") t in
+      let vr = check_profile_invariant (name ^ " vm") v in
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": per-site selections agree between backends")
+        (site_counts tr.Profile.r_sels)
+        (site_counts vr.Profile.r_sels);
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": per-site constructions agree between backends")
+        (site_counts tr.Profile.r_dicts)
+        (site_counts vr.Profile.r_dicts))
+
+let profile_tests =
+  [
+    case "profiling is opt-in" (fun () ->
+        let c = Pipeline.compile ~file:"obs.mhs" demo in
+        let r = Pipeline.exec c in
+        Alcotest.(check bool) "no report" true (r.Pipeline.profile = None));
+    case "hot sites rank first and carry class/method labels" (fun () ->
+        let src =
+          {|
+eqAll :: Eq a => [a] -> Bool
+eqAll [] = True
+eqAll [_] = True
+eqAll (x:y:r) = x == y && eqAll (y:r)
+main = eqAll (replicate 40 (3 :: Int))
+|}
+        in
+        let c = Pipeline.compile ~file:"obs.mhs" src in
+        let r = Pipeline.exec ~profile:true c in
+        let report = check_profile_invariant "rank" r in
+        match report.Profile.r_sels with
+        | [] -> Alcotest.fail "expected selection sites"
+        | top :: rest ->
+            List.iter
+              (fun (e : Profile.entry) ->
+                Alcotest.(check bool) "sorted descending" true
+                  (e.e_count <= top.Profile.e_count))
+              rest;
+            Alcotest.(check string) "hottest site is Eq.=="
+              "Eq" (Tc_support.Ident.text top.e_site.Profile.s_class));
+    case "report JSON totals match" (fun () ->
+        let c = Pipeline.compile ~file:"obs.mhs" demo in
+        let r = Pipeline.exec ~profile:true c in
+        let report = Option.get r.Pipeline.profile in
+        match Profile.report_json report with
+        | Json.Obj (("totals", Json.Obj totals) :: _) ->
+            Alcotest.(check bool) "selections field" true
+              (List.assoc "selections" totals
+              = Json.Int r.Pipeline.counters.Tc_eval.Counters.selections)
+        | _ -> Alcotest.fail "unexpected report shape");
+  ]
+  @ List.map
+      (fun name -> differential_case name (example_source name))
+      example_programs
+  @ [
+      differential_case ~passes:Tc_opt.Opt.all "primes -O all"
+        (example_source "primes");
+      differential_case
+        ~opts:{ Pipeline.default_options with strategy = Pipeline.Dicts_flat }
+        "primes flat layout" (example_source "primes");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI golden output                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a program from a fixed file name (in the test working directory) so
+    locations — and therefore the JSON — are bit-for-bit reproducible. *)
+let with_fixed_program name src (f : unit -> unit) =
+  let oc = open_out name in
+  output_string oc src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove name) f
+
+let trace_golden_src =
+  "data T = A | B\nclass C a where\n  f :: a -> T\ninstance C T where\n\
+   \  f x = A\nmain = f B\n"
+
+let trace_golden_expected =
+  {|{"file": "golden_obs.mhs",
+  "events": [{"event": "placeholder-created",
+               "id": 1,
+               "kind": "method f",
+               "type": "C a => a",
+               "loc": "golden_obs.mhs:6:8-8"},
+              {"event": "context-reduction",
+                "class": "C",
+                "type": "T",
+                "loc": "golden_obs.mhs:6:8-8"},
+              {"event": "instance-lookup",
+                "class": "C",
+                "tycon": "T",
+                "found": true,
+                "loc": "golden_obs.mhs:6:8-8"},
+              {"event": "placeholder-resolved",
+                "id": 1,
+                "via": "direct-call",
+                "detail": "m$C$T$f",
+                "loc": "golden_obs.mhs:6:8-8"}]}
+|}
+
+let profile_golden_src =
+  "data N = Z | S N\nclass Size a where\n  size :: a -> N\n\
+   instance Size N where\n  size x = Z\nmeasure :: Size a => a -> N\n\
+   measure x = size x\nmain = measure (S Z)\n"
+
+let profile_golden_expected =
+  {|{"file": "golden_prof.mhs",
+  "backend": "tree",
+  "result": "Z",
+  "counters": {"steps": 14,
+                "applications": 3,
+                "dict_constructions": 1,
+                "dict_fields": 1,
+                "selections": 1,
+                "thunk_forces": 6,
+                "allocations": 5,
+                "prim_calls": 0,
+                "tag_dispatches": 0},
+  "profile": {"totals": {"selections": 1, "dict_constructions": 1},
+               "static_sites": 2,
+               "selection_sites": [{"site": 1,
+                                     "kind": "sel",
+                                     "class": "Size",
+                                     "label": "size",
+                                     "loc": "golden_prof.mhs:7:13-16",
+                                     "count": 1}],
+               "construction_sites": [{"site": 2,
+                                        "kind": "mkdict",
+                                        "class": "Size",
+                                        "label": "N",
+                                        "loc": "golden_prof.mhs:4:1-6:7",
+                                        "count": 1}]}}
+|}
+
+let cli_tests =
+  [
+    case "mhc trace --json golden" (fun () ->
+        with_fixed_program "golden_obs.mhs" trace_golden_src (fun () ->
+            let code, out =
+              Test_cli.run_mhc
+                [ "trace"; "--json"; "--no-prelude"; "golden_obs.mhs" ]
+            in
+            Alcotest.(check int) "exit" 0 code;
+            Alcotest.(check string) "golden" trace_golden_expected out));
+    case "mhc profile --json golden" (fun () ->
+        with_fixed_program "golden_prof.mhs" profile_golden_src (fun () ->
+            let code, out =
+              Test_cli.run_mhc
+                [ "profile"; "--json"; "--no-prelude"; "golden_prof.mhs" ]
+            in
+            Alcotest.(check int) "exit" 0 code;
+            Alcotest.(check string) "golden" profile_golden_expected out));
+    case "mhc profile agrees across backends (text)" (fun () ->
+        with_fixed_program "golden_prof.mhs" profile_golden_src (fun () ->
+            let _, tree =
+              Test_cli.run_mhc [ "profile"; "--no-prelude"; "golden_prof.mhs" ]
+            in
+            let _, vm =
+              Test_cli.run_mhc
+                [ "profile"; "--backend"; "vm"; "--no-prelude";
+                  "golden_prof.mhs" ]
+            in
+            Alcotest.(check bool) "tree lists the hot site" true
+              (Helpers.contains ~needle:"Size.size" tree);
+            (* the two texts differ only in steps/forces (backend-specific
+               aggregate counters), never in the per-site profile *)
+            let profile_part s =
+              let marker = "dispatch profile:" in
+              let rec find i =
+                if i + String.length marker > String.length s then s
+                else if String.sub s i (String.length marker) = marker then
+                  String.sub s i (String.length s - i)
+                else find (i + 1)
+              in
+              find 0
+            in
+            Alcotest.(check string) "same per-site profile"
+              (profile_part tree) (profile_part vm)));
+    case "mhc trace human output mentions resolution" (fun () ->
+        with_fixed_program "golden_obs.mhs" trace_golden_src (fun () ->
+            let code, out =
+              Test_cli.run_mhc [ "trace"; "--no-prelude"; "golden_obs.mhs" ]
+            in
+            Alcotest.(check int) "exit" 0 code;
+            Alcotest.(check bool) "resolved line" true
+              (Helpers.contains ~needle:"placeholder 1 resolved: direct-call"
+                 out)));
+    case "mhc trace -O reports optimizer passes" (fun () ->
+        with_fixed_program "golden_obs.mhs" trace_golden_src (fun () ->
+            let code, out =
+              Test_cli.run_mhc
+                [ "trace"; "-O"; "all"; "--no-prelude"; "golden_obs.mhs" ]
+            in
+            Alcotest.(check int) "exit" 0 code;
+            Alcotest.(check bool) "opt-pass line" true
+              (Helpers.contains ~needle:"opt-pass" out)));
+  ]
+
+let tests =
+  [
+    ("obs-json", json_tests);
+    ("obs-trace", trace_tests);
+    ("obs-profile", profile_tests);
+    ("obs-cli", cli_tests);
+  ]

@@ -78,11 +78,8 @@ let preservation_cases =
 (* the same corpus under the flat dictionary layout: the optimizer must
    respect whichever layout the translation chose *)
 let flat_opts =
-  {
-    Typeclasses.Pipeline.default_options with
-    infer =
-      { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
-  }
+  { Typeclasses.Pipeline.default_options with
+    strategy = Typeclasses.Pipeline.Dicts_flat }
 
 let flat_preservation_cases =
   List.map
@@ -161,11 +158,15 @@ main = chain 0 (map (\n -> [n]) (enumFromTo 1 %d))
             let open Tc_core_ir.Core in
             let tag =
               { dt_class = Tc_support.Ident.intern "C";
-                dt_tycon = Tc_support.Ident.intern "T" }
+                dt_tycon = Tc_support.Ident.intern "T";
+                dt_site = fresh_site () }
             in
             let d = MkDict (tag, [ Lit (Tc_syntax.Ast.LInt 1); Lit (Tc_syntax.Ast.LInt 2) ]) in
             let e =
-              Sel ({ sel_class = tag.dt_class; sel_index = 1; sel_label = "m" }, d)
+              Sel
+                ( { sel_class = tag.dt_class; sel_index = 1; sel_label = "m";
+                    sel_site = fresh_site () },
+                  d )
             in
             match Tc_opt.Simplify.expr e with
             | Lit (Tc_syntax.Ast.LInt 2) -> ()

@@ -82,7 +82,7 @@ qsort [] = []
 qsort (x:xs) = qsort (filter (\y -> y <= x) xs) ++ [x] ++ qsort (filter (\y -> y > x) xs)
 |})
 
-let opt_reference = lazy (Pipeline.run (Lazy.force opt_compiled)).rendered
+let opt_reference = lazy (Pipeline.exec (Lazy.force opt_compiled)).rendered
 
 (* ------------------------------------------------------------------ *)
 (* Generators.                                                          *)
@@ -304,6 +304,6 @@ let tests =
                 pass_ids
             in
             let c = Pipeline.optimize passes (Lazy.force opt_compiled) in
-            (Pipeline.run c).rendered = Lazy.force opt_reference);
+            (Pipeline.exec c).rendered = Lazy.force opt_reference);
       ] );
   ]

@@ -116,7 +116,7 @@ main = m2 T
             in
             let c = compile src in
             Alcotest.(check bool) "warned" true (c.warnings <> []);
-            match Typeclasses.Pipeline.run c with
+            match Typeclasses.Pipeline.exec c with
             | exception Tc_eval.Eval.Pattern_fail m ->
                 Alcotest.(check bool) "message" true
                   (contains ~needle:"no definition for method" m)

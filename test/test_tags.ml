@@ -5,13 +5,15 @@
 open Helpers
 module Pipeline = Typeclasses.Pipeline
 
+let tags_opts = { Pipeline.default_options with strategy = Pipeline.Tags }
+
+let compile_tags src = Pipeline.compile ~opts:tags_opts ~file:"test.mhs" src
+
 let run_tags ?(mode = `Lazy) src =
-  let c = Pipeline.compile_tags ~file:"test.mhs" src in
-  (Pipeline.run ~mode ~fuel:50_000_000 c).rendered
+  (Pipeline.exec ~mode ~fuel:50_000_000 (compile_tags src)).rendered
 
 let counters_tags src =
-  let c = Pipeline.compile_tags ~file:"test.mhs" src in
-  let r = Pipeline.run ~fuel:50_000_000 c in
+  let r = Pipeline.exec ~fuel:50_000_000 (compile_tags src) in
   (r.rendered, r.counters)
 
 let check_agree name src =
@@ -20,7 +22,7 @@ let check_agree name src =
 
 let expect_tags_error name src needle =
   case name (fun () ->
-      match Pipeline.compile_tags ~file:"test.mhs" src with
+      match compile_tags src with
       | exception Tc_support.Diagnostic.Error d ->
           if not (contains ~needle (Tc_support.Diagnostic.to_string d)) then
             Alcotest.failf "wrong error: %s" (Tc_support.Diagnostic.to_string d)
@@ -78,7 +80,7 @@ main = (zero :: Int)
           "result type";
         case "buried dispatch position rejected distinctly" (fun () ->
             match
-              Pipeline.compile_tags ~file:"test.mhs"
+              compile_tags
                 {|
 class Sized a where
   total :: [a] -> Int

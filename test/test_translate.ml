@@ -7,10 +7,7 @@ module Core = Tc_core_ir.Core
 module Pipeline = Typeclasses.Pipeline
 
 let flat_opts =
-  {
-    Pipeline.default_options with
-    infer = { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
-  }
+  { Pipeline.default_options with strategy = Pipeline.Dicts_flat }
 
 (* find a top-level binding's expression *)
 let binding (c : Pipeline.compiled) name =

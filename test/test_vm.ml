@@ -24,11 +24,7 @@ let program name =
   read_file (Filename.concat "../examples/programs" (name ^ ".mhs"))
 
 let flat_opts =
-  {
-    Pipeline.default_options with
-    infer =
-      { Tc_infer.Infer.default_options with strategy = Tc_dicts.Layout.Flat };
-  }
+  { Pipeline.default_options with strategy = Pipeline.Dicts_flat }
 
 (* The counters that must agree exactly between backends. *)
 let signature (c : Counters.t) : int list =
@@ -41,11 +37,11 @@ let check_parity ?(what = "") (c : Pipeline.compiled) mode =
   let t = Pipeline.exec ~backend:`Tree ~mode ~fuel:50_000_000 c in
   let v = Pipeline.exec ~backend:`Vm ~mode ~fuel:500_000_000 c in
   Alcotest.(check string)
-    (what ^ " rendered result") t.Pipeline.x_rendered v.Pipeline.x_rendered;
+    (what ^ " rendered result") t.Pipeline.rendered v.Pipeline.rendered;
   Alcotest.(check (list int))
     (what ^ " counters [dicts; fields; sels; apps; prims; tags]")
-    (signature t.Pipeline.x_counters)
-    (signature v.Pipeline.x_counters)
+    (signature t.Pipeline.counters)
+    (signature v.Pipeline.counters)
 
 (* ------------------------------------------------------------------ *)
 (* Example programs: full matrix.                                      *)
@@ -81,7 +77,10 @@ let example_cases =
           (* the §3 baseline runs on both backends too *)
           case (name ^ " tags") (fun () ->
               match
-                Pipeline.compile_tags ~file:"test.mhs" (Lazy.force src)
+                Pipeline.compile
+                  ~opts:{ Pipeline.default_options with
+                          strategy = Pipeline.Tags }
+                  ~file:"test.mhs" (Lazy.force src)
               with
               | c -> check_parity ~what:"tags" c `Lazy
               | exception Tc_support.Diagnostic.Error _ ->
@@ -196,7 +195,7 @@ let corpus_cases =
 
 let outcome f =
   match f () with
-  | (r : Pipeline.exec_result) -> "ok: " ^ r.Pipeline.x_rendered
+  | (r : Pipeline.result) -> "ok: " ^ r.Pipeline.rendered
   | exception Eval.User_error m -> "user error: " ^ m
   | exception Eval.Pattern_fail m -> "pattern fail: " ^ m
   | exception Eval.Runtime_error m -> "runtime error: " ^ m
@@ -249,7 +248,7 @@ let budget_cases =
       (fun () ->
         let c = compile deep_src in
         let r = Pipeline.exec ~backend:`Vm c in
-        Alcotest.(check string) "result" "50000" r.Pipeline.x_rendered);
+        Alcotest.(check string) "result" "50000" r.Pipeline.rendered);
     case "frame budget reports deep recursion as a clean Runtime_error"
       (fun () ->
         let c = compile deep_src in
@@ -268,7 +267,7 @@ let budget_cases =
            TAILCALL replaces the frame instead of growing the stack *)
         let c = compile loop_src in
         let r = Pipeline.exec ~backend:`Vm ~mode:`Strict ~max_frames:1_000 c in
-        Alcotest.(check string) "result" "5000050000" r.Pipeline.x_rendered);
+        Alcotest.(check string) "result" "5000050000" r.Pipeline.rendered);
   ]
 
 (* ------------------------------------------------------------------ *)
