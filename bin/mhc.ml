@@ -1,7 +1,8 @@
 (* mhc — the MiniHaskell compiler/interpreter.
 
    Subcommands:
-     check    type check; print the inferred qualified types
+     check    batch type check; report every diagnostic (--json), print
+              the inferred qualified types of clean files
      core     print the dictionary-converted core program
      run      evaluate `main` (--backend tree|vm)
      counters evaluate `main` and report operation counters
@@ -19,6 +20,8 @@ module Pipeline = Typeclasses.Pipeline
 module Trace = Tc_obs.Trace
 module Profile = Tc_obs.Profile
 module Json = Tc_obs.Json
+module Diag = Tc_obs.Diag
+module Diagnostic = Tc_support.Diagnostic
 
 let read_file path =
   let ic = open_in_bin path in
@@ -92,6 +95,9 @@ let mono_literals_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mhs")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
 let build_opts ?(trace = Trace.none) strategy no_prelude mono_lits :
     Pipeline.options =
   {
@@ -120,6 +126,12 @@ let handle_errors f =
   | Tc_eval.Eval.Pattern_fail m ->
       Fmt.epr "pattern-match failure: %s@." m;
       exit 2
+  | Out_of_memory -> raise Out_of_memory
+  | exn ->
+      (* ICE containment: never show a bare backtrace *)
+      Fmt.epr "%a@." Tc_support.Diagnostic.pp
+        (Tc_support.Diagnostic.of_exn ~stage:"mhc" ~loc:Tc_support.Loc.none exn);
+      exit 2
 
 let print_warnings (c : Pipeline.compiled) =
   List.iter (fun w -> Fmt.epr "%a@." Tc_support.Diagnostic.pp w) c.warnings
@@ -127,18 +139,81 @@ let print_warnings (c : Pipeline.compiled) =
 (* ---- subcommands ---- *)
 
 let check_cmd =
-  let doc = "Type check a program and print the inferred qualified types." in
-  let run strategy no_prelude mono file =
+  let doc =
+    "Type check one or more programs, reporting every diagnostic. Parse \
+     errors resynchronize at the next top-level declaration, type errors \
+     are isolated per binding group, and unexpected compiler exceptions \
+     become contained 'internal error' diagnostics, so one run reports all \
+     independent problems across all files. Clean files get their inferred \
+     qualified types printed. Exit code: 0 when no errors (warnings are \
+     fine), 1 when any error was reported, 2 on an internal compiler error."
+  in
+  let files_arg =
+    (* plain strings, not [Arg.file]: a missing file must become a
+       diagnostic for that file, not a command-line error *)
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE.mhs")
+  in
+  let max_errors_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "max-errors" ] ~docv:"N"
+          ~doc:
+            "Record at most $(docv) errors per file before giving up on it \
+             ($(b,0) or negative means unlimited).")
+  in
+  let run strategy no_prelude mono json max_errors files =
     handle_errors @@ fun () ->
-    let c = compile (build_opts strategy no_prelude mono) file in
-    print_warnings c;
-    List.iter
-      (fun (n, s) ->
-        Fmt.pr "%s :: %s@." (Tc_support.Ident.text n) (Tc_types.Scheme.to_string s))
-      c.user_schemes
+    let opts =
+      { (build_opts strategy no_prelude mono) with Pipeline.max_errors }
+    in
+    let results =
+      List.map
+        (fun file ->
+          match read_file file with
+          | exception Sys_error m ->
+              let d =
+                Diagnostic.make ~severity:Diagnostic.Error
+                  ~loc:Tc_support.Loc.none ("cannot read " ^ m)
+              in
+              (file, [ d ], None)
+          | src ->
+              let { Pipeline.diagnostics; artifact } =
+                Pipeline.compile_collect ~opts ~file src
+              in
+              (file, Diagnostic.sort diagnostics, artifact))
+        files
+    in
+    let many = List.length files > 1 in
+    if json then
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Diag.report (List.map (fun (f, ds, _) -> (f, ds)) results)))
+    else
+      List.iter
+        (fun (file, ds, artifact) ->
+          List.iter (fun d -> Fmt.epr "%a@." Diagnostic.pp d) ds;
+          match artifact with
+          | Some c ->
+              if many then Fmt.pr "-- %s@." file;
+              List.iter
+                (fun (n, s) ->
+                  Fmt.pr "%s :: %s@." (Tc_support.Ident.text n)
+                    (Tc_types.Scheme.to_string s))
+                c.Pipeline.user_schemes
+          | None -> ())
+        results;
+    let all = List.concat_map (fun (_, ds, _) -> ds) results in
+    if
+      List.exists
+        (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Bug)
+        all
+    then exit 2
+    else if List.exists Diagnostic.is_error all then exit 1
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ file_arg)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
+      $ max_errors_arg $ files_arg)
 
 let core_cmd =
   let doc = "Print the dictionary-converted (or tag-dispatching) core program." in
@@ -203,9 +278,6 @@ let counters_cmd =
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ file_arg)
-
-let json_arg =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 let counters_json (t : Tc_eval.Counters.t) : Json.t =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tc_eval.Counters.pairs t))

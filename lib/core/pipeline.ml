@@ -57,6 +57,7 @@ type options = {
   defaulting : bool;           (* resolve ambiguous numeric contexts *)
   include_prelude : bool;
   lint : bool;
+  max_errors : int;            (* accumulating-mode error cap; <= 0 unlimited *)
   trace : Trace.t;             (* compile-time event sink; off by default *)
 }
 
@@ -67,6 +68,7 @@ let default_options =
     defaulting = true;
     include_prelude = true;
     lint = true;
+    max_errors = 100;
     trace = Trace.none;
   }
 
@@ -177,57 +179,153 @@ let default_signature (env : Class_env.t) (mi : Class_env.method_info) :
 
 let parse_source ~file src : Ast.program = Parser.parse_program ~file src
 
+let top_decl_loc : Ast.top_decl -> Loc.t = function
+  | Ast.TData d -> d.td_loc
+  | Ast.TSyn s -> s.ts_loc
+  | Ast.TClass c -> c.tc_loc
+  | Ast.TInstance i -> i.ti_loc
+  | Ast.TDecl (Ast.DSig (_, _, l))
+  | Ast.TDecl (Ast.DFun (_, _, l))
+  | Ast.TDecl (Ast.DPat (_, _, l))
+  | Ast.TDecl (Ast.DFix (_, _, _, l)) -> l
+
 (** Front end shared by both implementation strategies: parse, fixity
-    resolution, static analysis, desugaring. *)
-let front ~include_prelude ~file src :
+    resolution, static analysis, desugaring.
+
+    Without [sink] every error raises (fail-fast). With [sink] each stage
+    recovers at its natural boundary and records diagnostics instead: the
+    parser resynchronizes at the next top-level declaration, fixity
+    resolution and static analysis skip the offending declaration, and
+    desugaring degrades to an empty program. *)
+let front ?sink ~include_prelude ~file src :
     Class_env.t * Kernel.group list * Fixity.env =
-  let user_prog = parse_source ~file src in
+  let user_prog =
+    match sink with
+    | None -> parse_source ~file src
+    | Some sink -> Parser.parse_program ~sink ~file src
+  in
   let prog =
     if include_prelude then
       parse_source ~file:"<prelude>" Tc_prelude.Prelude.source @ user_prog
     else user_prog
   in
-  let prog, fixities = Fixity.resolve_program prog in
-  let { Static.env; value_decls } = Static.process prog in
-  let groups = Desugar.top_decls env value_decls in
+  let prog, fixities =
+    match sink with
+    | None -> Fixity.resolve_program prog
+    | Some sink ->
+        (* per-declaration recovery: a bad operator sequence loses only
+           its own declaration *)
+        let fenv = Fixity.collect_program Fixity.builtin prog in
+        let prog =
+          List.filter_map
+            (fun d ->
+              Diagnostic.guard ~sink ~stage:"fixity resolution"
+                ~loc:(top_decl_loc d)
+                ~recover:(fun () -> None)
+                (fun () -> Some (Fixity.top_decl fenv d)))
+            prog
+        in
+        (prog, fenv)
+  in
+  let env =
+    match sink with
+    | None -> Class_env.create ()
+    | Some sink -> Class_env.create ~sink ()
+  in
+  let { Static.env; value_decls } =
+    Static.process ~env ~fail_fast:(Option.is_none sink) prog
+  in
+  let groups =
+    match sink with
+    | None -> Desugar.top_decls env value_decls
+    | Some sink ->
+        Diagnostic.guard ~sink ~stage:"desugaring" ~loc:Loc.none
+          ~recover:(fun () -> [])
+          (fun () -> Desugar.top_decls ~sink env value_decls)
+  in
   (env, groups, fixities)
 
-(** The dictionary-passing translation (both layouts). *)
-let compile_dicts ~(opts : options) ~file (src : string) : compiled =
+(** The dictionary-passing translation (both layouts). Without [sink],
+    fail-fast; with [sink], each binding group is a fault-isolation
+    boundary: a failed group's binders get {!Infer.error_scheme} (which
+    unifies with anything and never re-reports) and checking continues
+    with the remaining groups. *)
+let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
   Stats.reset ();
   let iopts = infer_options opts in
-  let env, groups, fixities = front ~include_prelude:opts.include_prelude ~file src in
+  let env, groups, fixities =
+    front ?sink ~include_prelude:opts.include_prelude ~file src
+  in
   env.Class_env.trace <- opts.trace;
   let st = Infer.create_state ~opts:iopts env in
   Infer.push_scope st;
+  (* a stand-in body for bindings whose real translation failed; never
+     executed because an erroneous compile yields no artifact *)
+  let stub_expr name =
+    Core.App
+      ( Core.Var Prims.p_failure,
+        Core.Lit
+          (Tc_syntax.Ast.LString
+             (Printf.sprintf "erroneous binding '%s'" (Ident.text name))) )
+  in
+  let guarded ~stage ~loc ~recover f =
+    match sink with
+    | None -> f ()
+    | Some _ -> Infer.protect st ~stage ~loc ~recover f
+  in
   let venv0 =
     List.fold_left
       (fun m (name, scheme) -> Ident.Map.add name (Infer.Poly scheme) m)
       Ident.Map.empty (Prims.schemes env)
   in
   (* user (and prelude) value bindings, in dependency order *)
+  let check_group (venv, gs, ss) g =
+    List.iter
+      (fun (b : Kernel.bind) ->
+        if Class_env.find_method env b.kb_name <> None then
+          err ~loc:b.kb_loc
+            "'%a' is a class method and cannot be redefined at the top \
+             level"
+            Ident.pp b.kb_name)
+      (Kernel.binds_of_group g);
+    let venv', cg = Infer.infer_group st venv g in
+    let ss' =
+      List.fold_left
+        (fun ss (b : Kernel.bind) ->
+          match Ident.Map.find_opt b.kb_name venv' with
+          | Some (Infer.Poly s) ->
+              (b.kb_name, s, b.kb_loc.Tc_support.Loc.file) :: ss
+          | _ -> ss)
+        ss (Kernel.binds_of_group g)
+    in
+    (venv', cg :: gs, ss')
+  in
   let venv, user_groups_rev, schemes_rev =
     List.fold_left
-      (fun (venv, gs, ss) g ->
-        List.iter
-          (fun (b : Kernel.bind) ->
-            if Class_env.find_method env b.kb_name <> None then
-              err ~loc:b.kb_loc
-                "'%a' is a class method and cannot be redefined at the top \
-                 level"
-                Ident.pp b.kb_name)
-          (Kernel.binds_of_group g);
-        let venv', cg = Infer.infer_group st venv g in
-        let ss' =
-          List.fold_left
-            (fun ss (b : Kernel.bind) ->
-              match Ident.Map.find_opt b.kb_name venv' with
-              | Some (Infer.Poly s) ->
-                  (b.kb_name, s, b.kb_loc.Tc_support.Loc.file) :: ss
-              | _ -> ss)
-            ss (Kernel.binds_of_group g)
+      (fun ((venv, gs, ss) as acc) g ->
+        let binds = Kernel.binds_of_group g in
+        let loc =
+          match binds with b :: _ -> b.Kernel.kb_loc | [] -> Loc.none
         in
-        (venv', cg :: gs, ss'))
+        guarded ~stage:"type inference" ~loc
+          ~recover:(fun () ->
+            let venv' =
+              List.fold_left
+                (fun m (b : Kernel.bind) ->
+                  Ident.Map.add b.kb_name
+                    (Infer.Poly (Infer.error_scheme ()))
+                    m)
+                venv binds
+            in
+            let cg =
+              Core.Rec
+                (List.map
+                   (fun (b : Kernel.bind) ->
+                     { Core.b_name = b.kb_name; b_expr = stub_expr b.kb_name })
+                   binds)
+            in
+            (venv', cg :: gs, ss))
+          (fun () -> check_group acc g))
       (venv0, [], []) groups
   in
   (* default methods *)
@@ -235,15 +333,20 @@ let compile_dicts ~(opts : options) ~file (src : string) : compiled =
     List.concat_map
       (fun (ci : Class_env.class_info) ->
         List.map
-          (fun (m, fb) ->
-            let mi = Option.get (Class_env.find_method env m) in
-            let q = default_signature env mi in
-            let expr = Desugar.fun_bind_expr env fb in
+          (fun (m, (fb : Ast.fun_bind)) ->
             let name = Class_env.default_name ~cls:ci.ci_name ~meth:m in
-            let b, _ =
-              Infer.check_signature_binding st venv ~name ~q ~loc:fb.fb_loc expr
-            in
-            b)
+            guarded ~stage:"default method checking" ~loc:fb.fb_loc
+              ~recover:(fun () ->
+                { Core.b_name = name; b_expr = stub_expr name })
+              (fun () ->
+                let mi = Option.get (Class_env.find_method env m) in
+                let q = default_signature env mi in
+                let expr = Desugar.fun_bind_expr env fb in
+                let b, _ =
+                  Infer.check_signature_binding st venv ~name ~q ~loc:fb.fb_loc
+                    expr
+                in
+                b))
           ci.ci_defaults)
       (Class_env.all_classes env)
   in
@@ -289,43 +392,72 @@ let compile_dicts ~(opts : options) ~file (src : string) : compiled =
             match impl with
             | Class_env.Default_impl -> None
             | Class_env.User_impl impl_name ->
-                let fb = List.assoc m bodies in
-                let mi = Option.get (Class_env.find_method env m) in
-                let q = impl_signature env inst mi in
-                let expr = Desugar.fun_bind_expr env fb in
-                let b, _ =
-                  Infer.check_signature_binding st venv ~name:impl_name ~q
-                    ~loc:fb.fb_loc expr
-                in
-                Some b)
+                Some
+                  (guarded ~stage:"instance method checking" ~loc:inst.in_loc
+                     ~recover:(fun () ->
+                       { Core.b_name = impl_name;
+                         b_expr = stub_expr impl_name })
+                     (fun () ->
+                       let fb = List.assoc m bodies in
+                       let mi = Option.get (Class_env.find_method env m) in
+                       let q = impl_signature env inst mi in
+                       let expr = Desugar.fun_bind_expr env fb in
+                       let b, _ =
+                         Infer.check_signature_binding st venv ~name:impl_name
+                           ~q ~loc:fb.fb_loc expr
+                       in
+                       b)))
           inst.in_impls)
       (Class_env.all_instances env)
   in
   (* dictionary bindings (mechanical, §4) *)
-  let dict_binds = Construct.all_dict_bindings env iopts.strategy in
-  Infer.final_resolve st;
-  let main_id = Ident.intern "main" in
-  let has_main =
-    List.exists
-      (fun g ->
-        List.exists
-          (fun (b : Core.bind) -> Ident.equal b.b_name main_id)
-          (Core.binds_of_group g))
-      (List.rev user_groups_rev)
+  let dict_binds =
+    guarded ~stage:"dictionary construction" ~loc:Loc.none
+      ~recover:(fun () -> [])
+      (fun () -> Construct.all_dict_bindings env iopts.strategy)
+  in
+  (match sink with
+   | None -> Infer.final_resolve st
+   | Some _ -> Infer.final_resolve ~isolate:true st);
+  let failed =
+    match sink with
+    | Some sink -> Diagnostic.Sink.has_errors sink
+    | None -> false
   in
   let program : Core.program =
-    {
-      p_binds =
-        List.rev user_groups_rev
-        @ List.map
-            (fun b -> Core.Nonrec b)
-            (default_binds @ missing_default_binds @ impl_binds @ dict_binds);
-      p_main = (if has_main then Some main_id else None);
-    }
+    if failed then
+      (* diagnostics were recorded; the caller discards the artifact, so
+         skip the mechanical back half rather than run it over stubs *)
+      { p_binds = []; p_main = None }
+    else
+      guarded ~stage:"core normalization" ~loc:Loc.none
+        ~recover:(fun () -> { Core.p_binds = []; p_main = None })
+        (fun () ->
+          let main_id = Ident.intern "main" in
+          let has_main =
+            List.exists
+              (fun g ->
+                List.exists
+                  (fun (b : Core.bind) -> Ident.equal b.b_name main_id)
+                  (Core.binds_of_group g))
+              (List.rev user_groups_rev)
+          in
+          let program : Core.program =
+            {
+              p_binds =
+                List.rev user_groups_rev
+                @ List.map
+                    (fun b -> Core.Nonrec b)
+                    (default_binds @ missing_default_binds @ impl_binds
+                   @ dict_binds);
+              p_main = (if has_main then Some main_id else None);
+            }
+          in
+          let program = Core.squash_program program in
+          let program = Scc.regroup program in
+          if opts.lint then Lint.check_program ~primitives:Prims.names program;
+          program)
   in
-  let program = Core.squash_program program in
-  let program = Scc.regroup program in
-  if opts.lint then Lint.check_program ~primitives:Prims.names program;
   let all_schemes = List.rev_map (fun (n, s, _) -> (n, s)) schemes_rev in
   let user_schemes =
     List.rev schemes_rev
@@ -361,6 +493,69 @@ let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
       let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
       if opts.lint then Lint.check_program ~primitives:Prims.names core;
       { checked with env; core }
+
+(* ------------------------------------------------------------------ *)
+(* Accumulating compilation.                                           *)
+(* ------------------------------------------------------------------ *)
+
+type checked = {
+  diagnostics : Diagnostic.t list;  (* in issue order *)
+  artifact : compiled option;       (* [Some] iff no errors were recorded *)
+}
+
+(** Compile, collecting every diagnostic instead of raising on the first
+    error. Recovery boundaries: top-level declaration (parser, fixity,
+    static analysis), binding group / signature binding (inference),
+    placeholder (final resolution), plus an ICE guard around every stage;
+    the error cap is [opts.max_errors]. Never raises: a fatal error
+    outside any boundary (lexer, layout) and any unexpected exception end
+    up in [diagnostics] too. *)
+let compile_collect ?(opts = default_options) ?(file = "<input>")
+    (src : string) : checked =
+  let sink = Diagnostic.Sink.create ~max_errors:opts.max_errors () in
+  let safe_report d =
+    try Diagnostic.Sink.report sink d
+    with Diagnostic.Sink.Limit_reached -> ()
+  in
+  let artifact =
+    match
+      match opts.strategy with
+      | Dicts | Dicts_flat -> compile_dicts ~sink ~opts ~file src
+      | Tags ->
+          let checked = compile_dicts ~sink ~opts ~file src in
+          if Diagnostic.Sink.has_errors sink then checked
+          else
+            Diagnostic.guard ~sink ~stage:"tag translation" ~loc:Loc.none
+              ~recover:(fun () -> checked)
+              (fun () ->
+                let env, groups, _ =
+                  front ~include_prelude:opts.include_prelude ~file src
+                in
+                let core =
+                  Tc_tagdispatch.Tagdispatch.translate_program env groups
+                in
+                if opts.lint then
+                  Lint.check_program ~primitives:Prims.names core;
+                { checked with env; core })
+    with
+    | c -> if Diagnostic.Sink.has_errors sink then None else Some c
+    | exception Diagnostic.Sink.Limit_reached ->
+        safe_report
+          (Diagnostic.make ~severity:Diagnostic.Warning ~loc:Loc.none
+             (Printf.sprintf
+                "too many errors (more than %d); giving up on this file"
+                opts.max_errors));
+        None
+    | exception Diagnostic.Error d ->
+        (* fatal error outside any recovery boundary (lexer, layout) *)
+        safe_report d;
+        None
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception e ->
+        safe_report (Diagnostic.of_exn ~stage:"compilation" ~loc:Loc.none e);
+        None
+  in
+  { diagnostics = Diagnostic.Sink.diagnostics sink; artifact }
 
 (* ------------------------------------------------------------------ *)
 (* Execution.                                                          *)

@@ -39,6 +39,9 @@ type options = {
   defaulting : bool;  (** resolve ambiguous numeric contexts *)
   include_prelude : bool;
   lint : bool;
+  max_errors : int;
+      (** cap on errors recorded by {!compile_collect} before it gives up
+          on the file; [<= 0] means unlimited (default 100) *)
   trace : Tc_obs.Trace.t;
       (** compile-time event sink; {!Tc_obs.Trace.none} (off) by default *)
 }
@@ -65,6 +68,26 @@ type compiled = {
     (methods overloaded only in their result type are rejected in user
     code) before the independent §3 translation. *)
 val compile : ?opts:options -> ?file:string -> string -> compiled
+
+(** The outcome of an accumulating compile: every diagnostic recorded (in
+    issue order — sort with {!Diagnostic.sort} for display), and the
+    compiled artifact when, and only when, no error was recorded.
+    Warnings alone do not suppress the artifact. *)
+type checked = {
+  diagnostics : Diagnostic.t list;
+  artifact : compiled option;
+}
+
+(** Compile, collecting every diagnostic instead of raising on the first
+    error. The front end recovers at natural boundaries — the parser
+    resynchronizes at the next top-level declaration; static analysis
+    skips a bad declaration; a failed binding group's binders get an error
+    scheme that unifies with anything (so one type error never cascades);
+    each unresolved placeholder reports independently — and every stage is
+    wrapped in an ICE guard that turns an unexpected exception into an
+    "internal error in <stage>" diagnostic of severity [Bug]. At most
+    [opts.max_errors] errors are recorded. Never raises. *)
+val compile_collect : ?opts:options -> ?file:string -> string -> checked
 
 type backend = [ `Tree | `Vm ]
 

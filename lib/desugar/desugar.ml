@@ -296,12 +296,24 @@ and fun_bind_expr env (fb : Ast.fun_bind) : Kernel.expr =
 (* Binding blocks: signatures, pattern-binding expansion, SCCs.        *)
 (* ------------------------------------------------------------------ *)
 
-and decls_to_groups env (ds : Ast.decl list) : Kernel.group list =
+and decls_to_groups ?sink env (ds : Ast.decl list) : Kernel.group list =
+  (* per-item recovery boundary: with [sink], a bad signature or binding
+     loses only itself (references to it desugar as free variables and are
+     reported at their use sites); without, the error propagates *)
+  let g ~loc f =
+    match sink with
+    | None -> f ()
+    | Some sink ->
+        Diagnostic.guard ~sink ~stage:"desugaring" ~loc
+          ~recover:(fun () -> ())
+          f
+  in
   let grouped = Ast.group_decls ds in
   (* signatures *)
   let sigs : Ast.sqtyp Ident.Tbl.t = Ident.Tbl.create 8 in
   List.iter
     (fun (names, q, loc) ->
+      g ~loc @@ fun () ->
       List.iter
         (fun n ->
           if Ident.Tbl.mem sigs n then
@@ -329,6 +341,12 @@ and decls_to_groups env (ds : Ast.decl list) : Kernel.group list =
   in
   List.iter
     (fun b ->
+      let bloc =
+        match b with
+        | Ast.BFun fb -> fb.Ast.fb_loc
+        | Ast.BPat (p, _, _) -> p.Ast.p_loc
+      in
+      g ~loc:bloc @@ fun () ->
       match b with
       | Ast.BFun fb ->
           let arity =
@@ -379,9 +397,12 @@ and decls_to_groups env (ds : Ast.decl list) : Kernel.group list =
   let binds = List.rev !binds in
   (* signatures without a binding *)
   Ident.Tbl.iter
-    (fun n _ ->
+    (fun n q ->
       if not (Ident.Tbl.mem bound n) then
-        err "type signature for '%a' lacks an accompanying binding" Ident.pp n)
+        g ~loc:q.Ast.sq_loc (fun () ->
+            err ~loc:q.Ast.sq_loc
+              "type signature for '%a' lacks an accompanying binding" Ident.pp
+              n))
     sigs;
   scc_groups binds
 
@@ -455,4 +476,5 @@ and scc_groups (binds : Kernel.bind list) : Kernel.group list =
     (List.rev !components)
 
 (** Desugar top-level value declarations (signatures and bindings). *)
-let top_decls env (ds : Ast.decl list) : Kernel.group list = decls_to_groups env ds
+let top_decls ?sink env (ds : Ast.decl list) : Kernel.group list =
+  decls_to_groups ?sink env ds

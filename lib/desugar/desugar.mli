@@ -17,8 +17,18 @@ val expr : Class_env.t -> Ast.expr -> Kernel.expr
 val fun_bind_expr : Class_env.t -> Ast.fun_bind -> Kernel.expr
 
 (** Desugar a block of declarations into binding groups in dependency
-    order. *)
-val decls_to_groups : Class_env.t -> Ast.decl list -> Kernel.group list
+    order. With [sink], each top-level signature group and binding is a
+    fault-isolation boundary: a declaration that fails to desugar is
+    reported and dropped, and the rest of the block still desugars. *)
+val decls_to_groups :
+  ?sink:Tc_support.Diagnostic.Sink.sink ->
+  Class_env.t ->
+  Ast.decl list ->
+  Kernel.group list
 
 (** Desugar top-level value declarations. *)
-val top_decls : Class_env.t -> Ast.decl list -> Kernel.group list
+val top_decls :
+  ?sink:Tc_support.Diagnostic.Sink.sink ->
+  Class_env.t ->
+  Ast.decl list ->
+  Kernel.group list

@@ -20,6 +20,11 @@ exception Out_of_fuel
 
 let runtime fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
 
+(** A condition the front end is supposed to have ruled out: a well-typed
+    core program can never reach it, so hitting one is a compiler bug, not
+    an error in the user's program. *)
+let bug fmt = Format.kasprintf (fun m -> raise (Runtime_error ("[BUG] " ^ m))) fmt
+
 (** Run-time constructor descriptor. *)
 type rcon = {
   rc_name : Ident.t;
@@ -111,14 +116,14 @@ and eval st (env : env) (e : Core.expr) : value =
   | Core.Var x -> (
       match Ident.Map.find_opt x env with
       | Some t -> force st t
-      | None -> runtime "unbound variable '%s'" (Ident.text x))
+      | None -> bug "unbound variable '%s'" (Ident.text x))
   | Core.Lit (Ast.LInt n) -> VInt n
   | Core.Lit (Ast.LFloat f) -> VFloat f
   | Core.Lit (Ast.LChar c) -> VChar c
   | Core.Lit (Ast.LString s) -> VStr s
   | Core.Con c -> (
       match Ident.Tbl.find_opt st.cons c with
-      | None -> runtime "unknown constructor '%s'" (Ident.text c)
+      | None -> bug "unknown constructor '%s'" (Ident.text c)
       | Some rc ->
           if rc.rc_arity = 0 then begin
             st.counters.allocations <- st.counters.allocations + 1;
@@ -152,14 +157,14 @@ and eval st (env : env) (e : Core.expr) : value =
           match Ident.text rc.rc_name with
           | "True" -> eval st env t
           | "False" -> eval st env f
-          | s -> runtime "if: expected a Bool, got constructor '%s'" s)
-      | _ -> runtime "if: condition is not a Bool")
+          | s -> bug "if: expected a Bool, got constructor '%s'" s)
+      | _ -> bug "if: condition is not a Bool")
   | Core.Case (s, alts, default) -> (
       let v = eval st env s in
       let run_default () =
         match default with
         | Some d -> eval st env d
-        | None -> runtime "case: no matching alternative"
+        | None -> bug "case: no matching alternative"
       in
       match v with
       | VData (rc, fields) -> (
@@ -190,7 +195,7 @@ and eval st (env : env) (e : Core.expr) : value =
           with
           | Some a -> eval st env a.alt_body
           | None -> run_default ())
-      | _ -> runtime "case: scrutinee is not a data value")
+      | _ -> bug "case: scrutinee is not a data value")
   | Core.MkDict (tag, fields) ->
       st.counters.dict_constructions <- st.counters.dict_constructions + 1;
       st.counters.dict_fields <- st.counters.dict_fields + List.length fields;
@@ -208,14 +213,14 @@ and eval st (env : env) (e : Core.expr) : value =
       match eval st env d with
       | VDict (_, fields) ->
           if info.sel_index >= Array.length fields then
-            runtime "dictionary selection out of range (%d of %d)"
+            bug "dictionary selection out of range (%d of %d)"
               info.sel_index (Array.length fields)
           else force st fields.(info.sel_index)
-      | _ -> runtime "selection from a non-dictionary value")
+      | _ -> bug "selection from a non-dictionary value")
   | Core.Hole h -> (
       match h.hole_fill with
       | Some inner -> eval st env inner
-      | None -> runtime "evaluated an unresolved placeholder")
+      | None -> bug "evaluated an unresolved placeholder")
 
 and lit_matches (l : Core.lit) (v : value) : bool =
   match (l, v) with
@@ -263,7 +268,7 @@ and apply st (vf : value) (arg : thunk) : value =
       end
       else VPrim (p, args')
   | VInt _ | VFloat _ | VChar _ | VStr _ | VData _ | VDict _ ->
-      runtime "applied a non-function value"
+      bug "applied a non-function value"
 
 (* ------------------------------------------------------------------ *)
 (* Conversions between values and OCaml strings / lists.               *)
@@ -279,10 +284,10 @@ let string_of_char_list st (v : value) : string =
         | ":" -> (
             (match force st fields.(0) with
              | VChar c -> Buffer.add_char buf c
-             | _ -> runtime "expected a character in a string");
+             | _ -> bug "expected a character in a string");
             go (force st fields.(1)))
-        | s -> runtime "expected a list of characters, got '%s'" s)
-    | _ -> runtime "expected a list of characters"
+        | s -> bug "expected a list of characters, got '%s'" s)
+    | _ -> bug "expected a list of characters"
   in
   go v;
   Buffer.contents buf
@@ -383,17 +388,17 @@ let bool_value st b : value =
 let int_arg st t =
   match force st t with
   | VInt n -> n
-  | _ -> runtime "primitive expected an Int"
+  | _ -> bug "primitive expected an Int"
 
 let float_arg st t =
   match force st t with
   | VFloat f -> f
-  | _ -> runtime "primitive expected a Float"
+  | _ -> bug "primitive expected a Float"
 
 let char_arg st t =
   match force st t with
   | VChar c -> c
-  | _ -> runtime "primitive expected a Char"
+  | _ -> bug "primitive expected a Char"
 
 let int2 f = fun st args ->
   match args with

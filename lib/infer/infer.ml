@@ -788,21 +788,73 @@ and check_signature_binding st (venv : venv) ~(name : Ident.t)
 (** Resolve everything deferred to the top level (restricted bindings,
     ambiguous literals, ...), applying defaulting. Call once after the whole
     program has been checked. *)
-let final_resolve st =
+let final_resolve ?(isolate = false) st =
   let pending = pop_scope st in
+  let resolve1 ph =
+    match ph.ph_kind with
+    | PhRec _ ->
+        err ~loc:ph.ph_loc "internal: recursive placeholder escaped its group"
+    | _ -> (
+        (* force defaulting for still-unbound variables *)
+        (match Ty.prune ph.ph_ty with
+         | Ty.TVar v when not (Ty.is_generic v) ->
+             if not (try_default st ~loc:ph.ph_loc v) then
+               err ~loc:ph.ph_loc
+                 "ambiguous overloading at the top level: %a" Ty.pp_qualified
+                 (Ty.TVar v)
+         | _ -> ());
+        resolve_ph st [] ph)
+  in
   List.iter
     (fun ph ->
-      match ph.ph_kind with
-      | PhRec _ ->
-          err ~loc:ph.ph_loc "internal: recursive placeholder escaped its group"
-      | _ -> (
-          (* force defaulting for still-unbound variables *)
-          (match Ty.prune ph.ph_ty with
-           | Ty.TVar v when not (Ty.is_generic v) ->
-               if not (try_default st ~loc:ph.ph_loc v) then
-                 err ~loc:ph.ph_loc
-                   "ambiguous overloading at the top level: %a" Ty.pp_qualified
-                   (Ty.TVar v)
-           | _ -> ());
-          resolve_ph st [] ph))
+      if isolate then
+        (* each unresolved placeholder (ambiguity, missing instance) is an
+           independent diagnostic; the erroneous core is discarded anyway *)
+        Diagnostic.guard ~sink:st.sink ~stage:"placeholder resolution"
+          ~loc:ph.ph_loc
+          ~recover:(fun () -> ())
+          (fun () -> resolve1 ph)
+      else resolve1 ph)
     pending
+
+(* ------------------------------------------------------------------ *)
+(* Fault isolation.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** The scheme assigned to binders of a failed binding group:
+    [forall a. a]. It instantiates to a fresh unconstrained variable at
+    every occurrence, so it unifies with anything, generates no
+    dictionary placeholders, and never causes a second report. *)
+let error_scheme () : Scheme.t =
+  let v = Ty.fresh_var ~level:Ty.generic_level () in
+  { Scheme.vars = [ v ]; ty = Ty.TVar v }
+
+(** [protect st ~stage ~loc ~recover f] is {!Diagnostic.guard}
+    specialized to checker state: on failure the current level and the
+    placeholder-scope stack are restored (scopes opened by [f] are
+    dropped; placeholders [f] added to surviving scopes — including
+    deferrals into enclosing scopes — are removed, since they belong to
+    the discarded translation). *)
+let protect st ~stage ~loc ~(recover : unit -> 'a) (f : unit -> 'a) : 'a =
+  let level = st.level in
+  let scopes = st.scopes in
+  let lens = List.map (fun r -> List.length !r) scopes in
+  let rollback () =
+    st.level <- level;
+    st.scopes <- scopes;
+    (* placeholders are prepended, so drop the newest from each scope *)
+    List.iter2
+      (fun r n ->
+        let rec drop k xs =
+          if k <= 0 then xs
+          else match xs with [] -> [] | _ :: t -> drop (k - 1) t
+        in
+        let extra = List.length !r - n in
+        if extra > 0 then r := drop extra !r)
+      scopes lens
+  in
+  Diagnostic.guard ~sink:st.sink ~stage ~loc
+    ~recover:(fun () ->
+      rollback ();
+      recover ())
+    f

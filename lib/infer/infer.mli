@@ -71,5 +71,27 @@ val check_signature_binding :
   Core.bind * Scheme.t
 
 (** Resolve everything deferred to the top level (restricted bindings,
-    ambiguous literals), applying defaulting. *)
-val final_resolve : state -> unit
+    ambiguous literals), applying defaulting. With [~isolate:true], each
+    placeholder that fails to resolve (ambiguity, missing instance)
+    records its own diagnostic in the sink and resolution continues with
+    the remaining placeholders. *)
+val final_resolve : ?isolate:bool -> state -> unit
+
+(** The scheme assigned to binders of a failed binding group:
+    [forall a. a]. Unifies with anything, carries no context, and so
+    never produces a second diagnostic downstream. *)
+val error_scheme : unit -> Scheme.t
+
+(** [protect st ~stage ~loc ~recover f]: run [f]; when it raises
+    {!Tc_support.Diagnostic.Error} (or any unexpected exception, recorded
+    as an ICE), record the diagnostic in the state's sink, restore the
+    checker's level and placeholder-scope stack to their state before the
+    call, and return [recover ()]. The per-binding-group fault-isolation
+    boundary. *)
+val protect :
+  state ->
+  stage:string ->
+  loc:Loc.t ->
+  recover:(unit -> 'a) ->
+  (unit -> 'a) ->
+  'a

@@ -1,0 +1,62 @@
+(** Machine-readable rendering of compiler diagnostics.
+
+    One diagnostic becomes one JSON object; a batch run ([mhc check])
+    renders a summary object with per-file roll-ups. Field order is fixed,
+    so the output is deterministic and diffable. *)
+
+open Tc_support
+
+let severity_string (s : Diagnostic.severity) : string =
+  match s with
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Bug -> "ice"
+
+(** One diagnostic:
+    [{file, line, col, endLine, endCol, severity, message, hints}].
+    Location fields are [null] for unlocated diagnostics. *)
+let json (d : Diagnostic.t) : Json.t =
+  let loc_fields =
+    if Loc.is_none d.loc then
+      [ ("file", Json.Null); ("line", Json.Null); ("col", Json.Null);
+        ("endLine", Json.Null); ("endCol", Json.Null) ]
+    else
+      [ ("file", Json.Str d.loc.Loc.file);
+        ("line", Json.Int d.loc.Loc.start_pos.line);
+        ("col", Json.Int d.loc.Loc.start_pos.col);
+        ("endLine", Json.Int d.loc.Loc.end_pos.line);
+        ("endCol", Json.Int d.loc.Loc.end_pos.col) ]
+  in
+  Json.Obj
+    (loc_fields
+    @ [ ("severity", Json.Str (severity_string d.severity));
+        ("message", Json.Str d.message);
+        ("hints", Json.List (List.map (fun h -> Json.Str h) d.hints)) ])
+
+let json_list (ds : Diagnostic.t list) : Json.t =
+  Json.List (List.map json ds)
+
+let count sev ds =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) ds)
+
+(** Per-file roll-up: [{file, errors, warnings, ice}]. *)
+let file_summary ~file (ds : Diagnostic.t list) : Json.t =
+  Json.Obj
+    [ ("file", Json.Str file);
+      ("errors", Json.Int (count Diagnostic.Error ds));
+      ("warnings", Json.Int (count Diagnostic.Warning ds));
+      ("ice", Json.Int (count Diagnostic.Bug ds)) ]
+
+(** The [mhc check --json] report:
+    [{files: [...], diagnostics: [...], errors, warnings, ice}]. Each
+    entry of [per_file] is one checked file with its own (sorted)
+    diagnostics. *)
+let report (per_file : (string * Diagnostic.t list) list) : Json.t =
+  let all = List.concat_map snd per_file in
+  Json.Obj
+    [ ("files",
+       Json.List (List.map (fun (f, ds) -> file_summary ~file:f ds) per_file));
+      ("diagnostics", json_list all);
+      ("errors", Json.Int (count Diagnostic.Error all));
+      ("warnings", Json.Int (count Diagnostic.Warning all));
+      ("ice", Json.Int (count Diagnostic.Bug all)) ]

@@ -1,0 +1,23 @@
+(** Machine-readable (JSON) rendering of compiler diagnostics, used by
+    [mhc check --json]. Field order is fixed, so output is deterministic. *)
+
+open Tc_support
+
+(** ["error"], ["warning"] or ["ice"]. *)
+val severity_string : Diagnostic.severity -> string
+
+(** One diagnostic:
+    [{file, line, col, endLine, endCol, severity, message, hints}].
+    Location fields are [null] for unlocated diagnostics; [line]/[col]
+    are 1-based and [endLine]/[endCol] are inclusive. *)
+val json : Diagnostic.t -> Json.t
+
+val json_list : Diagnostic.t list -> Json.t
+
+(** Per-file roll-up: [{file, errors, warnings, ice}]. *)
+val file_summary : file:string -> Diagnostic.t list -> Json.t
+
+(** The [mhc check --json] report over a batch of files:
+    [{files: [{file, errors, warnings, ice}], diagnostics: [...],
+    errors, warnings, ice}]. *)
+val report : (string * Diagnostic.t list) list -> Json.t

@@ -1,9 +1,21 @@
-(** Compiler diagnostics: located errors and warnings.
+(** Compiler diagnostics: located errors, warnings and internal errors.
 
-    Fatal errors are raised as the {!Error} exception; warnings are
-    accumulated in a sink that callers may inspect or print. *)
+    Two reporting disciplines coexist:
 
-type severity = Error | Warning
+    - {e fail-fast}: an error is raised as the {!Error} exception and aborts
+      whatever was running. [errorf] below and most checking code work this
+      way; external callers that catch {!Error} keep working unchanged.
+    - {e accumulating}: a recovery boundary (parser resynchronization,
+      per-declaration static analysis, per-binding-group inference, a
+      pipeline stage guard) catches {!Error} and records the diagnostic in
+      the {!Sink.sink}, then continues with a degraded result, so one pass
+      reports every independent problem.
+
+    The [Bug] severity marks internal compiler errors (ICEs): unexpected
+    exceptions converted by a stage guard via {!of_exn}. They render as
+    "internal error" and drive the distinct exit code of [mhc check]. *)
+
+type severity = Error | Warning | Bug
 
 type t = {
   severity : severity;
@@ -21,25 +33,131 @@ let errorf ?(loc = Loc.none) ?(hints = []) fmt =
     (fun message -> raise (Error (make ~hints ~severity:Error ~loc message)))
     fmt
 
+let severity_label : severity -> string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Bug -> "internal error"
+
 let pp ppf d =
-  let label = match d.severity with Error -> "error" | Warning -> "warning" in
+  let label = severity_label d.severity in
   if Loc.is_none d.loc then Fmt.pf ppf "%s: %s" label d.message
   else Fmt.pf ppf "%a: %s: %s" Loc.pp d.loc label d.message;
   List.iter (fun h -> Fmt.pf ppf "@\n  hint: %s" h) d.hints
 
 let to_string d = Fmt.str "%a" pp d
 
-(** Warning sink: a mutable accumulator threaded through compilation. *)
-module Sink = struct
-  type sink = { mutable warnings : t list }
+let is_error d = match d.severity with Error | Bug -> true | Warning -> false
 
-  let create () = { warnings = [] }
+(* Bugs sort before errors before warnings at the same location, so the
+   most severe problem at a point leads. *)
+let severity_rank : severity -> int = function Bug -> 0 | Error -> 1 | Warning -> 2
+
+(** Total order for display: by file, then span start/end, then severity,
+    then message. Unlocated diagnostics sort before located ones of the
+    same file (they describe the file as a whole). Use with
+    [List.stable_sort] so diagnostics at the same point keep issue order. *)
+let compare a b =
+  let key d =
+    ( d.loc.Loc.file,
+      (if Loc.is_none d.loc then 0 else 1),
+      d.loc.Loc.start_pos.line,
+      d.loc.Loc.start_pos.col,
+      d.loc.Loc.end_pos.line,
+      d.loc.Loc.end_pos.col,
+      severity_rank d.severity )
+  in
+  let c = Stdlib.compare (key a) (key b) in
+  if c <> 0 then c else Stdlib.compare a.message b.message
+
+let sort ds = List.stable_sort compare ds
+
+(** Convert an unexpected exception into an ICE diagnostic: "internal error
+    in <stage>", located at the enclosing declaration when known. *)
+let of_exn ~stage ~loc (exn : exn) : t =
+  let detail =
+    match exn with
+    | Failure m -> m
+    | Invalid_argument m -> "invalid argument: " ^ m
+    | Not_found -> "Not_found"
+    | Stack_overflow -> "stack overflow"
+    | Assert_failure (f, l, c) -> Printf.sprintf "assertion failed at %s:%d:%d" f l c
+    | Match_failure (f, l, c) -> Printf.sprintf "match failure at %s:%d:%d" f l c
+    | e -> Printexc.to_string e
+  in
+  make ~severity:Bug ~loc
+    ~hints:
+      [ "this is a bug in the compiler, not an error in your program" ]
+    (Printf.sprintf "internal error in %s: %s" stage detail)
+
+(** Diagnostic sink: a mutable accumulator threaded through compilation.
+    Collects warnings and — at recovery boundaries — errors, with a
+    configurable cap on the number of errors recorded. *)
+module Sink = struct
+  type sink = {
+    mutable diags : t list;  (* newest first *)
+    mutable n_errors : int;  (* errors + bugs recorded *)
+    mutable max_errors : int;  (* <= 0 means unlimited *)
+  }
+
+  exception Limit_reached
+
+  let create ?(max_errors = 0) () = { diags = []; n_errors = 0; max_errors }
+
+  let set_max_errors sink n = sink.max_errors <- n
+
+  (** Record a diagnostic. Raises {!Limit_reached} when recording an error
+      would exceed the sink's cap; recovery boundaries must let that
+      exception propagate so the whole run stops. *)
+  let report sink (d : t) =
+    if is_error d then begin
+      if sink.max_errors > 0 && sink.n_errors >= sink.max_errors then
+        raise Limit_reached;
+      sink.n_errors <- sink.n_errors + 1
+    end;
+    sink.diags <- d :: sink.diags
+
+  let error ?(hints = []) sink ~loc fmt =
+    Format.kasprintf
+      (fun message -> report sink (make ~hints ~severity:Error ~loc message))
+      fmt
 
   let warn ?(hints = []) sink ~loc fmt =
     Format.kasprintf
-      (fun message ->
-        sink.warnings <- make ~hints ~severity:Warning ~loc message :: sink.warnings)
+      (fun message -> report sink (make ~hints ~severity:Warning ~loc message))
       fmt
 
-  let warnings sink = List.rev sink.warnings
+  let diagnostics sink = List.rev sink.diags
+  let warnings sink = List.filter (fun d -> d.severity = Warning) (diagnostics sink)
+  let errors sink = List.filter is_error (diagnostics sink)
+  let error_count sink = sink.n_errors
+  let has_errors sink = sink.n_errors > 0
+  let has_bug sink = List.exists (fun d -> d.severity = Bug) sink.diags
+
+  (** The first error recorded, in issue order — what fail-fast compilation
+      would have raised. *)
+  let first_error sink =
+    let rec last = function
+      | [] -> None
+      | [ d ] -> Some d
+      | _ :: rest -> last rest
+    in
+    last (List.filter is_error sink.diags)
 end
+
+(** [guard ~sink ~stage ~loc ~recover f] is the universal recovery
+    boundary: run [f]; on {!Error} record the diagnostic and return
+    [recover ()]; on any other exception (except {!Sink.Limit_reached} and
+    [Out_of_memory], which propagate) record an ICE diagnostic for [stage]
+    and return [recover ()]. *)
+let guard ~sink ~stage ~loc ~(recover : unit -> 'a) (f : unit -> 'a) : 'a =
+  try f () with
+  | Error d ->
+      (* An unlocated diagnostic at least inherits the guard's location,
+         so the user learns which declaration it came from. *)
+      let d = if Loc.is_none d.loc then { d with loc } else d in
+      Sink.report sink d;
+      recover ()
+  | (Sink.Limit_reached | Out_of_memory) as e -> raise e
+  | exn ->
+      Sink.report sink (of_exn ~stage ~loc exn);
+      recover ()

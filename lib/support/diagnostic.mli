@@ -1,9 +1,12 @@
-(** Compiler diagnostics: located errors and warnings.
+(** Compiler diagnostics: located errors, warnings and internal errors.
 
-    Fatal errors are raised as the {!Error} exception; warnings are
-    accumulated in a {!Sink.sink} that callers may inspect or print. *)
+    Fail-fast code raises errors as the {!Error} exception; recovery
+    boundaries catch it and record the diagnostic in a {!Sink.sink}, so one
+    compilation pass can report every independent problem. The [Bug]
+    severity marks internal compiler errors (ICEs) produced by stage
+    guards from unexpected exceptions. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Bug
 
 type t = {
   severity : severity;
@@ -19,14 +22,50 @@ val make : ?hints:string list -> severity:severity -> loc:Loc.t -> string -> t
 (** [errorf ?loc fmt ...] raises {!Error} with a formatted message. *)
 val errorf : ?loc:Loc.t -> ?hints:string list -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+val severity_label : severity -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-(** Warning sink: a mutable accumulator threaded through compilation. *)
+(** [Error] or [Bug] (both fail a compile); [Warning] does not. *)
+val is_error : t -> bool
+
+(** Total order for display: file, then span, then severity, then message.
+    Stable-sorting with this keeps issue order for ties. *)
+val compare : t -> t -> int
+
+(** Stable sort by {!compare}. *)
+val sort : t list -> t list
+
+(** Convert an unexpected exception into an ICE ([Bug]) diagnostic:
+    "internal error in <stage>", carrying the enclosing declaration's
+    location when known. *)
+val of_exn : stage:string -> loc:Loc.t -> exn -> t
+
+(** Diagnostic sink: a mutable accumulator threaded through compilation.
+    Collects warnings and, at recovery boundaries, errors — with a
+    configurable cap on recorded errors. *)
 module Sink : sig
   type sink
 
-  val create : unit -> sink
+  (** Raised by {!report} when recording an error would exceed the sink's
+      error cap. Recovery boundaries must let it propagate. *)
+  exception Limit_reached
+
+  (** [create ?max_errors ()] makes a fresh sink. [max_errors <= 0] (the
+      default) means unlimited. *)
+  val create : ?max_errors:int -> unit -> sink
+
+  val set_max_errors : sink -> int -> unit
+
+  (** Record a diagnostic; raises {!Limit_reached} at the error cap. *)
+  val report : sink -> t -> unit
+
+  val error :
+    ?hints:string list ->
+    sink ->
+    loc:Loc.t ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a
 
   val warn :
     ?hints:string list ->
@@ -35,6 +74,34 @@ module Sink : sig
     ('a, Format.formatter, unit, unit) format4 ->
     'a
 
-  (** Warnings in the order they were issued. *)
+  (** All diagnostics in the order they were issued. *)
+  val diagnostics : sink -> t list
+
+  (** Warnings only, in issue order. *)
   val warnings : sink -> t list
+
+  (** Errors and bugs only, in issue order. *)
+  val errors : sink -> t list
+
+  val error_count : sink -> int
+  val has_errors : sink -> bool
+
+  (** Whether any recorded diagnostic is an ICE ([Bug]). *)
+  val has_bug : sink -> bool
+
+  (** The first error recorded — what fail-fast compilation would have
+      raised. *)
+  val first_error : sink -> t option
 end
+
+(** [guard ~sink ~stage ~loc ~recover f]: run [f]; on {!Error} record it
+    and return [recover ()]; on any other exception (except
+    {!Sink.Limit_reached} and [Out_of_memory]) record an ICE for [stage]
+    at [loc] and return [recover ()]. The universal recovery boundary. *)
+val guard :
+  sink:Sink.sink ->
+  stage:string ->
+  loc:Loc.t ->
+  recover:(unit -> 'a) ->
+  (unit -> 'a) ->
+  'a

@@ -21,6 +21,9 @@ val collect_program : env -> Ast.program -> env
 (** Resolve operator sequences in one expression. *)
 val expr : env -> Ast.expr -> Ast.expr
 
+(** Resolve operator sequences in one top-level declaration. *)
+val top_decl : env -> Ast.top_decl -> Ast.top_decl
+
 (** Resolve a whole program, using its own fixity declarations plus the
     builtin table; returns the extended environment. *)
 val resolve_program : ?env:env -> Ast.program -> Ast.program * env

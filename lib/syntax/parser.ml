@@ -11,9 +11,15 @@ open Ast
 type state = {
   toks : Token.spanned array;
   mutable pos : int;
+  (* The deepest failure seen while backtracking: (position, diagnostic).
+     When a later parse fails *before* that point, the deeper error is the
+     more specific one and is reported instead, so speculative parses
+     (signatures, function-binding heads, contexts) never hide the real
+     problem. *)
+  mutable furthest : (int * Diagnostic.t) option;
 }
 
-let make_state toks = { toks = Array.of_list toks; pos = 0 }
+let make_state toks = { toks = Array.of_list toks; pos = 0; furthest = None }
 
 let peek st = st.toks.(st.pos).Token.tok
 let peek_loc st = st.toks.(st.pos).Token.loc
@@ -27,8 +33,24 @@ let advance st =
   if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1;
   t
 
+(** Record a failure caught during backtracking, keeping the deepest one. *)
+let note st (d : Diagnostic.t) =
+  match st.furthest with
+  | Some (p, _) when p >= st.pos -> ()
+  | _ -> st.furthest <- Some (st.pos, d)
+
+(** Raise [d], unless a noted backtracking failure got strictly further —
+    then that one carries the more specific message. *)
+let raise_best st (d : Diagnostic.t) =
+  match st.furthest with
+  | Some (p, fd) when p > st.pos -> raise (Diagnostic.Error fd)
+  | _ -> raise (Diagnostic.Error d)
+
 let error st fmt =
-  Diagnostic.errorf ~loc:(peek_loc st)
+  Format.kasprintf
+    (fun message ->
+      raise_best st
+        (Diagnostic.make ~severity:Diagnostic.Error ~loc:(peek_loc st) message))
     ("parse error: " ^^ fmt ^^ " (found '%s')")
 
 let fail_expect st what = error st "expected %s" what (Token.to_string (peek st))
@@ -101,7 +123,7 @@ let consume_operator st n =
 (* Blocks: { p ; p ; ... } with virtual or explicit braces.             *)
 (* ------------------------------------------------------------------ *)
 
-let parse_block st (parse_item : state -> 'a) : 'a list =
+let parse_block ?recover st (parse_item : state -> 'a) : 'a list =
   let close =
     if accept st Token.VLBRACE then Token.VRBRACE
     else if accept st Token.LBRACE then Token.RBRACE
@@ -111,15 +133,64 @@ let parse_block st (parse_item : state -> 'a) : 'a list =
   let rec skip_semis () =
     if accept st Token.SEMI || accept st Token.VSEMI then skip_semis ()
   in
+  (* Skip forward to the next item boundary: a separator or close brace at
+     bracket depth 0. The layout pass inserts VSEMI exactly at each
+     declaration that starts at the block's reference column, so for the
+     top-level block this resynchronizes at the next top-level
+     declaration. *)
+  let resync () =
+    let depth = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      match peek st with
+      | Token.EOF -> stop := true
+      | Token.VLBRACE | Token.LBRACE ->
+          incr depth;
+          ignore (advance st)
+      | Token.VRBRACE | Token.RBRACE ->
+          if !depth > 0 then begin
+            decr depth;
+            ignore (advance st)
+          end
+          else if peek2 st = Token.EOF then
+            (* the block's own close: recovery only runs on the top-level
+               block, so its close brace is always followed by EOF *)
+            stop := true
+          else
+            (* a stray closer from a block left unfinished at the error
+               point (e.g. an aborted [let]): skip it and keep scanning *)
+            ignore (advance st)
+      | (Token.VSEMI | Token.SEMI) when !depth = 0 -> stop := true
+      | _ -> ignore (advance st)
+    done
+  in
   let rec go () =
     skip_semis ();
     if peek st = close then ignore (advance st)
+    else if peek st = Token.EOF && recover <> None then
+      (* a recovery skip consumed the close; treat EOF as end of block *)
+      ()
     else begin
-      items := parse_item st :: !items;
-      match peek st with
-      | t when t = close -> ignore (advance st)
-      | Token.SEMI | Token.VSEMI -> go ()
-      | _ -> fail_expect st "';' or end of block"
+      let start = st.pos in
+      match
+        let item = parse_item st in
+        items := item :: !items;
+        match peek st with
+        | t when t = close -> `Close
+        | Token.SEMI | Token.VSEMI -> `More
+        | _ -> fail_expect st "';' or end of block"
+      with
+      | `Close -> ignore (advance st)
+      | `More -> go ()
+      | exception Diagnostic.Error d -> (
+          match recover with
+          | None -> raise (Diagnostic.Error d)
+          | Some report ->
+              report d;
+              st.furthest <- None;
+              if st.pos = start then ignore (advance st);
+              resync ();
+              go ())
     end
   in
   go ();
@@ -164,7 +235,9 @@ and try_parse_context st : spred list option =
     end
     else if is_conid st then Some [ parse_pred st ]
     else None
-  with Diagnostic.Error _ -> None
+  with Diagnostic.Error d ->
+    note st d;
+    None
 
 and is_pred_start = function Token.CONID _ -> true | _ -> false
 
@@ -586,64 +659,74 @@ and parse_decl st : decl =
            parse_bind st loc)
 
 and try_parse_sig st loc : decl option =
-  try
-    let names = ref [ fst (parse_var st) ] in
-    while accept st Token.COMMA do
-      names := fst (parse_var st) :: !names
-    done;
-    if accept st Token.DCOLON then
+  (* Speculative part: the 'vars ::' head. A '::' commits us to a
+     signature, so errors in the type that follows are real and must
+     propagate rather than being swallowed by backtracking. *)
+  let head =
+    try
+      let names = ref [ fst (parse_var st) ] in
+      while accept st Token.COMMA do
+        names := fst (parse_var st) :: !names
+      done;
+      if accept st Token.DCOLON then Some (List.rev !names) else None
+    with Diagnostic.Error d ->
+      note st d;
+      None
+  in
+  match head with
+  | None -> None
+  | Some names ->
       let t = parse_qtyp st in
-      Some (DSig (List.rev !names, t, Loc.merge loc t.sq_loc))
-    else None
-  with Diagnostic.Error _ -> None
+      Some (DSig (names, t, Loc.merge loc t.sq_loc))
 
 and parse_bind st loc : decl =
-  (* Attempt 1: function binding  var apat+ rhs  (or (op) apat+ rhs). *)
+  (* Attempt 1: function binding  var apat+ rhs  (or (op) apat+ rhs).
+     Only the head 'var apat*' is speculative — an '='/'|' after it
+     commits to this form, so errors in the right-hand side propagate
+     instead of being retried (and mis-reported) as a pattern binding. *)
   let saved = st.pos in
-  let as_funbind =
+  let funbind_head =
     try
       let name, name_loc = parse_var st in
       let pats = parse_apats st in
       if peek st = Token.EQUALS || peek st = Token.BAR then
-        if pats <> [] then begin
-          let rhs = parse_rhs st ~sep:Token.EQUALS in
-          Some
-            (DFun (name, { eq_pats = pats; eq_rhs = rhs }, Loc.merge loc rhs.rhs_loc))
-        end
-        else begin
-          (* a variable binding, e.g.  f = e  or  (==) = primEqInt *)
-          let rhs = parse_rhs st ~sep:Token.EQUALS in
-          Some (DPat (mk_pat ~loc:name_loc (PVar name), rhs, Loc.merge loc rhs.rhs_loc))
-        end
+        Some (name, name_loc, pats)
       else None
-    with Diagnostic.Error _ -> None
+    with Diagnostic.Error d ->
+      note st d;
+      None
   in
-  match as_funbind with
-  | Some d -> d
+  match funbind_head with
+  | Some (name, name_loc, pats) ->
+      if pats <> [] then
+        let rhs = parse_rhs st ~sep:Token.EQUALS in
+        DFun (name, { eq_pats = pats; eq_rhs = rhs }, Loc.merge loc rhs.rhs_loc)
+      else
+        (* a variable binding, e.g.  f = e  or  (==) = primEqInt *)
+        let rhs = parse_rhs st ~sep:Token.EQUALS in
+        DPat (mk_pat ~loc:name_loc (PVar name), rhs, Loc.merge loc rhs.rhs_loc)
   | None ->
       st.pos <- saved;
-      (* Attempt 2: infix definition  pat op pat rhs. *)
-      let as_infix =
+      (* Attempt 2: infix definition  pat op pat rhs — same commit point. *)
+      let infix_head =
         try
           let p1 = parse_pat10 st in
           match peek_operator st with
           | Some (op, _, n) when Ident.text op <> ":" ->
               consume_operator st n;
               let p2 = parse_pat10 st in
-              if peek st = Token.EQUALS || peek st = Token.BAR then begin
-                let rhs = parse_rhs st ~sep:Token.EQUALS in
-                Some
-                  (DFun
-                     ( op,
-                       { eq_pats = [ p1; p2 ]; eq_rhs = rhs },
-                       Loc.merge loc rhs.rhs_loc ))
-              end
+              if peek st = Token.EQUALS || peek st = Token.BAR then
+                Some (op, p1, p2)
               else None
           | _ -> None
-        with Diagnostic.Error _ -> None
+        with Diagnostic.Error d ->
+          note st d;
+          None
       in
-      (match as_infix with
-       | Some d -> d
+      (match infix_head with
+       | Some (op, p1, p2) ->
+           let rhs = parse_rhs st ~sep:Token.EQUALS in
+           DFun (op, { eq_pats = [ p1; p2 ]; eq_rhs = rhs }, Loc.merge loc rhs.rhs_loc)
        | None ->
            st.pos <- saved;
            (* Attempt 3: pattern binding  pat rhs. *)
@@ -762,15 +845,27 @@ let parse_top_decl st : top_decl =
         }
   | _ -> TDecl (parse_decl st)
 
-(** Parse a complete program (the whole file is one layout block). *)
-let parse_program_tokens toks : program =
+(** Parse a complete program (the whole file is one layout block).
+    With [recover], parse errors are reported through the callback and
+    parsing resynchronizes at the next top-level declaration instead of
+    aborting. *)
+let parse_program_tokens ?recover toks : program =
   let st = make_state toks in
-  let decls = parse_block st parse_top_decl in
-  ignore (expect st Token.EOF "end of file");
+  let decls = parse_block ?recover st parse_top_decl in
+  (match recover with
+   | None -> ignore (expect st Token.EOF "end of file")
+   | Some report ->
+       if peek st <> Token.EOF then (
+         try ignore (fail_expect st "end of file")
+         with Diagnostic.Error d -> report d));
   decls
 
-let parse_program ~file src : program =
-  parse_program_tokens (Layout.tokenize ~file src)
+let parse_program ?sink ~file src : program =
+  let toks = Layout.tokenize ~file src in
+  match sink with
+  | None -> parse_program_tokens toks
+  | Some sink ->
+      parse_program_tokens ~recover:(Diagnostic.Sink.report sink) toks
 
 (** Parse a single expression (for tests and the REPL-ish API). *)
 let parse_expression ~file src : expr =

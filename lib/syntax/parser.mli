@@ -1,9 +1,16 @@
 (** Recursive-descent parser over the layout-processed token stream.
     Infix expressions are left as flat sequences for {!Fixity.resolve_program}. *)
 
-(** Parse a complete program. Raises {!Tc_support.Diagnostic.Error} with a
-    located message on syntax errors. *)
-val parse_program : file:string -> string -> Ast.program
+(** Parse a complete program.
+
+    Without [sink], raises {!Tc_support.Diagnostic.Error} with a located
+    message on the first syntax error (fail-fast). With [sink], parse
+    errors are recorded in the sink and the parser resynchronizes at the
+    next layout-inferred top-level declaration, so every malformed
+    declaration yields its own diagnostic; the declarations that did parse
+    are returned. Lexer errors still raise. *)
+val parse_program :
+  ?sink:Tc_support.Diagnostic.Sink.sink -> file:string -> string -> Ast.program
 
 (** Parse a single expression (tests, REPL). *)
 val parse_expression : file:string -> string -> Ast.expr

@@ -23,6 +23,11 @@ type result = {
 
 let err = Diagnostic.errorf
 
+(** A per-declaration recovery boundary: in fail-fast mode it just runs
+    the thunk; in accumulating mode it records any error (or ICE) in the
+    class environment's sink and skips the declaration. *)
+type decl_guard = loc:Loc.t -> (unit -> unit) -> unit
+
 (* ------------------------------------------------------------------ *)
 (* Pass 1: type constructors and synonyms.                             *)
 (* ------------------------------------------------------------------ *)
@@ -36,29 +41,33 @@ let check_distinct ~loc what params =
       else Hashtbl.add seen (Ident.text p) ())
     params
 
-let register_tycons (env : Class_env.t) (prog : Ast.program) =
+let register_tycons (env : Class_env.t) (g : decl_guard) (prog : Ast.program) =
   List.iter
     (function
       | Ast.TData d ->
-          if Class_env.find_tycon env d.td_name <> None
-             || Class_env.find_synonym env d.td_name <> None
-          then err ~loc:d.td_loc "type '%a' is defined twice" Ident.pp d.td_name;
-          check_distinct ~loc:d.td_loc "type parameter" d.td_params;
-          env.tycons <-
-            Ident.Map.add d.td_name
-              (Tycon.make d.td_name (List.length d.td_params))
-              env.tycons
+          g ~loc:d.td_loc (fun () ->
+              if Class_env.find_tycon env d.td_name <> None
+                 || Class_env.find_synonym env d.td_name <> None
+              then
+                err ~loc:d.td_loc "type '%a' is defined twice" Ident.pp d.td_name;
+              check_distinct ~loc:d.td_loc "type parameter" d.td_params;
+              env.tycons <-
+                Ident.Map.add d.td_name
+                  (Tycon.make d.td_name (List.length d.td_params))
+                  env.tycons)
       | Ast.TSyn s ->
-          if Class_env.find_tycon env s.ts_name <> None
-             || Class_env.find_synonym env s.ts_name <> None
-          then err ~loc:s.ts_loc "type '%a' is defined twice" Ident.pp s.ts_name;
-          check_distinct ~loc:s.ts_loc "type parameter" s.ts_params;
-          env.synonyms <-
-            Ident.Map.add s.ts_name (s.ts_params, s.ts_body) env.synonyms
+          g ~loc:s.ts_loc (fun () ->
+              if Class_env.find_tycon env s.ts_name <> None
+                 || Class_env.find_synonym env s.ts_name <> None
+              then
+                err ~loc:s.ts_loc "type '%a' is defined twice" Ident.pp s.ts_name;
+              check_distinct ~loc:s.ts_loc "type parameter" s.ts_params;
+              env.synonyms <-
+                Ident.Map.add s.ts_name (s.ts_params, s.ts_body) env.synonyms)
       | _ -> ())
     prog
 
-let check_synonym_cycles (env : Class_env.t) =
+let check_synonym_cycles (env : Class_env.t) (g : decl_guard) =
   let rec styp_syns acc (t : Ast.styp) =
     match t with
     | Ast.TSVar _ -> acc
@@ -82,21 +91,23 @@ let check_synonym_cycles (env : Class_env.t) =
       Hashtbl.add done_ name.Ident.id ()
     end
   in
-  Ident.Map.iter (fun name _ -> visit name) env.synonyms
+  Ident.Map.iter (fun name _ -> g ~loc:Loc.none (fun () -> visit name)) env.synonyms
 
 (* ------------------------------------------------------------------ *)
 (* Pass 2: data constructors.                                          *)
 (* ------------------------------------------------------------------ *)
 
-let register_datacons (env : Class_env.t) (prog : Ast.program) =
+let register_datacons (env : Class_env.t) (g : decl_guard) (prog : Ast.program) =
   List.iter
     (function
-      | Ast.TData d ->
-          let tc =
-            match Class_env.find_tycon env d.td_name with
-            | Some tc -> tc
-            | None -> assert false
-          in
+      | Ast.TData d -> (
+          match Class_env.find_tycon env d.td_name with
+          | None ->
+              (* only possible when pass 1 already reported an error for
+                 this declaration in accumulating mode — skip it *)
+              ()
+          | Some tc ->
+              g ~loc:d.td_loc @@ fun () ->
           let params =
             List.map (fun _ -> Ty.fresh_var ~level:Ty.generic_level ()) d.td_params
           in
@@ -143,7 +154,7 @@ let register_datacons (env : Class_env.t) (prog : Ast.program) =
           env.tycon_cons <-
             Ident.Map.add d.td_name
               (List.map (fun (c : Ast.con_decl) -> c.cd_name) d.td_cons)
-              env.tycon_cons
+              env.tycon_cons)
       | _ -> ())
     prog
 
@@ -151,11 +162,12 @@ let register_datacons (env : Class_env.t) (prog : Ast.program) =
 (* Pass 3: classes.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let register_classes (env : Class_env.t) (prog : Ast.program) =
+let register_classes (env : Class_env.t) (g : decl_guard) (prog : Ast.program) =
   (* 3a: skeletons, so superclass references can be forward. *)
   List.iter
     (function
       | Ast.TClass c ->
+          g ~loc:c.tc_loc @@ fun () ->
           if Class_env.find_class env c.tc_name <> None then
             err ~loc:c.tc_loc "class '%a' is defined twice" Ident.pp c.tc_name;
           let supers =
@@ -187,6 +199,7 @@ let register_classes (env : Class_env.t) (prog : Ast.program) =
   (* 3b: superclasses exist and form a DAG. *)
   Ident.Map.iter
     (fun _ (ci : Class_env.class_info) ->
+      g ~loc:ci.ci_loc @@ fun () ->
       List.iter
         (fun s ->
           if Class_env.find_class env s = None then
@@ -199,7 +212,8 @@ let register_classes (env : Class_env.t) (prog : Ast.program) =
   (* 3c: methods and defaults. *)
   List.iter
     (function
-      | Ast.TClass c ->
+      | Ast.TClass c when Class_env.find_class env c.tc_name <> None ->
+          g ~loc:c.tc_loc @@ fun () ->
           let grouped = Ast.group_decls c.tc_body in
           let method_names = ref [] in
           List.iter
@@ -446,9 +460,10 @@ let process_instance (env : Class_env.t) (i : Ast.inst_decl) =
 (** Every instance must be able to build its superclass dictionaries
     (paper §8.1): the superclass instance must exist and its context must be
     implied by this instance's context, positionally. *)
-let check_superclass_coverage (env : Class_env.t) =
+let check_superclass_coverage (env : Class_env.t) (g : decl_guard) =
   List.iter
     (fun (inst : Class_env.inst_info) ->
+      g ~loc:inst.in_loc @@ fun () ->
       let ci = Class_env.class_exn env inst.in_class in
       List.iter
         (fun s ->
@@ -485,22 +500,37 @@ let check_superclass_coverage (env : Class_env.t) =
 (* Driver.                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let process ?(env = Class_env.create ()) (prog : Ast.program) : result =
-  register_tycons env prog;
-  check_synonym_cycles env;
-  register_datacons env prog;
-  register_classes env prog;
+let process ?(env = Class_env.create ()) ?(fail_fast = true) (prog : Ast.program)
+    : result =
+  let g : decl_guard =
+   fun ~loc f ->
+    if fail_fast then f ()
+    else
+      Diagnostic.guard ~sink:env.sink ~stage:"static analysis" ~loc
+        ~recover:(fun () -> ())
+        f
+  in
+  register_tycons env g prog;
+  check_synonym_cycles env g;
+  register_datacons env g prog;
+  register_classes env g prog;
   (* explicit instances first, then derived ones *)
-  List.iter (function Ast.TInstance i -> process_instance env i | _ -> ()) prog;
+  List.iter
+    (function
+      | Ast.TInstance i -> g ~loc:i.ti_loc (fun () -> process_instance env i)
+      | _ -> ())
+    prog;
   List.iter
     (function
       | Ast.TData d ->
           List.iter
-            (fun cls -> process_instance env (Derive.derive cls d))
+            (fun cls ->
+              g ~loc:d.td_loc (fun () ->
+                  process_instance env (Derive.derive cls d)))
             d.td_deriving
       | _ -> ())
     prog;
-  check_superclass_coverage env;
+  check_superclass_coverage env g;
   let value_decls =
     List.filter_map (function Ast.TDecl d -> Some d | _ -> None) prog
   in

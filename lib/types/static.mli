@@ -10,7 +10,11 @@ type result = {
   value_decls : Ast.decl list;
 }
 
-(** Process a program's top-level declarations. Raises
-    {!Tc_support.Diagnostic.Error} on duplicate instances, superclass
-    cycles or missing coverage, malformed heads, etc. *)
-val process : ?env:Class_env.t -> Ast.program -> result
+(** Process a program's top-level declarations.
+
+    With [fail_fast] (the default), raises {!Tc_support.Diagnostic.Error}
+    on duplicate instances, superclass cycles or missing coverage,
+    malformed heads, etc. With [~fail_fast:false], each bad declaration's
+    error is recorded in the environment's sink, the declaration is
+    skipped, and analysis continues with the remaining declarations. *)
+val process : ?env:Class_env.t -> ?fail_fast:bool -> Ast.program -> result

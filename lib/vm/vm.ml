@@ -27,6 +27,11 @@ module B = Bytecode
    backends uniformly. *)
 let runtime fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
 
+(** A condition the front end or the bytecode compiler is supposed to have
+    ruled out; reaching it is a compiler bug, not a user error. *)
+let bug fmt =
+  Format.kasprintf (fun m -> raise (Eval.Runtime_error ("[BUG] " ^ m))) fmt
+
 type value =
   | VInt of int
   | VFloat of float
@@ -182,7 +187,7 @@ let start_force (st : state) (s : slot) : unit =
 let value_of (s : slot) : value =
   match s.cell with
   | Ready v -> v
-  | _ -> runtime "internal error: expected a forced slot"
+  | _ -> bug "expected a forced slot"
 
 (* Synthetic protos for over-application: after an inner call returns a
    function, apply it to the [n] pending arguments held in the frame's
@@ -240,7 +245,7 @@ and apply_value (st : state) ~tail (fnv : value) (args : slot list) : unit =
   | VConPartial (rc, prev) -> apply_con st ~tail rc prev args
   | VPrim (p, prev) -> apply_prim st ~tail p prev args
   | VInt _ | VFloat _ | VChar _ | VStr _ | VData _ | VDict _ ->
-      runtime "applied a non-function value"
+      bug "applied a non-function value"
 
 and apply_closure (st : state) ~tail (clo : closure) (args : slot list) : unit =
   let m = clo.c_proto.B.p_arity in
@@ -375,8 +380,8 @@ and run_loop (st : state) ~(stop : int) : unit =
             match Ident.text rc.Eval.rc_name with
             | "True" -> ()
             | "False" -> fr.f_pc <- pc_false
-            | s -> runtime "if: expected a Bool, got constructor '%s'" s)
-        | _ -> runtime "if: condition is not a Bool")
+            | s -> bug "if: expected a Bool, got constructor '%s'" s)
+        | _ -> bug "if: condition is not a Bool")
     | B.SWITCH sw -> (
         let s = pop st in
         fr.f_locals.(sw.B.sw_scrut) <- s;
@@ -404,16 +409,16 @@ and run_loop (st : state) ~(stop : int) : unit =
           | Some pc -> fr.f_pc <- pc
           | None ->
               if sw.B.sw_default >= 0 then fr.f_pc <- sw.B.sw_default
-              else runtime "case: no matching alternative"
+              else bug "case: no matching alternative"
         in
         match value_of s with
         | VData (rc, _) -> jump (find_con rc.Eval.rc_name)
         | (VInt _ | VFloat _ | VChar _ | VStr _) as v -> jump (find_lit v)
-        | _ -> runtime "case: scrutinee is not a data value")
+        | _ -> bug "case: scrutinee is not a data value")
     | B.FIELD (l, i) -> (
         match fr.f_locals.(l).cell with
         | Ready (VData (_, fields)) -> push st fields.(i)
-        | _ -> runtime "internal error: FIELD of a non-data value")
+        | _ -> bug "FIELD of a non-data value")
     | B.MKDICT (tag, n) ->
         st.counters.Counters.dict_constructions <-
           st.counters.Counters.dict_constructions + 1;
@@ -438,14 +443,14 @@ and run_loop (st : state) ~(stop : int) : unit =
         match value_of (pop st) with
         | VDict (_, fields) ->
             if info.Core.sel_index >= Array.length fields then
-              runtime "dictionary selection out of range (%d of %d)"
+              bug "dictionary selection out of range (%d of %d)"
                 info.Core.sel_index (Array.length fields)
             else begin
               let s = fields.(info.Core.sel_index) in
               push st s;
               start_force st s
             end
-        | _ -> runtime "selection from a non-dictionary value")
+        | _ -> bug "selection from a non-dictionary value")
     | B.CALL n -> (
         match (pop st).cell with
         (* fast path: saturated closure call, args copied straight from
@@ -473,7 +478,7 @@ and run_loop (st : state) ~(stop : int) : unit =
             let fnv =
               match cell with
               | Ready v -> v
-              | _ -> runtime "internal error: expected a forced slot"
+              | _ -> bug "expected a forced slot"
             in
             let args = ref [] in
             for _ = 1 to n do
@@ -506,7 +511,7 @@ and run_loop (st : state) ~(stop : int) : unit =
             let fnv =
               match cell with
               | Ready v -> v
-              | _ -> runtime "internal error: expected a forced slot"
+              | _ -> bug "expected a forced slot"
             in
             let args = ref [] in
             for _ = 1 to n do
@@ -555,10 +560,10 @@ let string_of_char_list st (v : value) : string =
         | ":" -> (
             (match force st fields.(0) with
              | VChar c -> Buffer.add_char buf c
-             | _ -> runtime "expected a character in a string");
+             | _ -> bug "expected a character in a string");
             go (force st fields.(1)))
-        | s -> runtime "expected a list of characters, got '%s'" s)
-    | _ -> runtime "expected a list of characters"
+        | s -> bug "expected a list of characters, got '%s'" s)
+    | _ -> bug "expected a list of characters"
   in
   go v;
   Buffer.contents buf
@@ -666,17 +671,17 @@ let bool_value st b : value =
 let int_arg st t =
   match force st t with
   | VInt n -> n
-  | _ -> runtime "primitive expected an Int"
+  | _ -> bug "primitive expected an Int"
 
 let float_arg st t =
   match force st t with
   | VFloat f -> f
-  | _ -> runtime "primitive expected a Float"
+  | _ -> bug "primitive expected a Float"
 
 let char_arg st t =
   match force st t with
   | VChar c -> c
-  | _ -> runtime "primitive expected a Char"
+  | _ -> bug "primitive expected a Char"
 
 let int2 f = fun st args ->
   match args with
@@ -871,7 +876,7 @@ let load_program (st : state) (p : B.program) : unit =
                 primitives
             with
             | Some (_, pr) -> ready (VPrim (pr, []))
-            | None -> runtime "unknown primitive '%s'" name)
+            | None -> bug "unknown primitive '%s'" name)
         | B.Gproto ix ->
             { cell = Delay { c_proto = p.B.protos.(ix); c_env = [||] } })
       p.B.globals;

@@ -4,5 +4,6 @@ let () =
     @ Test_static.tests @ Test_infer.tests @ Test_eval.tests
     @ Test_translate.tests @ Test_opt.tests @ Test_tags.tests
     @ Test_prelude.tests @ Test_props.tests @ Test_programs.tests
-    @ Test_fuzz.tests @ Test_deferral.tests @ Test_errors.tests @ Test_cli.tests
+    @ Test_fuzz.tests @ Test_deferral.tests @ Test_errors.tests
+    @ Test_check.tests @ Test_cli.tests
     @ Test_differential.tests @ Test_vm.tests @ Test_obs.tests)

@@ -119,5 +119,63 @@ let tests =
               (Helpers.contains ~needle:"8" text);
             Alcotest.(check bool) "typed" true
               (Helpers.contains ~needle:"double :: Num a => a -> a" text));
+        case "check reports every error in one run and exits 1" (fun () ->
+            with_program "f x = = x\n\ng :: Int\ng = True\n\nmain = show []\n"
+              (fun path ->
+                let code, out = run_mhc [ "check"; path ] in
+                Alcotest.(check int) "exit" 1 code;
+                List.iter
+                  (fun needle ->
+                    Alcotest.(check bool) needle true
+                      (Helpers.contains ~needle out))
+                  [ "parse error: expected an expression";
+                    "cannot unify 'Bool' with 'Int'";
+                    "ambiguous overloading" ]));
+        case "check --json emits the machine-readable report" (fun () ->
+            with_program "g :: Int\ng = True\nmain = 0\n" (fun path ->
+                let code, out = run_mhc [ "check"; "--json"; path ] in
+                Alcotest.(check int) "exit" 1 code;
+                List.iter
+                  (fun needle ->
+                    Alcotest.(check bool) needle true
+                      (Helpers.contains ~needle out))
+                  [ "\"diagnostics\""; "\"severity\": \"error\"";
+                    "\"errors\": 1"; "\"warnings\": 0"; "\"ice\": 0";
+                    "\"line\": 2" ]));
+        case "check continues past a failing file in a batch" (fun () ->
+            with_program "broken = )\n" (fun bad ->
+                with_program demo (fun good ->
+                    let code, out = run_mhc [ "check"; bad; good ] in
+                    Alcotest.(check int) "exit" 1 code;
+                    Alcotest.(check bool) "bad file reported" true
+                      (Helpers.contains ~needle:"parse error" out);
+                    (* the clean file's types still come out *)
+                    Alcotest.(check bool) "good file typed" true
+                      (Helpers.contains
+                         ~needle:"double :: Num a => a -> a" out))));
+        case "check --max-errors truncates with a notice" (fun () ->
+            let buf = Buffer.create 256 in
+            for i = 1 to 10 do
+              Buffer.add_string buf
+                (Printf.sprintf "v%d :: Int\nv%d = 'c'\n" i i)
+            done;
+            Buffer.add_string buf "main = 0\n";
+            with_program (Buffer.contents buf) (fun path ->
+                let code, out =
+                  run_mhc [ "check"; "--max-errors"; "2"; path ]
+                in
+                Alcotest.(check int) "exit" 1 code;
+                Alcotest.(check bool) "truncation notice" true
+                  (Helpers.contains ~needle:"too many errors" out)));
+        case "check reports an unreadable file and keeps going" (fun () ->
+            with_program demo (fun good ->
+                let code, out =
+                  run_mhc [ "check"; "/nonexistent/nope.mhs"; good ]
+                in
+                Alcotest.(check int) "exit" 1 code;
+                Alcotest.(check bool) "read error reported" true
+                  (Helpers.contains ~needle:"cannot read" out);
+                Alcotest.(check bool) "good file typed" true
+                  (Helpers.contains ~needle:"double :: Num a => a -> a" out)));
       ] );
   ]

@@ -25,6 +25,16 @@ let runs_cleanly src =
   | exception Tc_eval.Eval.Pattern_fail _ -> true
   | exception Tc_eval.Eval.Out_of_fuel -> true
 
+(** The accumulating front end must not raise at all — not even
+    [Diagnostic.Error]: every failure must come back as a recorded
+    diagnostic in the [checked] result. *)
+let collect_never_raises src =
+  match Pipeline.compile_collect ~file:"fuzz.mhs" src with
+  | _ -> true
+  | exception e ->
+      QCheck2.Test.fail_reportf "compile_collect raised %s on:@.%s"
+        (Printexc.to_string e) src
+
 (** Generated programs that run successfully on the tree evaluator must
     replay identically on the bytecode VM; a VM crash or a different
     rendered result is a located failure. *)
@@ -153,5 +163,39 @@ let tests =
             match Tc_syntax.Layout.tokenize ~file:"fuzz" s with
             | _ -> true
             | exception Tc_support.Diagnostic.Error _ -> true);
+        prop "token soup never escapes the accumulating front end" ~count:400
+          token_soup collect_never_raises;
+        prop "random expressions never escape the accumulating front end"
+          ~count:300
+          (let* e = expr_gen 5 in
+           pure ("main = " ^ e))
+          collect_never_raises;
+        prop "random programs never escape the accumulating front end"
+          ~count:200 program_gen collect_never_raises;
+        prop "arbitrary bytes never escape the accumulating front end"
+          ~count:400
+          (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 120))
+          collect_never_raises;
+        prop "collected artifacts replay like fail-fast ones" ~count:150
+          program_gen
+          (fun src ->
+            (* when the accumulating path produces an artifact, the
+               fail-fast path must succeed too and agree on the result *)
+            match Pipeline.compile_collect ~file:"fuzz.mhs" src with
+            | { Pipeline.artifact = None; _ } -> true
+            | { Pipeline.artifact = Some c; _ } -> (
+                match Pipeline.compile ~file:"fuzz.mhs" src with
+                | exception Tc_support.Diagnostic.Error d ->
+                    QCheck2.Test.fail_reportf
+                      "collect produced an artifact but compile failed \
+                       (%s) on:@.%s"
+                      (Tc_support.Diagnostic.to_string d) src
+                | c' -> (
+                    match
+                      ( Pipeline.exec ~fuel:2_000_000 c,
+                        Pipeline.exec ~fuel:2_000_000 c' )
+                    with
+                    | r, r' -> r.Pipeline.rendered = r'.Pipeline.rendered
+                    | exception _ -> true (* runtime failures are out of scope *))));
       ] );
   ]
