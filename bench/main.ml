@@ -405,6 +405,62 @@ main = (length (qsort (enumFromTo 1 60)), sum (enumFromTo 1 200))
         i strict.applications; i strict.thunk_forces; i strict.steps ];
     ]
 
+let e11 () =
+  B.print_heading "E11" "budget-check overhead (resilience layer)"
+    "cost of the unified resource-budget checks in the interpreter hot \
+     loops: unlimited budget (checks short-circuit) vs generous finite \
+     limits (every check active, none fires), on both back ends";
+  let src = W.chain_member 200 in
+  (* big enough that no limit fires: the overhead measured is pure
+     bookkeeping, not early exit *)
+  let active =
+    {
+      Pipeline.Budget.steps = max_int / 2;
+      frames = 500_000;
+      wall_ms = 3.6e6;
+      allocations = max_int / 2;
+      output_bytes = max_int / 2;
+    }
+  in
+  let c = Pipeline.optimize [] (compile src) in
+  let cons = Tc_eval.Eval.con_table_of_env c.env in
+  let prog = Tc_vm.Compile.program ~mode:`Lazy ~cons c.core in
+  let tree budget name =
+    B.time_ns name (fun () -> ignore (Pipeline.exec ~budget c))
+  in
+  let vm budget name =
+    B.time_ns name (fun () ->
+        ignore (Tc_vm.Vm.run (Tc_vm.Vm.create_state ~budget cons) prog))
+  in
+  let t_off = tree Pipeline.Budget.unlimited "e11-tree-off" in
+  let t_on = tree active "e11-tree-on" in
+  let v_off = vm Pipeline.Budget.unlimited "e11-vm-off" in
+  let v_on = vm active "e11-vm-on" in
+  let pct off on = 100. *. (on -. off) /. off in
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"budget_off_ms"
+    (B.ms_of_ns t_off);
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"budget_on_ms"
+    (B.ms_of_ns t_on);
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"overhead_pct"
+    (pct t_off t_on);
+  B.record ~experiment:"e11" ~backend:"vm" ~metric:"budget_off_ms"
+    (B.ms_of_ns v_off);
+  B.record ~experiment:"e11" ~backend:"vm" ~metric:"budget_on_ms"
+    (B.ms_of_ns v_on);
+  B.record ~experiment:"e11" ~backend:"vm" ~metric:"overhead_pct"
+    (pct v_off v_on);
+  B.print_table
+    [ "backend"; "budgets off (ms)"; "budgets on (ms)"; "overhead %" ]
+    [
+      [ "tree"; B.f2 (B.ms_of_ns t_off); B.f2 (B.ms_of_ns t_on);
+        B.f2 (pct t_off t_on) ];
+      [ "vm"; B.f2 (B.ms_of_ns v_off); B.f2 (B.ms_of_ns v_on);
+        B.f2 (pct v_off v_on) ];
+    ];
+  B.print_note
+    "  (the hot-loop check is one decrement-and-compare per step; the \
+     wall clock is only read every 4096 steps)"
+
 let a3 () =
   B.print_heading "A3" "ablation: what each optimizer pass contributes"
     "cumulative effect of simplify / inner-entry / hoist / specialise on \
@@ -431,7 +487,7 @@ let a3 () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("a1", a1); ("a2", a2); ("a3", a3) ]
+    ("e11", e11); ("a1", a1); ("a2", a2); ("a3", a3) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -10,18 +10,27 @@
      profile  rank overloaded dispatch sites by run-time hits (--json)
      disasm   print the VM bytecode
      stats    type check and report checker instrumentation
+     serve    long-running NDJSON request loop over stdin/stdout
 
    Common flags select the implementation strategy (dictionaries with
    nested or flat layout, or run-time tags), the optimization pipeline,
-   and the evaluation mode. *)
+   and the evaluation mode. Evaluating subcommands take a resource
+   budget (--fuel, --timeout; 0 means unlimited) and --inject arms the
+   deterministic fault injector for chaos testing.
+
+   Exit codes: 0 success; 1 compile error; 2 runtime error or internal
+   compiler error; 3 resource exhaustion (budget or memory). *)
 
 open Cmdliner
 module Pipeline = Typeclasses.Pipeline
+module Serve = Typeclasses.Serve
 module Trace = Tc_obs.Trace
 module Profile = Tc_obs.Profile
 module Json = Tc_obs.Json
 module Diag = Tc_obs.Diag
 module Diagnostic = Tc_support.Diagnostic
+module Budget = Tc_resilience.Budget
+module Inject = Tc_resilience.Inject
 
 let read_file path =
   let ic = open_in_bin path in
@@ -95,6 +104,47 @@ let mono_literals_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mhs")
 
+let fuel_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Step budget: evaluation steps on the tree backend, instructions \
+           on the VM ($(b,0) = unlimited). Exhaustion exits with code 3.")
+
+let timeout_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline in milliseconds ($(b,0) = unlimited; the \
+           default stops divergent programs after 10s). Exhaustion exits \
+           with code 3.")
+
+let budget_of ~fuel ~timeout : Budget.t =
+  { Budget.unlimited with steps = fuel; wall_ms = float_of_int timeout }
+
+let inject_conv =
+  let parse s =
+    match Inject.parse_spec s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<plan>")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"POINT[:RATE[:SEED]]"
+        ~doc:
+          "Arm the deterministic fault injector at $(b,POINT) (e.g. \
+           $(b,infer), $(b,vm-step:0.001), $(b,oom:1:42)) for chaos \
+           testing. Injected faults must be contained like real ones: the \
+           process reports a diagnostic and exits 1/2/3, never crashes.")
+
+let arm_inject = function None -> () | Some plan -> Inject.arm plan
+
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
@@ -126,7 +176,12 @@ let handle_errors f =
   | Tc_eval.Eval.Pattern_fail m ->
       Fmt.epr "pattern-match failure: %s@." m;
       exit 2
-  | Out_of_memory -> raise Out_of_memory
+  | Budget.Exhausted { resource; spent; limit } ->
+      Fmt.epr "%s@." (Budget.message resource ~spent ~limit);
+      exit 3
+  | Out_of_memory ->
+      Fmt.epr "resource exhausted: memory@.";
+      exit 3
   | exn ->
       (* ICE containment: never show a bare backtrace *)
       Fmt.epr "%a@." Tc_support.Diagnostic.pp
@@ -161,8 +216,9 @@ let check_cmd =
             "Record at most $(docv) errors per file before giving up on it \
              ($(b,0) or negative means unlimited).")
   in
-  let run strategy no_prelude mono json max_errors files =
+  let run strategy no_prelude mono json max_errors inject files =
     handle_errors @@ fun () ->
+    arm_inject inject;
     let opts =
       { (build_opts strategy no_prelude mono) with Pipeline.max_errors }
     in
@@ -213,7 +269,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
-      $ max_errors_arg $ files_arg)
+      $ max_errors_arg $ inject_arg $ files_arg)
 
 let core_cmd =
   let doc = "Print the dictionary-converted (or tag-dispatching) core program." in
@@ -250,34 +306,40 @@ let core_cmd =
       $ user_only_arg $ file_arg)
 
 let run_cmd =
-  let doc = "Compile and evaluate $(b,main)." in
-  let run strategy no_prelude mono passes mode backend file =
+  let doc =
+    "Compile and evaluate $(b,main) under a resource budget (a 10s \
+     wall-clock deadline by default, so divergent programs terminate with \
+     exit code 3 instead of hanging)."
+  in
+  let run strategy no_prelude mono passes mode backend fuel timeout inject file =
     handle_errors @@ fun () ->
+    arm_inject inject;
     let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
-    let r = Pipeline.exec ~backend ~mode c in
+    let r = Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c in
     Fmt.pr "%s@." r.Pipeline.rendered
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
-      $ mode_arg $ backend_arg $ file_arg)
+      $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ inject_arg
+      $ file_arg)
 
 let counters_cmd =
   let doc = "Evaluate $(b,main) and report run-time operation counters." in
-  let run strategy no_prelude mono passes mode backend file =
+  let run strategy no_prelude mono passes mode backend fuel timeout file =
     handle_errors @@ fun () ->
     let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
-    let r = Pipeline.exec ~backend ~mode c in
+    let r = Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c in
     Fmt.pr "result: %s@." r.Pipeline.rendered;
     Fmt.pr "%a@." Tc_eval.Counters.pp r.Pipeline.counters
   in
   Cmd.v (Cmd.info "counters" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
-      $ mode_arg $ backend_arg $ file_arg)
+      $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ file_arg)
 
 let counters_json (t : Tc_eval.Counters.t) : Json.t =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tc_eval.Counters.pairs t))
@@ -333,12 +395,16 @@ let profile_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Show the $(docv) hottest sites of each kind (-1 = all).")
   in
-  let run strategy no_prelude mono passes mode backend top json file =
+  let run strategy no_prelude mono passes mode backend fuel timeout top json
+      file =
     handle_errors @@ fun () ->
     let c = compile (build_opts strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
-    let r = Pipeline.exec ~backend ~mode ~profile:true c in
+    let r =
+      Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout)
+        ~profile:true c
+    in
     let report = Option.get r.Pipeline.profile in
     if json then
       Fmt.pr "%s@."
@@ -361,7 +427,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
-      $ mode_arg $ backend_arg $ top_arg $ json_arg $ file_arg)
+      $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ top_arg $ json_arg
+      $ file_arg)
 
 let disasm_cmd =
   let doc = "Compile to VM bytecode and print the disassembly." in
@@ -460,6 +527,8 @@ let repl_cmd =
         | Tc_eval.Eval.Runtime_error m -> Fmt.pr "runtime error: %s@." m
         | Tc_eval.Eval.User_error m -> Fmt.pr "error: %s@." m
         | Tc_eval.Eval.Pattern_fail m -> Fmt.pr "pattern-match failure: %s@." m
+        | Budget.Exhausted { resource; spent; limit } ->
+            Fmt.pr "%s@." (Budget.message resource ~spent ~limit)
       in
       match input with
       | "" -> ()
@@ -517,7 +586,14 @@ let repl_cmd =
           with_errors (fun () ->
               let c = compile_current (Printf.sprintf "replIt' = (%s)" expr) in
               let cons = Tc_eval.Eval.con_table_of_env c.env in
-              let st = Tc_eval.Eval.create_state ~fuel:200_000_000 cons in
+              (* bounded in steps and time: a divergent expression must
+                 come back to the prompt, not hang the session *)
+              let st =
+                Tc_eval.Eval.create_state
+                  ~budget:
+                    { (Budget.fuel 200_000_000) with Budget.wall_ms = 10_000. }
+                  cons
+              in
               let v =
                 Tc_eval.Eval.run ~entry:(Tc_support.Ident.intern "replIt'") st c.core
               in
@@ -539,11 +615,72 @@ let repl_cmd =
   in
   Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ const ())
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let doc =
+    "Serve newline-delimited JSON requests ($(b,check), $(b,compile), \
+     $(b,run), $(b,stats), $(b,ping)) over stdin/stdout, one response line \
+     per request line, in order. Each request is isolated — fresh compile, \
+     its own resource budget, full error containment — so no request (bad \
+     JSON, type errors, divergence, injected faults, even simulated OOM) \
+     can kill the process. Transient faults retry with exponential \
+     backoff. EOF or SIGINT drains gracefully and prints a summary to \
+     stderr."
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries per request for transient faults.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "backoff" ] ~docv:"MS"
+          ~doc:"Initial retry backoff in milliseconds (doubles per retry).")
+  in
+  let run strategy no_prelude mono timeout retries backoff_ms inject =
+    handle_errors @@ fun () ->
+    arm_inject inject;
+    let stopped = ref false in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> stopped := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let config =
+      {
+        Serve.default_config with
+        Serve.base_opts = build_opts strategy no_prelude mono;
+        default_budget = budget_of ~fuel:0 ~timeout;
+        retries;
+        backoff_ms;
+      }
+    in
+    let next () =
+      (* a signal can interrupt the blocking read; treat it as EOF and
+         let the drain path run *)
+      try In_channel.input_line stdin with Sys_error _ -> None
+    in
+    let emit line =
+      print_string line;
+      print_newline ();
+      flush stdout
+    in
+    let s = Serve.run ~config ~stop:(fun () -> !stopped) ~next ~emit () in
+    Fmt.epr "serve: %d requests, %d ok, %d failed, %d retried@."
+      s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
+      $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg)
+
 let main_cmd =
   let doc = "A MiniHaskell compiler implementing type classes by dictionary \
              conversion (Peterson & Jones, PLDI 1993)" in
   Cmd.group (Cmd.info "mhc" ~doc ~version:"1.0.0")
     [ check_cmd; core_cmd; run_cmd; counters_cmd; trace_cmd; profile_cmd;
-      disasm_cmd; stats_cmd; repl_cmd ]
+      disasm_cmd; stats_cmd; repl_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

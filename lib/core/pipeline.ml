@@ -34,6 +34,8 @@ module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
 module Trace = Tc_obs.Trace
 module Profile = Tc_obs.Profile
+module Budget = Tc_resilience.Budget
+module Inject = Tc_resilience.Inject
 
 let err = Diagnostic.errorf
 
@@ -199,11 +201,13 @@ let top_decl_loc : Ast.top_decl -> Loc.t = function
     desugaring degrades to an empty program. *)
 let front ?sink ~include_prelude ~file src :
     Class_env.t * Kernel.group list * Fixity.env =
+  Inject.hit Inject.Lex;
   let user_prog =
     match sink with
     | None -> parse_source ~file src
     | Some sink -> Parser.parse_program ~sink ~file src
   in
+  Inject.hit Inject.Parse;
   let prog =
     if include_prelude then
       parse_source ~file:"<prelude>" Tc_prelude.Prelude.source @ user_prog
@@ -232,6 +236,7 @@ let front ?sink ~include_prelude ~file src :
     | None -> Class_env.create ()
     | Some sink -> Class_env.create ~sink ()
   in
+  Inject.hit Inject.Static;
   let { Static.env; value_decls } =
     Static.process ~env ~fail_fast:(Option.is_none sink) prog
   in
@@ -278,6 +283,8 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
       (fun m (name, scheme) -> Ident.Map.add name (Infer.Poly scheme) m)
       Ident.Map.empty (Prims.schemes env)
   in
+  Inject.hit Inject.Infer;
+  Inject.hit Inject.Oom;
   (* user (and prelude) value bindings, in dependency order *)
   let check_group (venv, gs, ss) g =
     List.iter
@@ -411,6 +418,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
       (Class_env.all_instances env)
   in
   (* dictionary bindings (mechanical, §4) *)
+  Inject.hit Inject.Translate;
   let dict_binds =
     guarded ~stage:"dictionary construction" ~loc:Loc.none
       ~recover:(fun () -> [])
@@ -583,14 +591,18 @@ let bytecode ?(mode = `Lazy) (c : compiled) : Tc_vm.Bytecode.program =
 
 (** Backend-agnostic execution: run on the tree evaluator or compile to
     bytecode and run on the stack VM. Both report the same rendered value
-    and the same dictionary counters. With [~profile:true], every
-    [Sel]/[MkDict] executed is also charged to its compile-time dispatch
-    site and the result carries the ranked report. *)
-let exec ?(backend = `Tree) ?(mode = `Lazy) ?(fuel = -1) ?max_frames ?entry
-    ?(profile = false) (c : compiled) : result =
+    and the same dictionary counters, and exhaust the same [budget]
+    limits with the same classified {!Tc_resilience.Budget.Exhausted}
+    (a native [Stack_overflow] on the tree backend is classified as
+    [Frames] exhaustion too). With [~profile:true], every [Sel]/[MkDict]
+    executed is also charged to its compile-time dispatch site and the
+    result carries the ranked report. *)
+let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
+    ?entry ?(profile = false) (c : compiled) : result =
   let cons = Eval.con_table_of_env c.env in
   let rt = if profile then Some (Profile.create_rt ()) else None in
-  let finish ~rendered ~counters ~value =
+  let finish ~meter ~rendered ~counters ~value =
+    Budget.check_output meter (String.length rendered);
     let report =
       Option.map
         (fun rt -> Profile.make ~sites:(Profile.site_table c.core) rt)
@@ -599,25 +611,33 @@ let exec ?(backend = `Tree) ?(mode = `Lazy) ?(fuel = -1) ?max_frames ?entry
     { rendered; counters; value; profile = report }
   in
   match backend with
-  | `Tree ->
-      let st = Eval.create_state ~mode ~fuel ?profile:rt cons in
-      let v = Eval.run ?entry st c.core in
-      finish ~rendered:(Eval.render st v) ~counters:st.Eval.counters
-        ~value:(Some v)
+  | `Tree -> (
+      let st = Eval.create_state ~mode ~budget ?profile:rt cons in
+      try
+        let v = Eval.run ?entry st c.core in
+        Inject.hit Inject.Render;
+        finish ~meter:st.Eval.budget ~rendered:(Eval.render st v)
+          ~counters:st.Eval.counters ~value:(Some v)
+      with Stack_overflow ->
+        (* the native stack is the tree backend's frame resource; report
+           its exhaustion like any configured frame bound *)
+        Budget.exhausted Budget.Frames ~spent:0 ~limit:0)
   | `Vm ->
       let prog = Tc_vm.Compile.program ~mode ~cons c.core in
-      let st = Tc_vm.Vm.create_state ~fuel ?max_frames ?profile:rt cons in
+      let st = Tc_vm.Vm.create_state ~budget ?profile:rt cons in
       let v = Tc_vm.Vm.run ?entry st prog in
-      finish ~rendered:(Tc_vm.Vm.render st v)
+      Inject.hit Inject.Render;
+      finish ~meter:(Tc_vm.Vm.meter st) ~rendered:(Tc_vm.Vm.render st v)
         ~counters:(Tc_vm.Vm.counters st) ~value:None
 
-let run ?mode ?fuel ?entry (c : compiled) : result =
-  exec ~backend:`Tree ?mode ?fuel ?entry c
+let run ?mode ?budget ?entry (c : compiled) : result =
+  exec ~backend:`Tree ?mode ?budget ?entry c
 
 (** Convenience: compile and run in one step (on either backend). *)
-let compile_and_run ?opts ?file ?backend ?(mode = `Lazy) ?fuel ?profile src =
+let compile_and_run ?opts ?file ?backend ?(mode = `Lazy) ?budget ?profile src
+    =
   let c = compile ?opts ?file src in
-  (c, exec ?backend ~mode ?fuel ?profile c)
+  (c, exec ?backend ~mode ?budget ?profile c)
 
 (** Type check only; returns the inferred qualified types of the user's
     top-level bindings, rendered. *)
@@ -647,6 +667,7 @@ let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
   let core =
     List.fold_left
       (fun core pass ->
+        Inject.hit ~detail:(Tc_opt.Opt.pass_name pass) Inject.Optimize;
         if Trace.is_on tr then begin
           let size_before = Profile.program_size core in
           let sels_before, dicts_before = Profile.static_dict_ops core in

@@ -23,6 +23,7 @@ module Infer = Tc_infer.Infer
 module Core = Tc_core_ir.Core
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
+module Budget = Tc_resilience.Budget
 
 (** How overloading is implemented (paper §3, §4, §8.1). *)
 type strategy =
@@ -113,16 +114,19 @@ val bytecode :
 
 (** Backend-agnostic execution: the tree evaluator ([`Tree], the default)
     or the bytecode VM ([`Vm]). Both produce the same rendered value and
-    dictionary counters. [fuel] bounds evaluation steps (tree) or
-    instructions (VM); [max_frames] bounds the VM frame stack.
-    [~profile:true] additionally charges every [Sel]/[MkDict] executed to
-    its compile-time dispatch site; the per-site totals sum exactly to the
-    aggregate [counters]. *)
+    dictionary counters. [budget] (default
+    {!Tc_resilience.Budget.unlimited}) bounds steps, frames, wall clock,
+    allocations and output size; each backend's unit for steps and frames
+    is documented in {!Tc_resilience.Budget}. Exhausting any limit raises
+    the classified {!Tc_resilience.Budget.Exhausted} identically on both
+    back ends (a native [Stack_overflow] on the tree backend is reported
+    as [Frames] exhaustion). [~profile:true] additionally charges every
+    [Sel]/[MkDict] executed to its compile-time dispatch site; the
+    per-site totals sum exactly to the aggregate [counters]. *)
 val exec :
   ?backend:backend ->
   ?mode:[ `Lazy | `Strict ] ->
-  ?fuel:int ->
-  ?max_frames:int ->
+  ?budget:Budget.t ->
   ?entry:Ident.t ->
   ?profile:bool ->
   compiled ->
@@ -130,7 +134,7 @@ val exec :
 
 val run :
   ?mode:[ `Lazy | `Strict ] ->
-  ?fuel:int ->
+  ?budget:Budget.t ->
   ?entry:Ident.t ->
   compiled ->
   result
@@ -142,7 +146,7 @@ val compile_and_run :
   ?file:string ->
   ?backend:backend ->
   ?mode:[ `Lazy | `Strict ] ->
-  ?fuel:int ->
+  ?budget:Budget.t ->
   ?profile:bool ->
   string ->
   compiled * result

@@ -1,0 +1,310 @@
+module Budget = Tc_resilience.Budget
+module Inject = Tc_resilience.Inject
+module Json = Tc_obs.Json
+module Diag = Tc_obs.Diag
+module Diagnostic = Tc_support.Diagnostic
+module Eval = Tc_eval.Eval
+module Counters = Tc_eval.Counters
+
+type config = {
+  default_budget : Budget.t;
+  retries : int;
+  backoff_ms : float;
+  sleep : float -> unit;
+  base_opts : Pipeline.options;
+}
+
+let default_config =
+  {
+    default_budget = Budget.deadline 10_000.;
+    retries = 3;
+    backoff_ms = 10.;
+    sleep = Unix.sleepf;
+    base_opts = Pipeline.default_options;
+  }
+
+type stats = {
+  mutable requests : int;
+  mutable responses : int;
+  mutable ok : int;
+  mutable failed : int;
+  mutable retried : int;
+  mutable by_op : (string * int) list;
+  mutable by_class : (string * int) list;
+}
+
+type t = { config : config; stats : stats; totals : Counters.t }
+
+let create ?(config = default_config) () =
+  {
+    config;
+    stats =
+      {
+        requests = 0;
+        responses = 0;
+        ok = 0;
+        failed = 0;
+        retried = 0;
+        by_op = [];
+        by_class = [];
+      };
+    totals = Counters.create ();
+  }
+
+let stats t = t.stats
+
+let bump assoc key =
+  let n = match List.assoc_opt key assoc with Some n -> n | None -> 0 in
+  (key, n + 1) :: List.remove_assoc key assoc
+
+(* ---- request decoding ---- *)
+
+(* A request that fails to decode: the response still gets exactly one
+   line, classified [bad-request]. *)
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let str_field req name =
+  Option.bind (Json.member name req) Json.to_str
+
+let int_field req name = Option.bind (Json.member name req) Json.to_int
+
+let require_src req =
+  match str_field req "src" with
+  | Some s -> s
+  | None -> bad "missing string field \"src\""
+
+let strategy_of req (base : Pipeline.options) =
+  match str_field req "strategy" with
+  | None -> base.Pipeline.strategy
+  | Some ("dict" | "dicts" | "nested") -> Pipeline.Dicts
+  | Some ("dict-flat" | "flat") -> Pipeline.Dicts_flat
+  | Some ("tags" | "tag") -> Pipeline.Tags
+  | Some s -> bad "unknown strategy %S" s
+
+let backend_of req =
+  match str_field req "backend" with
+  | None | Some "tree" -> `Tree
+  | Some "vm" -> `Vm
+  | Some s -> bad "unknown backend %S (expected \"tree\" or \"vm\")" s
+
+let mode_of req =
+  match str_field req "mode" with
+  | None | Some "lazy" -> `Lazy
+  | Some "strict" -> `Strict
+  | Some s -> bad "unknown mode %S (expected \"lazy\" or \"strict\")" s
+
+let passes_of req =
+  match str_field req "opt" with
+  | None -> []
+  | Some s -> (
+      match Tc_opt.Opt.of_string s with
+      | Some passes -> passes
+      | None -> bad "unknown optimization level %S" s)
+
+(* Per-request budget: each present field overrides the server default;
+   0 means unlimited (matching the CLI's [--fuel 0]). *)
+let budget_of req (dft : Budget.t) : Budget.t =
+  let field name current =
+    match int_field req name with Some n -> n | None -> current
+  in
+  {
+    Budget.steps = field "fuel" dft.Budget.steps;
+    frames = field "frames" dft.Budget.frames;
+    wall_ms =
+      (match int_field req "timeout_ms" with
+      | Some ms -> float_of_int ms
+      | None -> dft.Budget.wall_ms);
+    allocations = field "allocations" dft.Budget.allocations;
+    output_bytes = field "output_bytes" dft.Budget.output_bytes;
+  }
+
+(* ---- response encoding ---- *)
+
+let counters_json (c : Counters.t) : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.pairs c))
+
+let response t ~id ~op fields =
+  let base =
+    (match id with Some v -> [ ("id", v) ] | None -> [])
+    @ [ ("op", Json.Str op) ]
+  in
+  t.stats.responses <- t.stats.responses + 1;
+  Json.to_line (Json.Obj (base @ fields))
+
+let ok_response t ~id ~op fields =
+  t.stats.ok <- t.stats.ok + 1;
+  response t ~id ~op (("ok", Json.Bool true) :: fields)
+
+let fail_response t ~id ~op ~cls message =
+  t.stats.failed <- t.stats.failed + 1;
+  t.stats.by_class <- bump t.stats.by_class cls;
+  response t ~id ~op
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("class", Json.Str cls); ("message", Json.Str message) ] );
+    ]
+
+(* Classify an escaped exception into a failure class + message. Raised
+   exceptions that should kill the process anyway (none today) would be
+   re-raised here; everything else is contained. *)
+let classify = function
+  | Bad_request m -> ("bad-request", m)
+  | Diagnostic.Error d -> ("compile", Diagnostic.to_string d)
+  | Eval.Runtime_error m -> ("runtime", "runtime error: " ^ m)
+  | Eval.User_error m -> ("runtime", "error: " ^ m)
+  | Eval.Pattern_fail m -> ("runtime", "pattern-match failure: " ^ m)
+  | Budget.Exhausted { resource; spent; limit } ->
+      ("resource", Budget.message resource ~spent ~limit)
+  | Out_of_memory -> ("resource", "resource exhausted: memory")
+  | Stack_overflow ->
+      ("resource", Budget.message Budget.Frames ~spent:0 ~limit:0)
+  | Inject.Transient { point; detail } ->
+      let what = if detail = "" then Inject.point_name point else detail in
+      ("transient", "transient fault persisted: " ^ what)
+  | exn ->
+      ( "ice",
+        Diagnostic.to_string
+          (Diagnostic.of_exn ~stage:"serve" ~loc:Tc_support.Loc.none exn) )
+
+(* ---- operations ---- *)
+
+let opts_for t req =
+  let base = t.config.base_opts in
+  { base with Pipeline.strategy = strategy_of req base }
+
+let diagnostics_fields (ds : Diagnostic.t list) =
+  let count sev =
+    List.length
+      (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) ds)
+  in
+  [
+    ("diagnostics", Diag.json_list (Diagnostic.sort ds));
+    ("errors", Json.Int (count Diagnostic.Error));
+    ("warnings", Json.Int (count Diagnostic.Warning));
+    ("ice", Json.Int (count Diagnostic.Bug));
+  ]
+
+(* check/compile: accumulating compile; containment inside
+   [compile_collect] turns injected compile-stage faults into Bug
+   diagnostics, so these ops answer [ok] with an [ice] tally rather
+   than failing. *)
+let do_check t ~id ~op req =
+  let src = require_src req in
+  let opts = opts_for t req in
+  let { Pipeline.diagnostics; artifact } =
+    Pipeline.compile_collect ~opts ~file:"<serve>" src
+  in
+  let extra =
+    match (op, artifact) with
+    | "compile", Some c ->
+        [
+          ( "schemes",
+            Json.Obj
+              (List.map
+                 (fun (n, s) ->
+                   ( Tc_support.Ident.text n,
+                     Json.Str (Tc_types.Scheme.to_string s) ))
+                 c.Pipeline.user_schemes) );
+        ]
+    | _ -> []
+  in
+  ok_response t ~id ~op
+    (diagnostics_fields diagnostics
+    @ [ ("artifact", Json.Bool (artifact <> None)) ]
+    @ extra)
+
+let do_run t ~id req =
+  let src = require_src req in
+  let opts = opts_for t req in
+  let backend = backend_of req in
+  let mode = mode_of req in
+  let budget = budget_of req t.config.default_budget in
+  let c = Pipeline.compile ~opts ~file:"<serve>" src in
+  let c = Pipeline.optimize (passes_of req) c in
+  let r = Pipeline.exec ~backend ~mode ~budget c in
+  Counters.merge t.totals r.Pipeline.counters;
+  ok_response t ~id ~op:"run"
+    [
+      ("value", Json.Str r.Pipeline.rendered);
+      ("counters", counters_json r.Pipeline.counters);
+    ]
+
+let stats_json t =
+  let s = t.stats in
+  let tally assoc =
+    Json.Obj
+      (List.sort compare (List.map (fun (k, v) -> (k, Json.Int v)) assoc))
+  in
+  Json.Obj
+    [
+      ("requests", Json.Int s.requests);
+      ("responses", Json.Int s.responses);
+      ("ok", Json.Int s.ok);
+      ("failed", Json.Int s.failed);
+      ("retried", Json.Int s.retried);
+      ("by_op", tally s.by_op);
+      ("by_class", tally s.by_class);
+      ("counters", counters_json t.totals);
+    ]
+
+let do_stats t ~id = ok_response t ~id ~op:"stats" [ ("stats", stats_json t) ]
+
+(* ---- the request boundary ---- *)
+
+(* Run [f] retrying transient faults with exponential backoff. Only the
+   [Transient] class retries: anything else is either deterministic
+   (compile/runtime/resource errors recur identically) or an ICE (retry
+   would mask a bug the response should surface). *)
+let with_retries t f =
+  let rec go attempt backoff =
+    match f () with
+    | v -> v
+    | exception Inject.Transient _ when attempt < t.config.retries ->
+        t.stats.retried <- t.stats.retried + 1;
+        t.config.sleep (backoff /. 1000.);
+        go (attempt + 1) (backoff *. 2.)
+  in
+  go 0 t.config.backoff_ms
+
+let handle_line t line =
+  t.stats.requests <- t.stats.requests + 1;
+  match Json.parse line with
+  | Error m ->
+      t.stats.by_op <- bump t.stats.by_op "invalid";
+      fail_response t ~id:None ~op:"invalid" ~cls:"bad-request"
+        ("invalid JSON: " ^ m)
+  | Ok req -> (
+      let id = Json.member "id" req in
+      let op =
+        match str_field req "op" with Some s -> s | None -> "missing"
+      in
+      t.stats.by_op <- bump t.stats.by_op op;
+      try
+        with_retries t @@ fun () ->
+        if !Inject.live then Inject.hit Inject.Serve_transient;
+        match op with
+        | "ping" -> ok_response t ~id ~op:"ping" []
+        | "stats" -> do_stats t ~id
+        | "check" | "compile" -> do_check t ~id ~op req
+        | "run" -> do_run t ~id req
+        | "missing" -> bad "missing string field \"op\""
+        | other -> bad "unknown op %S" other
+      with exn ->
+        let cls, message = classify exn in
+        fail_response t ~id ~op ~cls message)
+
+let run ?(config = default_config) ?(stop = fun () -> false) ~next ~emit () =
+  let t = create ~config () in
+  let rec loop () =
+    if not (stop ()) then
+      match next () with
+      | None -> ()
+      | Some line ->
+          emit (handle_line t line);
+          loop ()
+  in
+  loop ();
+  t.stats

@@ -1,0 +1,86 @@
+(** [mhc serve] — a crash-proof, long-running request loop.
+
+    The server reads newline-delimited JSON requests from a source and
+    writes exactly one newline-delimited JSON response per request, in
+    order. Every request is handled in complete isolation: a fresh
+    compile (fresh diagnostic sinks, fresh evaluator state), its own
+    {!Tc_resilience.Budget.t} (the per-request fields override the
+    server default), and a containment boundary that classifies any
+    escape — compile errors, runtime errors, resource exhaustion
+    (including [Out_of_memory]), and ICEs — into a structured [error]
+    field. The process never dies on a request; malformed JSON gets a
+    [bad-request] response rather than killing the loop.
+
+    Transient faults (the {!Tc_resilience.Inject.Serve_transient} class)
+    are retried with exponential backoff before being reported.
+
+    Request schema (one JSON object per line):
+    {v
+      {"op": "ping" | "check" | "compile" | "run" | "stats",
+       "id": <any>,            -- echoed back verbatim (optional)
+       "src": "...",           -- program text (check/compile/run)
+       "strategy": "dict" | "dict-flat" | "tags",
+       "backend": "tree" | "vm",          -- run only
+       "mode": "lazy" | "strict",         -- run only
+       "opt": "none" | "simplify" | ... | "all",  -- run only
+       "fuel": N, "frames": N, "timeout_ms": N,
+       "allocations": N, "output_bytes": N}  -- budget overrides
+    v}
+
+    Response schema: [{"id", "op", "ok", ...}] with
+    [value]/[counters] on a successful run, [diagnostics] plus
+    error/warning/ice tallies for check/compile, and
+    [error: {"class", "message"}] on failure, where [class] is one of
+    ["bad-request"], ["compile"], ["runtime"], ["resource"],
+    ["transient"] or ["ice"]. *)
+
+module Budget = Tc_resilience.Budget
+module Json = Tc_obs.Json
+
+type config = {
+  default_budget : Budget.t;
+      (** applied to every request unless overridden per request *)
+  retries : int;       (** transient-fault retries per request *)
+  backoff_ms : float;  (** initial retry backoff; doubles per retry *)
+  sleep : float -> unit;
+      (** backoff implementation, in seconds (injectable for tests) *)
+  base_opts : Pipeline.options;
+      (** compile options; the request's [strategy] field overrides the
+          strategy *)
+}
+
+(** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf]. *)
+val default_config : config
+
+(** Cumulative server statistics, also exposed as the [stats] op. *)
+type stats = {
+  mutable requests : int;   (** requests read (including malformed) *)
+  mutable responses : int;  (** responses written *)
+  mutable ok : int;
+  mutable failed : int;
+  mutable retried : int;    (** transient retries performed *)
+  mutable by_op : (string * int) list;     (** op name -> count *)
+  mutable by_class : (string * int) list;  (** failure class -> count *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+val stats : t -> stats
+val stats_json : t -> Json.t
+
+(** Handle one request line, returning the response line (no trailing
+    newline). Never raises. *)
+val handle_line : t -> string -> string
+
+(** Drive the loop: read lines from [next] until it returns [None] (or
+    [stop] returns [true] — checked between requests, for signal-driven
+    drain), passing each response line to [emit]. Returns the final
+    statistics. Never raises. *)
+val run :
+  ?config:config ->
+  ?stop:(unit -> bool) ->
+  next:(unit -> string option) ->
+  emit:(string -> unit) ->
+  unit ->
+  stats

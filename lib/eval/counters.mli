@@ -16,6 +16,10 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
+(** [merge dst src] adds [src]'s counts into [dst] — cumulative totals
+    across runs (used by [mhc serve] statistics). *)
+val merge : t -> t -> unit
+
 (** Every counter as a (name, value) pair, in declaration order — the basis
     for the JSON renderings used by [mhc counters]/[trace]/[profile]. *)
 val pairs : t -> (string * int) list

@@ -12,11 +12,12 @@
 open Tc_support
 module Core = Tc_core_ir.Core
 module Ast = Tc_syntax.Ast
+module Budget = Tc_resilience.Budget
+module Inject = Tc_resilience.Inject
 
 exception Runtime_error of string
 exception User_error of string      (* the program called [error] *)
 exception Pattern_fail of string    (* pattern-match failure *)
-exception Out_of_fuel
 
 let runtime fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
 
@@ -81,7 +82,7 @@ and state = {
   cons : con_table;
   counters : Counters.t;
   profile : Tc_obs.Profile.rt option;  (* per-site dispatch counts *)
-  mutable fuel : int;          (* remaining steps; negative = unlimited *)
+  budget : Budget.meter;       (* step/frame/wall/alloc enforcement *)
   mutable globals : env;       (* top-level bindings, for rendering etc. *)
 }
 
@@ -97,6 +98,11 @@ let float_str f =
 (* Forcing and evaluation.                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Frame accounting on this backend counts thunk-forcing depth: [force]'s
+   recursion into [eval] is the evaluator's only inherently non-tail
+   spine (the object program's tail calls run as OCaml tail calls and
+   must stay frameless), so it is both what actually consumes native
+   stack under deep non-tail object recursion and safe to bracket. *)
 let rec force st (t : thunk) : value =
   match t.cell with
   | Done v -> v
@@ -104,14 +110,17 @@ let rec force st (t : thunk) : value =
   | Todo (env, e) ->
       st.counters.thunk_forces <- st.counters.thunk_forces + 1;
       t.cell <- Under_eval;
+      Budget.enter_frame st.budget;
       let v = eval st env e in
+      Budget.exit_frame st.budget;
       t.cell <- Done v;
       v
 
 and eval st (env : env) (e : Core.expr) : value =
   st.counters.steps <- st.counters.steps + 1;
-  if st.fuel = 0 then raise Out_of_fuel;
-  if st.fuel > 0 then st.fuel <- st.fuel - 1;
+  Budget.step st.budget;
+  Budget.check_allocs st.budget st.counters.allocations;
+  if !Inject.live then Inject.hit Inject.Eval_step;
   match e with
   | Core.Var x -> (
       match Ident.Map.find_opt x env with
@@ -544,14 +553,14 @@ let primitives : (Ident.t * prim) list =
 (* Whole programs.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ?(mode = `Lazy) ?(fuel = -1) ?profile (cons : con_table) :
-    state =
+let create_state ?(mode = `Lazy) ?(budget = Budget.unlimited) ?profile
+    (cons : con_table) : state =
   {
     mode;
     cons;
     counters = Counters.create ();
     profile;
-    fuel;
+    budget = Budget.meter budget;
     globals = Ident.Map.empty;
   }
 

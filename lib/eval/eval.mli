@@ -6,6 +6,7 @@
 
 open Tc_support
 module Core = Tc_core_ir.Core
+module Budget = Tc_resilience.Budget
 
 exception Runtime_error of string
 
@@ -14,8 +15,6 @@ exception User_error of string
 
 (** Pattern-match failure. *)
 exception Pattern_fail of string
-
-exception Out_of_fuel
 
 (** Run-time constructor descriptor. *)
 type rcon = {
@@ -60,7 +59,10 @@ and state = {
   cons : con_table;
   counters : Counters.t;
   profile : Tc_obs.Profile.rt option;  (** per-site dispatch counts *)
-  mutable fuel : int;          (** remaining steps; negative = unlimited *)
+  budget : Budget.meter;
+      (** unified resource enforcement; exhaustion raises
+          {!Tc_resilience.Budget.Exhausted}. Steps here are expression
+          evaluations; frames count thunk-forcing depth. *)
   mutable globals : env;
 }
 
@@ -87,10 +89,12 @@ val primitives : (Ident.t * prim) list
 (** {2 Whole programs} *)
 
 (** [profile] attaches a per-site dispatch profile; every [Sel]/[MkDict]
-    evaluated is also counted against its compile-time site. *)
+    evaluated is also counted against its compile-time site. [budget]
+    (default {!Tc_resilience.Budget.unlimited}) bounds the run; creating
+    the state starts its wall clock. *)
 val create_state :
   ?mode:[ `Lazy | `Strict ] ->
-  ?fuel:int ->
+  ?budget:Budget.t ->
   ?profile:Tc_obs.Profile.rt ->
   con_table ->
   state

@@ -12,3 +12,24 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Compact single-line rendering (never wraps) — the encoding for
+    newline-delimited JSON protocols like [mhc serve]. *)
+val to_line : t -> string
+
+(** Parse one JSON document (the decoding half of {!to_string}; accepts
+    anything the printer emits plus standard escapes and [\uXXXX]).
+    Never raises. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — decoding helpers for [mhc serve] requests. *)
+
+(** Object field lookup; [None] on non-objects and absent fields. *)
+val member : string -> t -> t option
+
+val to_str : t -> string option
+
+(** Accepts [Int] and integral [Float]. *)
+val to_int : t -> int option
+
+val to_float : t -> float option

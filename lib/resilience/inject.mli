@@ -1,0 +1,68 @@
+(** Deterministic, seed-driven fault injection.
+
+    The pipeline and both back ends call {!hit} at named points — every
+    stage boundary plus the interpreter loops — and an armed {!plan}
+    decides, reproducibly from its seed, whether that visit faults. A
+    firing point raises {!Fault} (or {!Transient} at {!Serve_transient},
+    or [Out_of_memory] at {!Oom}), exercising the same containment
+    machinery a real compiler bug would: {!Tc_support.Diagnostic.guard}
+    boundaries in the front end, the ICE handlers in the CLI driver and
+    the per-request isolation of [mhc serve].
+
+    The injector is process-global and off by default; when disarmed,
+    {!hit} at the interpreter-loop points costs one mutable-bool read
+    ({!live}). Tests and the chaos harness {!arm} it, run, and
+    {!disarm} in a [Fun.protect] finalizer. *)
+
+type point =
+  | Lex          (** before lexing/parsing the source *)
+  | Parse        (** after parsing, before fixity resolution *)
+  | Static       (** before static analysis (§4) *)
+  | Infer        (** before type inference of the binding groups *)
+  | Translate    (** before dictionary construction *)
+  | Optimize     (** before each optimizer pass ([detail] = pass name) *)
+  | Eval_step    (** each tree-evaluator step *)
+  | Vm_step      (** each VM instruction *)
+  | Render       (** before rendering the result value *)
+  | Oom          (** simulated out-of-memory (raises [Out_of_memory]) *)
+  | Serve_transient
+      (** per serve request; raises {!Transient}, the retryable class *)
+
+val point_name : point -> string
+val point_of_name : string -> point option
+
+(** Every point, for chaos matrices. *)
+val all_points : point list
+
+exception Fault of { point : point; detail : string }
+
+(** A retryable fault: [mhc serve] retries these with backoff. *)
+exception Transient of { point : point; detail : string }
+
+type plan = {
+  seed : int;
+  rate : float;       (** firing probability per visit, in [0,1] *)
+  points : point list;(** live points; [[]] means all *)
+  max_faults : int;   (** stop firing after this many; [<= 0] unlimited *)
+}
+
+val plan : ?seed:int -> ?rate:float -> ?points:point list ->
+  ?max_faults:int -> unit -> plan
+
+(** [parse_spec "point[:rate[:seed]]"] — the CLI's [--inject] argument.
+    Examples: ["infer"], ["vm-step:0.001"], ["oom:1:42"]. *)
+val parse_spec : string -> (plan, string) result
+
+val arm : plan -> unit
+val disarm : unit -> unit
+val armed : unit -> bool
+
+(** Whether the injector is armed — read this before calling {!hit} on
+    hot paths. *)
+val live : bool ref
+
+(** Visit a named injection point; raises iff the armed plan fires. *)
+val hit : ?detail:string -> point -> unit
+
+(** Faults fired since the last {!arm}. *)
+val fired : unit -> int

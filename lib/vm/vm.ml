@@ -21,6 +21,8 @@ module Ast = Tc_syntax.Ast
 module Core = Tc_core_ir.Core
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
+module Budget = Tc_resilience.Budget
+module Inject = Tc_resilience.Inject
 module B = Bytecode
 
 (* The VM reuses the evaluator's exceptions so callers handle both
@@ -76,8 +78,8 @@ and state = {
   cons : Eval.con_table;
   counters : Counters.t;
   profile : Tc_obs.Profile.rt option;  (* per-site dispatch counts *)
-  mutable fuel : int;       (* remaining instructions; negative = unlimited *)
-  max_frames : int;
+  budget : Budget.meter;    (* steps = instructions on this backend *)
+  max_frames : int;         (* frame-stack bound; see [create_state] *)
   mutable protos : B.proto array;
   mutable consts : slot array;
   mutable globals : slot array;
@@ -92,6 +94,7 @@ and state = {
 }
 
 let counters (st : state) : Counters.t = st.counters
+let meter (st : state) : Budget.meter = st.budget
 
 let ready v = { cell = Ready v }
 
@@ -153,10 +156,7 @@ let make_locals (proto : B.proto) : slot array =
 let push_frame (st : state) (proto : B.proto) ~(env : slot array)
     ~(locals : slot array) ~(update : slot option) : unit =
   if st.fp >= st.max_frames then
-    runtime
-      "stack overflow: %d frames (deep non-tail recursion in '%s'); the \
-       tree backend would overflow the native stack here"
-      st.fp proto.B.p_name;
+    Budget.exhausted Budget.Frames ~spent:st.fp ~limit:st.max_frames;
   if st.fp = Array.length st.frames then
     st.frames <-
       Array.init (2 * st.fp) (fun i ->
@@ -332,10 +332,9 @@ and finish (st : state) ~tail (v : value) : unit =
 and run_loop (st : state) ~(stop : int) : unit =
   while st.fp > stop do
     let fr = st.frames.(st.fp - 1) in
-    if st.fuel >= 0 then begin
-      if st.fuel = 0 then raise Eval.Out_of_fuel;
-      st.fuel <- st.fuel - 1
-    end;
+    Budget.step st.budget;
+    Budget.check_allocs st.budget st.counters.Counters.allocations;
+    if !Inject.live then Inject.hit Inject.Vm_step;
     st.counters.Counters.steps <- st.counters.Counters.steps + 1;
     let i = fr.f_code.(fr.f_pc) in
     fr.f_pc <- fr.f_pc + 1;
@@ -834,14 +833,18 @@ let primitives : (Ident.t * prim) list =
 (* Whole programs.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let create_state ?(fuel = -1) ?(max_frames = 1_000_000) ?profile
+let create_state ?(budget = Budget.unlimited) ?profile
     (cons : Eval.con_table) : state =
   {
     cons;
     counters = Counters.create ();
     profile;
-    fuel;
-    max_frames;
+    budget = Budget.meter budget;
+    (* the frame stack is an explicit growable array: even an "unlimited"
+       budget keeps a bound on it, or runaway non-tail recursion would
+       consume all memory before anything was reported *)
+    max_frames = (if budget.Budget.frames > 0 then budget.Budget.frames
+                  else 1_000_000);
     protos = [||];
     consts = [||];
     globals = [||];

@@ -1,15 +1,17 @@
 (** A stack-based interpreter for {!Bytecode}, with the same observable
     behaviour and {!Tc_eval.Counters} dictionary accounting as the tree
-    evaluator. Fully iterative: deep non-tail recursion hits the
-    [max_frames] budget and raises {!Tc_eval.Eval.Runtime_error} instead
-    of overflowing the native stack; the instruction budget raises
-    {!Tc_eval.Eval.Out_of_fuel}. *)
+    evaluator. Fully iterative: deep non-tail recursion hits the frame
+    budget and every exhausted resource raises the same classified
+    {!Tc_resilience.Budget.Exhausted} the tree evaluator uses. On this
+    backend a budget's [steps] are {e instructions} and [frames] is the
+    explicit frame-stack depth. *)
 
 open Tc_support
 module Ast = Tc_syntax.Ast
 module Core = Tc_core_ir.Core
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
+module Budget = Tc_resilience.Budget
 
 type value =
   | VInt of int
@@ -42,14 +44,19 @@ and state
 
 val counters : state -> Counters.t
 
-(** [create_state ?fuel ?max_frames ?profile cons]: [fuel] is an instruction
-    budget ([-1] = unlimited, the default); [max_frames] bounds the frame
-    stack (default [1_000_000]); [profile] attaches a per-site dispatch
-    profile counting every [MKDICT]/[DICTSEL] against its compile-time
-    site. *)
+(** The state's budget meter (for post-run checks such as the output
+    cap). *)
+val meter : state -> Budget.meter
+
+(** [create_state ?budget ?profile cons]: [budget] bounds the run
+    (steps = instructions here; a budget without a frame bound still gets
+    the default [1_000_000]-frame stack bound, because the explicit frame
+    stack would otherwise grow without limit); [profile] attaches a
+    per-site dispatch profile counting every [MKDICT]/[DICTSEL] against
+    its compile-time site. Creating the state starts the budget's wall
+    clock. *)
 val create_state :
-  ?fuel:int ->
-  ?max_frames:int ->
+  ?budget:Budget.t ->
   ?profile:Tc_obs.Profile.rt ->
   Eval.con_table ->
   state

@@ -13,14 +13,14 @@ let compile ?opts src = Pipeline.compile ?opts ~file:"test.mhs" src
 let run ?opts ?(mode = `Lazy) ?(passes = []) src : string =
   let c = compile ?opts src in
   let c = Pipeline.optimize passes c in
-  (Pipeline.exec ~mode ~fuel:50_000_000 c).rendered
+  (Pipeline.exec ~mode ~budget:(Pipeline.Budget.fuel 50_000_000) c).rendered
 
 (** Compile and run, returning rendered result and counters. *)
 let run_counters ?opts ?(mode = `Lazy) ?(passes = []) src :
     string * Tc_eval.Counters.t =
   let c = compile ?opts src in
   let c = Pipeline.optimize passes c in
-  let r = Pipeline.exec ~mode ~fuel:50_000_000 c in
+  let r = Pipeline.exec ~mode ~budget:(Pipeline.Budget.fuel 50_000_000) c in
   (r.rendered, r.counters)
 
 (** The inferred type of a user binding, rendered. *)

@@ -6,4 +6,5 @@ let () =
     @ Test_prelude.tests @ Test_props.tests @ Test_programs.tests
     @ Test_fuzz.tests @ Test_deferral.tests @ Test_errors.tests
     @ Test_check.tests @ Test_cli.tests
-    @ Test_differential.tests @ Test_vm.tests @ Test_obs.tests)
+    @ Test_differential.tests @ Test_vm.tests @ Test_obs.tests
+    @ Test_resilience.tests)

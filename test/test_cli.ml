@@ -177,5 +177,76 @@ let tests =
                   (Helpers.contains ~needle:"cannot read" out);
                 Alcotest.(check bool) "good file typed" true
                   (Helpers.contains ~needle:"double :: Num a => a -> a" out)));
+        case "run exits 3 on step-budget exhaustion" (fun () ->
+            with_program "loop n = loop (n + 1)\nmain = loop (0 :: Int)\n"
+              (fun path ->
+                let code, out = run_mhc [ "run"; "--fuel"; "10000"; path ] in
+                Alcotest.(check int) "exit" 3 code;
+                Alcotest.(check bool) "classified" true
+                  (Helpers.contains ~needle:"resource exhausted: steps" out)));
+        case "run exits 3 when a divergent program hits --timeout" (fun () ->
+            with_program "loop n = loop (n + 1)\nmain = loop (0 :: Int)\n"
+              (fun path ->
+                let code, out =
+                  run_mhc [ "run"; "--backend"; "vm"; "--timeout"; "200"; path ]
+                in
+                Alcotest.(check int) "exit" 3 code;
+                Alcotest.(check bool) "classified" true
+                  (Helpers.contains ~needle:"resource exhausted: wall-clock"
+                     out)));
+        case "run --inject contains a runtime fault as an ICE (exit 2)"
+          (fun () ->
+            with_program demo (fun path ->
+                let code, out =
+                  run_mhc [ "run"; "--inject"; "eval-step:1:1"; path ]
+                in
+                Alcotest.(check int) "exit" 2 code;
+                Alcotest.(check bool) "contained" true
+                  (Helpers.contains ~needle:"internal error" out)));
+        case "run --inject oom exits 3, not a crash" (fun () ->
+            with_program demo (fun path ->
+                let code, out =
+                  run_mhc [ "run"; "--inject"; "oom:1:1"; path ]
+                in
+                Alcotest.(check int) "exit" 3 code;
+                Alcotest.(check bool) "classified" true
+                  (Helpers.contains ~needle:"resource exhausted: memory" out)));
+        case "check --inject contains a front-end fault as one ICE (exit 2)"
+          (fun () ->
+            with_program demo (fun path ->
+                let code, out =
+                  run_mhc [ "check"; "--inject"; "infer:1:1"; path ]
+                in
+                Alcotest.(check int) "exit" 2 code;
+                Alcotest.(check bool) "contained" true
+                  (Helpers.contains ~needle:"internal error" out)));
+        case "serve answers over stdin and drains at EOF" (fun () ->
+            with_program demo (fun _ ->
+                let out = Filename.temp_file "serve" ".out" in
+                let cmd =
+                  Printf.sprintf
+                    "printf '%s\\n%s\\n' | %s serve > %s 2>/dev/null"
+                    "{\"op\":\"ping\",\"id\":1}"
+                    "{\"op\":\"run\",\"src\":\"main = 1 + 1\"}"
+                    (Filename.quote mhc) (Filename.quote out)
+                in
+                let code = Sys.command cmd in
+                let ic = open_in_bin out in
+                let text =
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic; Sys.remove out)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                Alcotest.(check int) "exit" 0 code;
+                let lines =
+                  List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+                in
+                Alcotest.(check int) "one response per request" 2
+                  (List.length lines);
+                Alcotest.(check bool) "ping ok" true
+                  (Helpers.contains ~needle:"\"ok\":true" (List.nth lines 0));
+                Alcotest.(check bool) "run value" true
+                  (Helpers.contains ~needle:"\"value\":\"2\""
+                     (List.nth lines 1))));
       ] );
   ]

@@ -132,7 +132,7 @@ let tags_opts = { Pipeline.default_options with strategy = Pipeline.Tags }
 
 let run_tags src =
   let c = Pipeline.compile ~opts:tags_opts ~file:"diff.mhs" src in
-  (Pipeline.exec ~fuel:50_000_000 c).rendered
+  (Pipeline.exec ~budget:(Pipeline.Budget.fuel 50_000_000) c).rendered
 
 let tests =
   [

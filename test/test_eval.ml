@@ -144,7 +144,7 @@ main = (a, b, p, ps)
             match run "x = 1 + x\nmain = x" with
             | exception Tc_eval.Eval.Runtime_error m ->
                 Alcotest.(check bool) "loop" true (contains ~needle:"loop" m)
-            | exception Tc_eval.Eval.Out_of_fuel -> ()
+            | exception Tc_resilience.Budget.Exhausted _ -> ()
             | r -> Alcotest.failf "expected loop detection, got %s" r);
         check_run "lazy dictionary fields allow cyclic structure"
           {|

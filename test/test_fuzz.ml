@@ -23,7 +23,7 @@ let runs_cleanly src =
   | exception Tc_eval.Eval.Runtime_error _ -> true
   | exception Tc_eval.Eval.User_error _ -> true
   | exception Tc_eval.Eval.Pattern_fail _ -> true
-  | exception Tc_eval.Eval.Out_of_fuel -> true
+  | exception Tc_resilience.Budget.Exhausted _ -> true
 
 (** The accumulating front end must not raise at all — not even
     [Diagnostic.Error]: every failure must come back as a recorded
@@ -42,10 +42,10 @@ let vm_agrees src =
   match Pipeline.compile ~file:"fuzz.mhs" src with
   | exception Tc_support.Diagnostic.Error _ -> true
   | c -> (
-      match Pipeline.exec ~backend:`Tree ~fuel:2_000_000 c with
+      match Pipeline.exec ~backend:`Tree ~budget:(Pipeline.Budget.fuel 2_000_000) c with
       | exception _ -> true (* only successful tree runs are replayed *)
       | t -> (
-          match Pipeline.exec ~backend:`Vm ~fuel:50_000_000 c with
+          match Pipeline.exec ~backend:`Vm ~budget:(Pipeline.Budget.fuel 50_000_000) c with
           | v ->
               if t.Pipeline.rendered = v.Pipeline.rendered then true
               else
@@ -192,8 +192,8 @@ let tests =
                       (Tc_support.Diagnostic.to_string d) src
                 | c' -> (
                     match
-                      ( Pipeline.exec ~fuel:2_000_000 c,
-                        Pipeline.exec ~fuel:2_000_000 c' )
+                      ( Pipeline.exec ~budget:(Pipeline.Budget.fuel 2_000_000) c,
+                        Pipeline.exec ~budget:(Pipeline.Budget.fuel 2_000_000) c' )
                     with
                     | r, r' -> r.Pipeline.rendered = r'.Pipeline.rendered
                     | exception _ -> true (* runtime failures are out of scope *))));

@@ -187,10 +187,10 @@ let differential_case ?opts ?(passes = []) name src =
       let c = Pipeline.compile ?opts ~file:(name ^ ".mhs") src in
       let c = Pipeline.optimize passes c in
       let t =
-        Pipeline.exec ~backend:`Tree ~fuel:50_000_000 ~profile:true c
+        Pipeline.exec ~backend:`Tree ~budget:(Pipeline.Budget.fuel 50_000_000) ~profile:true c
       in
       let v =
-        Pipeline.exec ~backend:`Vm ~fuel:500_000_000 ~profile:true c
+        Pipeline.exec ~backend:`Vm ~budget:(Pipeline.Budget.fuel 500_000_000) ~profile:true c
       in
       let tr = check_profile_invariant (name ^ " tree") t in
       let vr = check_profile_invariant (name ^ " vm") v in

@@ -22,7 +22,9 @@ type session = { st : Eval.state }
 let make_session src : session =
   let c = Pipeline.compile ~file:"prop.mhs" src in
   let cons = Eval.con_table_of_env c.env in
-  let st = Eval.create_state ~fuel:100_000_000 cons in
+  let st =
+    Eval.create_state ~budget:(Eval.Budget.fuel 100_000_000) cons
+  in
   Eval.load_program st c.core;
   { st }
 

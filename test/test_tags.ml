@@ -10,10 +10,10 @@ let tags_opts = { Pipeline.default_options with strategy = Pipeline.Tags }
 let compile_tags src = Pipeline.compile ~opts:tags_opts ~file:"test.mhs" src
 
 let run_tags ?(mode = `Lazy) src =
-  (Pipeline.exec ~mode ~fuel:50_000_000 (compile_tags src)).rendered
+  (Pipeline.exec ~mode ~budget:(Pipeline.Budget.fuel 50_000_000) (compile_tags src)).rendered
 
 let counters_tags src =
-  let r = Pipeline.exec ~fuel:50_000_000 (compile_tags src) in
+  let r = Pipeline.exec ~budget:(Pipeline.Budget.fuel 50_000_000) (compile_tags src) in
   (r.rendered, r.counters)
 
 let check_agree name src =

@@ -7,12 +7,14 @@
     (dict_constructions, dict_fields, selections — plus applications,
     prim_calls and tag_dispatches, which also agree by construction).
     Error programs must fail with the same exception and message.
-    The VM additionally honours its fuel and frame budgets. *)
+    The VM additionally honours its step and frame budgets, reported
+    as the classified [Budget.Exhausted]. *)
 
 open Helpers
 module Pipeline = Typeclasses.Pipeline
 module Counters = Tc_eval.Counters
 module Eval = Tc_eval.Eval
+module Budget = Tc_resilience.Budget
 
 let read_file path =
   let ic = open_in_bin path in
@@ -34,8 +36,8 @@ let signature (c : Counters.t) : int list =
   ]
 
 let check_parity ?(what = "") (c : Pipeline.compiled) mode =
-  let t = Pipeline.exec ~backend:`Tree ~mode ~fuel:50_000_000 c in
-  let v = Pipeline.exec ~backend:`Vm ~mode ~fuel:500_000_000 c in
+  let t = Pipeline.exec ~backend:`Tree ~mode ~budget:(Pipeline.Budget.fuel 50_000_000) c in
+  let v = Pipeline.exec ~backend:`Vm ~mode ~budget:(Pipeline.Budget.fuel 500_000_000) c in
   Alcotest.(check string)
     (what ^ " rendered result") t.Pipeline.rendered v.Pipeline.rendered;
   Alcotest.(check (list int))
@@ -199,7 +201,8 @@ let outcome f =
   | exception Eval.User_error m -> "user error: " ^ m
   | exception Eval.Pattern_fail m -> "pattern fail: " ^ m
   | exception Eval.Runtime_error m -> "runtime error: " ^ m
-  | exception Eval.Out_of_fuel -> "out of fuel"
+  | exception Budget.Exhausted { resource; _ } ->
+      "exhausted: " ^ Budget.resource_name resource
 
 let error_programs =
   [
@@ -249,24 +252,29 @@ let budget_cases =
         let c = compile deep_src in
         let r = Pipeline.exec ~backend:`Vm c in
         Alcotest.(check string) "result" "50000" r.Pipeline.rendered);
-    case "frame budget reports deep recursion as a clean Runtime_error"
+    case "frame budget reports deep recursion as classified exhaustion"
       (fun () ->
         let c = compile deep_src in
-        match Pipeline.exec ~backend:`Vm ~max_frames:1_000 c with
-        | _ -> Alcotest.fail "expected Runtime_error from the frame budget"
-        | exception Eval.Runtime_error m ->
-            if not (contains ~needle:"stack overflow" m) then
-              Alcotest.failf "unexpected message: %s" m);
-    case "fuel budget raises Out_of_fuel" (fun () ->
+        let budget = { Budget.unlimited with frames = 1_000 } in
+        match Pipeline.exec ~backend:`Vm ~budget c with
+        | _ -> Alcotest.fail "expected Exhausted from the frame budget"
+        | exception Budget.Exhausted { resource; limit; _ } ->
+            Alcotest.(check string)
+              "resource" "frames" (Budget.resource_name resource);
+            Alcotest.(check int) "limit" 1_000 limit);
+    case "step budget raises classified exhaustion" (fun () ->
         let c = compile deep_src in
-        match Pipeline.exec ~backend:`Vm ~fuel:1_000 c with
-        | _ -> Alcotest.fail "expected Out_of_fuel"
-        | exception Eval.Out_of_fuel -> ());
+        match Pipeline.exec ~backend:`Vm ~budget:(Budget.fuel 1_000) c with
+        | _ -> Alcotest.fail "expected Exhausted"
+        | exception Budget.Exhausted { resource; _ } ->
+            Alcotest.(check string)
+              "resource" "steps" (Budget.resource_name resource));
     case "tail calls run in constant frame space" (fun () ->
         (* 100k iterations under a 1k frame budget: only possible if
            TAILCALL replaces the frame instead of growing the stack *)
         let c = compile loop_src in
-        let r = Pipeline.exec ~backend:`Vm ~mode:`Strict ~max_frames:1_000 c in
+        let budget = { Budget.unlimited with frames = 1_000 } in
+        let r = Pipeline.exec ~backend:`Vm ~mode:`Strict ~budget c in
         Alcotest.(check string) "result" "5000050000" r.Pipeline.rendered);
   ]
 
