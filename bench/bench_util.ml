@@ -29,27 +29,62 @@ let ms_of_ns ns = ns /. 1.e6
 (* ------------------------------------------------------------------ *)
 
 (** When set, tables are suppressed and recorded metrics are emitted as a
-    JSON array at exit. *)
+    JSON array at exit — to stdout, and one [BENCH_<EXP>.json] file per
+    experiment under {!out_dir} (the committed trajectory CI compares
+    fresh runs against). *)
 let json_mode = ref false
+
+(** Directory the per-experiment [BENCH_<EXP>.json] files are written to
+    ([--out DIR]; default the working directory). *)
+let out_dir = ref "."
 
 let records : (string * string * string * float) list ref = ref []
 
 let record ~experiment ~backend ~metric (value : float) =
   records := (experiment, backend, metric, value) :: !records
 
-let dump_json () =
-  let num v =
-    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-    else Printf.sprintf "%.6g" v
-  in
-  print_string "[\n";
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let render_records rs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
   List.iteri
     (fun i (e, b, m, v) ->
-      if i > 0 then print_string ",\n";
-      Printf.printf {|  {"experiment": %S, "backend": %S, "metric": %S, "value": %s}|}
-        e b m (num v))
-    (List.rev !records);
-  print_string "\n]\n"
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|  {"experiment": %S, "backend": %S, "metric": %S, "value": %s}|}
+           e b m (num v)))
+    rs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* One file per experiment, records in emission order: a stable,
+   diff-able unit the CI regression gate can compare per experiment. *)
+let write_experiment_files () =
+  let rs = List.rev !records in
+  let exps =
+    List.fold_left
+      (fun acc (e, _, _, _) -> if List.mem e acc then acc else e :: acc)
+      [] rs
+    |> List.rev
+  in
+  List.iter
+    (fun exp ->
+      let mine = List.filter (fun (e, _, _, _) -> e = exp) rs in
+      let path =
+        Filename.concat !out_dir
+          ("BENCH_" ^ String.uppercase_ascii exp ^ ".json")
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (render_records mine)))
+    exps
+
+let dump_json () =
+  print_string (render_records (List.rev !records));
+  write_experiment_files ()
 
 (* ------------------------------------------------------------------ *)
 (* Table rendering.                                                    *)

@@ -46,13 +46,13 @@ let i = string_of_int
 let hot_site ?(passes = []) ?opts src : string * int =
   let c = Pipeline.optimize passes (compile ?opts src) in
   let r = Pipeline.exec ~profile:true c in
-  match (Option.get r.profile).Tc_obs.Profile.r_sels with
-  | [] -> ("-", 0)
-  | e :: _ ->
+  match r.profile with
+  | Some { Tc_obs.Profile.r_sels = e :: _; _ } ->
       ( Printf.sprintf "%s.%s x%d"
           (Tc_support.Ident.text e.e_site.Tc_obs.Profile.s_class)
           e.e_site.Tc_obs.Profile.s_detail e.e_count,
         e.e_count )
+  | Some _ | None -> ("-", 0)
 
 (* ================================================================== *)
 
@@ -437,6 +437,20 @@ let e11 () =
   let v_off = vm Pipeline.Budget.unlimited "e11-vm-off" in
   let v_on = vm active "e11-vm-on" in
   let pct off on = 100. *. (on -. off) /. off in
+  (* metrics spans: the same workload with a live registry attached
+     (every exec reports eval/render spans) vs the default disabled
+     registry (t_off above); disabled must be within noise of baseline *)
+  let c_metrics =
+    Pipeline.optimize []
+      (Pipeline.compile
+         ~opts:
+           { Pipeline.default_options with metrics = Tc_obs.Metrics.create () }
+         src)
+  in
+  let t_mon =
+    B.time_ns "e11-tree-metrics-on" (fun () ->
+        ignore (Pipeline.exec ~budget:Pipeline.Budget.unlimited c_metrics))
+  in
   B.record ~experiment:"e11" ~backend:"tree" ~metric:"budget_off_ms"
     (B.ms_of_ns t_off);
   B.record ~experiment:"e11" ~backend:"tree" ~metric:"budget_on_ms"
@@ -449,6 +463,12 @@ let e11 () =
     (B.ms_of_ns v_on);
   B.record ~experiment:"e11" ~backend:"vm" ~metric:"overhead_pct"
     (pct v_off v_on);
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"metrics_off_ms"
+    (B.ms_of_ns t_off);
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"metrics_on_ms"
+    (B.ms_of_ns t_mon);
+  B.record ~experiment:"e11" ~backend:"tree" ~metric:"metrics_overhead_pct"
+    (pct t_off t_mon);
   B.print_table
     [ "backend"; "budgets off (ms)"; "budgets on (ms)"; "overhead %" ]
     [
@@ -457,9 +477,17 @@ let e11 () =
       [ "vm"; B.f2 (B.ms_of_ns v_off); B.f2 (B.ms_of_ns v_on);
         B.f2 (pct v_off v_on) ];
     ];
+  B.print_table
+    [ "metrics registry"; "time (ms)"; "vs disabled %" ]
+    [
+      [ "disabled (default)"; B.f2 (B.ms_of_ns t_off); "-" ];
+      [ "live (spans on)"; B.f2 (B.ms_of_ns t_mon);
+        B.f2 (pct t_off t_mon) ];
+    ];
   B.print_note
     "  (the hot-loop check is one decrement-and-compare per step; the \
-     wall clock is only read every 4096 steps)"
+     wall clock is only read every 4096 steps; a disabled metrics \
+     registry costs nothing — bumps are mutations of a shared dummy)"
 
 let a3 () =
   B.print_heading "A3" "ablation: what each optimizer pass contributes"
@@ -492,6 +520,17 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   B.json_mode := List.mem "--json" args;
+  (* --out DIR: where the per-experiment BENCH_<EXP>.json files land
+     (committed baselines live at the repo root; CI writes fresh runs to
+     a scratch dir so they never clobber the trajectory) *)
+  let rec strip_out acc = function
+    | [] -> List.rev acc
+    | "--out" :: dir :: rest ->
+        B.out_dir := dir;
+        strip_out acc rest
+    | a :: rest -> strip_out (a :: acc) rest
+  in
+  let args = strip_out [] args in
   let names =
     List.filter (fun a -> a <> "--json") args
     |> List.map String.lowercase_ascii

@@ -26,6 +26,7 @@ module Pipeline = Typeclasses.Pipeline
 module Serve = Typeclasses.Serve
 module Trace = Tc_obs.Trace
 module Profile = Tc_obs.Profile
+module Metrics = Tc_obs.Metrics
 module Json = Tc_obs.Json
 module Diag = Tc_obs.Diag
 module Diagnostic = Tc_support.Diagnostic
@@ -148,14 +149,40 @@ let arm_inject = function None -> () | Some plan -> Inject.arm plan
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
-let build_opts ?(trace = Trace.none) strategy no_prelude mono_lits :
-    Pipeline.options =
+(* --metrics FILE: attach a live registry for the command's duration and
+   write its snapshot (phase spans, counters, histograms) at the end. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON metrics snapshot — per-phase timing/allocation \
+           spans, counters, latency histograms — to $(docv) ($(b,-) for \
+           stdout) when the command finishes.")
+
+let metrics_for = function
+  | None -> Metrics.disabled
+  | Some _ -> Metrics.create ()
+
+let write_metrics dest (m : Metrics.t) =
+  match dest with
+  | None -> ()
+  | Some "-" -> Fmt.pr "%s@." (Json.to_string (Metrics.snapshot m))
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Json.to_string (Metrics.snapshot m) ^ "\n"))
+
+let build_opts ?(trace = Trace.none) ?(metrics = Metrics.disabled) strategy
+    no_prelude mono_lits : Pipeline.options =
   {
     Pipeline.default_options with
     strategy;
     overloaded_literals = not mono_lits;
     include_prelude = not no_prelude;
     trace;
+    metrics;
   }
 
 let compile opts file =
@@ -216,11 +243,15 @@ let check_cmd =
             "Record at most $(docv) errors per file before giving up on it \
              ($(b,0) or negative means unlimited).")
   in
-  let run strategy no_prelude mono json max_errors inject files =
+  let run strategy no_prelude mono json max_errors inject mfile files =
     handle_errors @@ fun () ->
     arm_inject inject;
+    let metrics = metrics_for mfile in
     let opts =
-      { (build_opts strategy no_prelude mono) with Pipeline.max_errors }
+      {
+        (build_opts ~metrics strategy no_prelude mono) with
+        Pipeline.max_errors;
+      }
     in
     let results =
       List.map
@@ -258,6 +289,7 @@ let check_cmd =
                 c.Pipeline.user_schemes
           | None -> ())
         results;
+    write_metrics mfile metrics;
     let all = List.concat_map (fun (_, ds, _) -> ds) results in
     if
       List.exists
@@ -269,7 +301,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
-      $ max_errors_arg $ inject_arg $ files_arg)
+      $ max_errors_arg $ inject_arg $ metrics_arg $ files_arg)
 
 let core_cmd =
   let doc = "Print the dictionary-converted (or tag-dispatching) core program." in
@@ -311,20 +343,23 @@ let run_cmd =
      wall-clock deadline by default, so divergent programs terminate with \
      exit code 3 instead of hanging)."
   in
-  let run strategy no_prelude mono passes mode backend fuel timeout inject file =
+  let run strategy no_prelude mono passes mode backend fuel timeout inject
+      mfile file =
     handle_errors @@ fun () ->
     arm_inject inject;
-    let c = compile (build_opts strategy no_prelude mono) file in
+    let metrics = metrics_for mfile in
+    let c = compile (build_opts ~metrics strategy no_prelude mono) file in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let r = Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c in
+    write_metrics mfile metrics;
     Fmt.pr "%s@." r.Pipeline.rendered
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ inject_arg
-      $ file_arg)
+      $ metrics_arg $ file_arg)
 
 let counters_cmd =
   let doc = "Evaluate $(b,main) and report run-time operation counters." in
@@ -446,15 +481,45 @@ let disasm_cmd =
       $ mode_arg $ file_arg)
 
 let stats_cmd =
-  let doc = "Type check and report checker instrumentation (unifications, \
-             context reductions, placeholders)." in
-  let run strategy no_prelude mono file =
+  let doc =
+    "Type check and report checker instrumentation (unifications, context \
+     reductions, placeholders). With $(b,--json), also report the phase \
+     spans of the compile — per-stage wall-clock and allocation — from \
+     the metrics registry."
+  in
+  let stable_arg =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "With $(b,--json): redact machine-dependent quantities \
+             (durations, allocated words, histogram detail) down to \
+             counts, so the output is deterministic across runs and \
+             machines.")
+  in
+  let run strategy no_prelude mono json stable file =
     handle_errors @@ fun () ->
-    let c = compile (build_opts strategy no_prelude mono) file in
-    Fmt.pr "%a@." Tc_types.Stats.pp c.checker_stats
+    let metrics = if json then Metrics.create () else Metrics.disabled in
+    let c = compile (build_opts ~metrics strategy no_prelude mono) file in
+    if json then
+      Fmt.pr "%s@."
+        (Json.to_string
+           (Json.Obj
+              [
+                ("file", Json.Str file);
+                ( "checker",
+                  Json.Obj
+                    (List.map
+                       (fun (k, v) -> (k, Json.Int v))
+                       (Tc_types.Stats.pairs c.checker_stats)) );
+                ("metrics", Metrics.snapshot ~stable metrics);
+              ]))
+    else Fmt.pr "%a@." Tc_types.Stats.pp c.checker_stats
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ file_arg)
+    Term.(
+      const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
+      $ stable_arg $ file_arg)
 
 (* ---- the REPL ---- *)
 
@@ -640,7 +705,16 @@ let serve_cmd =
       & info [ "backoff" ] ~docv:"MS"
           ~doc:"Initial retry backoff in milliseconds (doubles per retry).")
   in
-  let run strategy no_prelude mono timeout retries backoff_ms inject =
+  let metrics_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:
+            "Emit a spontaneous $(b,metrics-snapshot) line every $(docv) \
+             requests ($(b,0) disables).")
+  in
+  let run strategy no_prelude mono timeout retries backoff_ms inject mfile
+      every =
     handle_errors @@ fun () ->
     arm_inject inject;
     let stopped = ref false in
@@ -655,8 +729,10 @@ let serve_cmd =
         default_budget = budget_of ~fuel:0 ~timeout;
         retries;
         backoff_ms;
+        snapshot_every = every;
       }
     in
+    let server = Serve.create ~config () in
     let next () =
       (* a signal can interrupt the blocking read; treat it as EOF and
          let the drain path run *)
@@ -667,14 +743,16 @@ let serve_cmd =
       print_newline ();
       flush stdout
     in
-    let s = Serve.run ~config ~stop:(fun () -> !stopped) ~next ~emit () in
+    let s = Serve.run ~server ~stop:(fun () -> !stopped) ~next ~emit () in
+    write_metrics mfile (Serve.metrics server);
     Fmt.epr "serve: %d requests, %d ok, %d failed, %d retried@."
       s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
-      $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg)
+      $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
+      $ metrics_every_arg)
 
 let main_cmd =
   let doc = "A MiniHaskell compiler implementing type classes by dictionary \

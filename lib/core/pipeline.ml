@@ -34,6 +34,8 @@ module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
 module Trace = Tc_obs.Trace
 module Profile = Tc_obs.Profile
+module Metrics = Tc_obs.Metrics
+module Span = Tc_obs.Span
 module Budget = Tc_resilience.Budget
 module Inject = Tc_resilience.Inject
 
@@ -61,6 +63,7 @@ type options = {
   lint : bool;
   max_errors : int;            (* accumulating-mode error cap; <= 0 unlimited *)
   trace : Trace.t;             (* compile-time event sink; off by default *)
+  metrics : Metrics.t;         (* phase spans + counters; off by default *)
 }
 
 let default_options =
@@ -72,6 +75,7 @@ let default_options =
     lint = true;
     max_errors = 100;
     trace = Trace.none;
+    metrics = Metrics.disabled;
   }
 
 (** The checker-level options implied by the pipeline options. Under [Tags]
@@ -199,37 +203,49 @@ let top_decl_loc : Ast.top_decl -> Loc.t = function
     parser resynchronizes at the next top-level declaration, fixity
     resolution and static analysis skip the offending declaration, and
     desugaring degrades to an empty program. *)
-let front ?sink ~include_prelude ~file src :
+let front ?sink ?(metrics = Metrics.disabled) ~include_prelude ~file src :
     Class_env.t * Kernel.group list * Fixity.env =
   Inject.hit Inject.Lex;
+  let toks =
+    Span.wrap metrics "lex" (fun () -> Tc_syntax.Lexer.tokenize ~file src)
+  in
+  let toks =
+    Span.wrap metrics "layout" (fun () -> Tc_syntax.Layout.layout toks)
+  in
   let user_prog =
-    match sink with
-    | None -> parse_source ~file src
-    | Some sink -> Parser.parse_program ~sink ~file src
+    Span.wrap metrics "parse" (fun () ->
+        match sink with
+        | None -> Parser.parse_program_tokens toks
+        | Some sink ->
+            Parser.parse_program_tokens
+              ~recover:(Diagnostic.Sink.report sink) toks)
   in
   Inject.hit Inject.Parse;
   let prog =
     if include_prelude then
-      parse_source ~file:"<prelude>" Tc_prelude.Prelude.source @ user_prog
+      Span.wrap metrics "prelude" (fun () ->
+          parse_source ~file:"<prelude>" Tc_prelude.Prelude.source)
+      @ user_prog
     else user_prog
   in
   let prog, fixities =
-    match sink with
-    | None -> Fixity.resolve_program prog
-    | Some sink ->
-        (* per-declaration recovery: a bad operator sequence loses only
-           its own declaration *)
-        let fenv = Fixity.collect_program Fixity.builtin prog in
-        let prog =
-          List.filter_map
-            (fun d ->
-              Diagnostic.guard ~sink ~stage:"fixity resolution"
-                ~loc:(top_decl_loc d)
-                ~recover:(fun () -> None)
-                (fun () -> Some (Fixity.top_decl fenv d)))
-            prog
-        in
-        (prog, fenv)
+    Span.wrap metrics "fixity" (fun () ->
+        match sink with
+        | None -> Fixity.resolve_program prog
+        | Some sink ->
+            (* per-declaration recovery: a bad operator sequence loses only
+               its own declaration *)
+            let fenv = Fixity.collect_program Fixity.builtin prog in
+            let prog =
+              List.filter_map
+                (fun d ->
+                  Diagnostic.guard ~sink ~stage:"fixity resolution"
+                    ~loc:(top_decl_loc d)
+                    ~recover:(fun () -> None)
+                    (fun () -> Some (Fixity.top_decl fenv d)))
+                prog
+            in
+            (prog, fenv))
   in
   let env =
     match sink with
@@ -238,15 +254,17 @@ let front ?sink ~include_prelude ~file src :
   in
   Inject.hit Inject.Static;
   let { Static.env; value_decls } =
-    Static.process ~env ~fail_fast:(Option.is_none sink) prog
+    Span.wrap metrics "static" (fun () ->
+        Static.process ~env ~fail_fast:(Option.is_none sink) prog)
   in
   let groups =
-    match sink with
-    | None -> Desugar.top_decls env value_decls
-    | Some sink ->
-        Diagnostic.guard ~sink ~stage:"desugaring" ~loc:Loc.none
-          ~recover:(fun () -> [])
-          (fun () -> Desugar.top_decls ~sink env value_decls)
+    Span.wrap metrics "desugar" (fun () ->
+        match sink with
+        | None -> Desugar.top_decls env value_decls
+        | Some sink ->
+            Diagnostic.guard ~sink ~stage:"desugaring" ~loc:Loc.none
+              ~recover:(fun () -> [])
+              (fun () -> Desugar.top_decls ~sink env value_decls))
   in
   (env, groups, fixities)
 
@@ -257,9 +275,11 @@ let front ?sink ~include_prelude ~file src :
     with the remaining groups. *)
 let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
   Stats.reset ();
+  let metrics = opts.metrics in
+  Span.wrap metrics "compile" @@ fun () ->
   let iopts = infer_options opts in
   let env, groups, fixities =
-    front ?sink ~include_prelude:opts.include_prelude ~file src
+    front ?sink ~metrics ~include_prelude:opts.include_prelude ~file src
   in
   env.Class_env.trace <- opts.trace;
   let st = Infer.create_state ~opts:iopts env in
@@ -308,6 +328,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
     (venv', cg :: gs, ss')
   in
   let venv, user_groups_rev, schemes_rev =
+    Span.wrap metrics "infer" @@ fun () ->
     List.fold_left
       (fun ((venv, gs, ss) as acc) g ->
         let binds = Kernel.binds_of_group g in
@@ -335,6 +356,8 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
           (fun () -> check_group acc g))
       (venv0, [], []) groups
   in
+  let default_binds, missing_default_binds, impl_binds =
+    Span.wrap metrics "methods" @@ fun () ->
   (* default methods *)
   let default_binds =
     List.concat_map
@@ -417,16 +440,20 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
           inst.in_impls)
       (Class_env.all_instances env)
   in
+  (default_binds, missing_default_binds, impl_binds)
+  in
   (* dictionary bindings (mechanical, §4) *)
   Inject.hit Inject.Translate;
   let dict_binds =
-    guarded ~stage:"dictionary construction" ~loc:Loc.none
-      ~recover:(fun () -> [])
-      (fun () -> Construct.all_dict_bindings env iopts.strategy)
+    Span.wrap metrics "dicts" (fun () ->
+        guarded ~stage:"dictionary construction" ~loc:Loc.none
+          ~recover:(fun () -> [])
+          (fun () -> Construct.all_dict_bindings env iopts.strategy))
   in
-  (match sink with
-   | None -> Infer.final_resolve st
-   | Some _ -> Infer.final_resolve ~isolate:true st);
+  Span.wrap metrics "resolve" (fun () ->
+      match sink with
+      | None -> Infer.final_resolve st
+      | Some _ -> Infer.final_resolve ~isolate:true st);
   let failed =
     match sink with
     | Some sink -> Diagnostic.Sink.has_errors sink
@@ -438,6 +465,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
          skip the mechanical back half rather than run it over stubs *)
       { p_binds = []; p_main = None }
     else
+      Span.wrap metrics "normalize" @@ fun () ->
       guarded ~stage:"core normalization" ~loc:Loc.none
         ~recover:(fun () -> { Core.p_binds = []; p_main = None })
         (fun () ->
@@ -495,8 +523,10 @@ let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
          part of the point of §3.) *)
       let checked = compile_dicts ~opts ~file src in
       (* 2. independent tag-dispatch translation of the same source *)
+      Span.wrap opts.metrics "tags" @@ fun () ->
       let env, groups, _ =
-        front ~include_prelude:opts.include_prelude ~file src
+        front ~metrics:opts.metrics ~include_prelude:opts.include_prelude
+          ~file src
       in
       let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
       if opts.lint then Lint.check_program ~primitives:Prims.names core;
@@ -537,7 +567,8 @@ let compile_collect ?(opts = default_options) ?(file = "<input>")
               ~recover:(fun () -> checked)
               (fun () ->
                 let env, groups, _ =
-                  front ~include_prelude:opts.include_prelude ~file src
+                  front ~metrics:opts.metrics
+                    ~include_prelude:opts.include_prelude ~file src
                 in
                 let core =
                   Tc_tagdispatch.Tagdispatch.translate_program env groups
@@ -599,6 +630,8 @@ let bytecode ?(mode = `Lazy) (c : compiled) : Tc_vm.Bytecode.program =
     result carries the ranked report. *)
 let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
     ?entry ?(profile = false) (c : compiled) : result =
+  let metrics = c.options.metrics in
+  Span.wrap metrics "exec" @@ fun () ->
   let cons = Eval.con_table_of_env c.env in
   let rt = if profile then Some (Profile.create_rt ()) else None in
   let finish ~meter ~rendered ~counters ~value =
@@ -614,20 +647,25 @@ let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
   | `Tree -> (
       let st = Eval.create_state ~mode ~budget ?profile:rt cons in
       try
-        let v = Eval.run ?entry st c.core in
+        let v = Span.wrap metrics "eval" (fun () -> Eval.run ?entry st c.core) in
         Inject.hit Inject.Render;
-        finish ~meter:st.Eval.budget ~rendered:(Eval.render st v)
-          ~counters:st.Eval.counters ~value:(Some v)
+        let rendered = Span.wrap metrics "render" (fun () -> Eval.render st v) in
+        finish ~meter:st.Eval.budget ~rendered ~counters:st.Eval.counters
+          ~value:(Some v)
       with Stack_overflow ->
         (* the native stack is the tree backend's frame resource; report
            its exhaustion like any configured frame bound *)
         Budget.exhausted Budget.Frames ~spent:0 ~limit:0)
   | `Vm ->
-      let prog = Tc_vm.Compile.program ~mode ~cons c.core in
+      let prog =
+        Span.wrap metrics "lower" (fun () ->
+            Tc_vm.Compile.program ~mode ~cons c.core)
+      in
       let st = Tc_vm.Vm.create_state ~budget ?profile:rt cons in
-      let v = Tc_vm.Vm.run ?entry st prog in
+      let v = Span.wrap metrics "eval" (fun () -> Tc_vm.Vm.run ?entry st prog) in
       Inject.hit Inject.Render;
-      finish ~meter:(Tc_vm.Vm.meter st) ~rendered:(Tc_vm.Vm.render st v)
+      let rendered = Span.wrap metrics "render" (fun () -> Tc_vm.Vm.render st v) in
+      finish ~meter:(Tc_vm.Vm.meter st) ~rendered
         ~counters:(Tc_vm.Vm.counters st) ~value:None
 
 let run ?mode ?budget ?entry (c : compiled) : result =
@@ -664,6 +702,12 @@ let expression_type (c : compiled) (src : string) : string =
     deltas) to the compile's trace sink. *)
 let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
   let tr = c.options.trace in
+  let metrics = c.options.metrics in
+  Span.wrap metrics "optimize" @@ fun () ->
+  let run_pass pass core =
+    Span.wrap metrics (Tc_opt.Opt.pass_name pass) (fun () ->
+        Tc_opt.Opt.run_pass pass core)
+  in
   let core =
     List.fold_left
       (fun core pass ->
@@ -671,7 +715,7 @@ let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
         if Trace.is_on tr then begin
           let size_before = Profile.program_size core in
           let sels_before, dicts_before = Profile.static_dict_ops core in
-          let core' = Tc_opt.Opt.run_pass pass core in
+          let core' = run_pass pass core in
           Trace.emit tr (fun () ->
               let size_after = Profile.program_size core' in
               let sels_after, dicts_after = Profile.static_dict_ops core' in
@@ -680,7 +724,7 @@ let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
                   sels_before; sels_after; dicts_before; dicts_after });
           core'
         end
-        else Tc_opt.Opt.run_pass pass core)
+        else run_pass pass core)
       c.core passes
   in
   if c.options.lint then Lint.check_program ~primitives:Prims.names core;

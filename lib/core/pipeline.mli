@@ -45,6 +45,14 @@ type options = {
           on the file; [<= 0] means unlimited (default 100) *)
   trace : Tc_obs.Trace.t;
       (** compile-time event sink; {!Tc_obs.Trace.none} (off) by default *)
+  metrics : Tc_obs.Metrics.t;
+      (** metrics registry every stage reports phase spans into — lex,
+          layout, parse, fixity, static analysis, desugaring, inference,
+          dictionary construction, final resolution, normalization, each
+          optimizer pass, VM lowering, evaluation and rendering — as
+          wall-clock nanoseconds and allocated words under nested paths
+          like ["compile/infer"]; {!Tc_obs.Metrics.disabled} (off, and
+          allocation-free) by default *)
 }
 
 val default_options : options

@@ -2,6 +2,7 @@ module Budget = Tc_resilience.Budget
 module Inject = Tc_resilience.Inject
 module Json = Tc_obs.Json
 module Diag = Tc_obs.Diag
+module Metrics = Tc_obs.Metrics
 module Diagnostic = Tc_support.Diagnostic
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
@@ -11,6 +12,8 @@ type config = {
   retries : int;
   backoff_ms : float;
   sleep : float -> unit;
+  clock : unit -> float;
+  snapshot_every : int;
   base_opts : Pipeline.options;
 }
 
@@ -20,6 +23,8 @@ let default_config =
     retries = 3;
     backoff_ms = 10.;
     sleep = Unix.sleepf;
+    clock = Unix.gettimeofday;
+    snapshot_every = 0;
     base_opts = Pipeline.default_options;
   }
 
@@ -33,7 +38,13 @@ type stats = {
   mutable by_class : (string * int) list;
 }
 
-type t = { config : config; stats : stats; totals : Counters.t }
+type t = {
+  config : config;
+  stats : stats;
+  totals : Counters.t;
+  metrics : Metrics.t;  (* always live: latency histograms + pipeline spans *)
+  started : float;      (* config.clock at creation, for uptime *)
+}
 
 let create ?(config = default_config) () =
   {
@@ -49,9 +60,12 @@ let create ?(config = default_config) () =
         by_class = [];
       };
     totals = Counters.create ();
+    metrics = Metrics.create ();
+    started = config.clock ();
   }
 
 let stats t = t.stats
+let metrics t = t.metrics
 
 let bump assoc key =
   let n = match List.assoc_opt key assoc with Some n -> n | None -> 0 in
@@ -171,9 +185,11 @@ let classify = function
 
 (* ---- operations ---- *)
 
+(* Requests compile with the server's registry, so pipeline phase spans
+   accumulate across requests and show up in the [metrics] op. *)
 let opts_for t req =
   let base = t.config.base_opts in
-  { base with Pipeline.strategy = strategy_of req base }
+  { base with Pipeline.strategy = strategy_of req base; metrics = t.metrics }
 
 let diagnostics_fields (ds : Diagnostic.t list) =
   let count sev =
@@ -232,6 +248,29 @@ let do_run t ~id req =
       ("counters", counters_json r.Pipeline.counters);
     ]
 
+let latency_prefix = "serve/latency/"
+
+(* All per-op latency histograms merged into one: total request count with
+   overall p50/p99 microsecond latency. Merging is exact (elementwise), so
+   the summary equals observing every request into a single histogram. *)
+let latency_summary t : Json.t =
+  let scratch = Metrics.create () in
+  let acc = Metrics.histogram scratch "acc" in
+  List.iter
+    (fun (name, h) ->
+      if String.starts_with ~prefix:latency_prefix name then
+        Metrics.merge_hist ~into:acc h)
+    (Metrics.histograms t.metrics);
+  Json.Obj
+    [
+      ("count", Json.Int (Metrics.hist_count acc));
+      ("p50_us", Json.Int (Metrics.quantile acc 0.5));
+      ("p99_us", Json.Int (Metrics.quantile acc 0.99));
+    ]
+
+let uptime_ms t =
+  int_of_float ((t.config.clock () -. t.started) *. 1000.)
+
 let stats_json t =
   let s = t.stats in
   let tally assoc =
@@ -245,12 +284,25 @@ let stats_json t =
       ("ok", Json.Int s.ok);
       ("failed", Json.Int s.failed);
       ("retried", Json.Int s.retried);
+      ("uptime_ms", Json.Int (uptime_ms t));
+      ("latency", latency_summary t);
       ("by_op", tally s.by_op);
       ("by_class", tally s.by_class);
       ("counters", counters_json t.totals);
     ]
 
 let do_stats t ~id = ok_response t ~id ~op:"stats" [ ("stats", stats_json t) ]
+
+(* metrics: the whole registry as one deterministic snapshot; [stable]
+   redacts machine-dependent quantities for golden comparison. The
+   snapshot is taken before this request's own bookkeeping runs, so
+   within it the per-op latency counts sum exactly to [serve/requests]. *)
+let do_metrics t ~id req =
+  let stable =
+    match Json.member "stable" req with Some (Json.Bool b) -> b | _ -> false
+  in
+  ok_response t ~id ~op:"metrics"
+    [ ("metrics", Metrics.snapshot ~stable t.metrics) ]
 
 (* ---- the request boundary ---- *)
 
@@ -270,12 +322,32 @@ let with_retries t f =
   go 0 t.config.backoff_ms
 
 let handle_line t line =
+  let t0 = t.config.clock () in
+  (* One bookkeeping point per request, after the response is built: the
+     [serve/requests] counter and the op latency histogram are bumped
+     together, so in any registry snapshot — including one taken by a
+     [metrics] request mid-stream — the per-op latency counts sum exactly
+     to the request counter. Failures additionally observe their latency
+     under the failure class. *)
+  let finish ~op ~cls resp =
+    let us = int_of_float ((t.config.clock () -. t0) *. 1e6) in
+    Metrics.incr (Metrics.counter t.metrics "serve/requests");
+    Metrics.observe (Metrics.histogram t.metrics (latency_prefix ^ op)) us;
+    (match cls with
+     | None -> ()
+     | Some cls ->
+         Metrics.observe
+           (Metrics.histogram t.metrics ("serve/failures/" ^ cls))
+           us);
+    resp
+  in
   t.stats.requests <- t.stats.requests + 1;
   match Json.parse line with
   | Error m ->
       t.stats.by_op <- bump t.stats.by_op "invalid";
-      fail_response t ~id:None ~op:"invalid" ~cls:"bad-request"
-        ("invalid JSON: " ^ m)
+      finish ~op:"invalid" ~cls:(Some "bad-request")
+        (fail_response t ~id:None ~op:"invalid" ~cls:"bad-request"
+           ("invalid JSON: " ^ m))
   | Ok req -> (
       let id = Json.member "id" req in
       let op =
@@ -283,27 +355,44 @@ let handle_line t line =
       in
       t.stats.by_op <- bump t.stats.by_op op;
       try
-        with_retries t @@ fun () ->
-        if !Inject.live then Inject.hit Inject.Serve_transient;
-        match op with
-        | "ping" -> ok_response t ~id ~op:"ping" []
-        | "stats" -> do_stats t ~id
-        | "check" | "compile" -> do_check t ~id ~op req
-        | "run" -> do_run t ~id req
-        | "missing" -> bad "missing string field \"op\""
-        | other -> bad "unknown op %S" other
+        finish ~op ~cls:None
+          (with_retries t @@ fun () ->
+           if !Inject.live then Inject.hit Inject.Serve_transient;
+           match op with
+           | "ping" -> ok_response t ~id ~op:"ping" []
+           | "stats" -> do_stats t ~id
+           | "metrics" -> do_metrics t ~id req
+           | "check" | "compile" -> do_check t ~id ~op req
+           | "run" -> do_run t ~id req
+           | "missing" -> bad "missing string field \"op\""
+           | other -> bad "unknown op %S" other)
       with exn ->
         let cls, message = classify exn in
-        fail_response t ~id ~op ~cls message)
+        finish ~op ~cls:(Some cls) (fail_response t ~id ~op ~cls message))
 
-let run ?(config = default_config) ?(stop = fun () -> false) ~next ~emit () =
-  let t = create ~config () in
+(* A spontaneous (not request/response) snapshot line, emitted every
+   [snapshot_every] requests; distinguished by its ["event"] field. *)
+let snapshot_line t =
+  Json.to_line
+    (Json.Obj
+       [
+         ("event", Json.Str "metrics-snapshot");
+         ("after_requests", Json.Int t.stats.requests);
+         ("metrics", Metrics.snapshot t.metrics);
+       ])
+
+let run ?(config = default_config) ?server ?(stop = fun () -> false) ~next
+    ~emit () =
+  let t = match server with Some t -> t | None -> create ~config () in
+  let every = t.config.snapshot_every in
   let rec loop () =
     if not (stop ()) then
       match next () with
       | None -> ()
       | Some line ->
           emit (handle_line t line);
+          if every > 0 && t.stats.requests mod every = 0 then
+            emit (snapshot_line t);
           loop ()
   in
   loop ();

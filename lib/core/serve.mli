@@ -14,15 +14,27 @@
     Transient faults (the {!Tc_resilience.Inject.Serve_transient} class)
     are retried with exponential backoff before being reported.
 
+    Telemetry: every request's latency is observed into a
+    {!Tc_obs.Metrics} registry — a histogram per op
+    ([serve/latency/<op>]), a histogram per failure class
+    ([serve/failures/<class>]) and the [serve/requests] counter, all
+    bumped together after the response is built, so in any snapshot the
+    per-op latency counts sum exactly to the request counter. Requests
+    compile with the same registry, so pipeline phase spans accumulate
+    across requests. The [metrics] op returns the snapshot; with
+    [snapshot_every] > 0 the loop also emits a spontaneous
+    [{"event": "metrics-snapshot", ...}] line every N requests.
+
     Request schema (one JSON object per line):
     {v
-      {"op": "ping" | "check" | "compile" | "run" | "stats",
+      {"op": "ping" | "check" | "compile" | "run" | "stats" | "metrics",
        "id": <any>,            -- echoed back verbatim (optional)
        "src": "...",           -- program text (check/compile/run)
        "strategy": "dict" | "dict-flat" | "tags",
        "backend": "tree" | "vm",          -- run only
        "mode": "lazy" | "strict",         -- run only
        "opt": "none" | "simplify" | ... | "all",  -- run only
+       "stable": true,                    -- metrics only: redact detail
        "fuel": N, "frames": N, "timeout_ms": N,
        "allocations": N, "output_bytes": N}  -- budget overrides
     v}
@@ -44,12 +56,19 @@ type config = {
   backoff_ms : float;  (** initial retry backoff; doubles per retry *)
   sleep : float -> unit;
       (** backoff implementation, in seconds (injectable for tests) *)
+  clock : unit -> float;
+      (** time source, in seconds (injectable for deterministic latency
+          and uptime in tests); [Unix.gettimeofday] by default *)
+  snapshot_every : int;
+      (** emit a spontaneous metrics-snapshot line every N requests;
+          [0] (default) disables *)
   base_opts : Pipeline.options;
       (** compile options; the request's [strategy] field overrides the
-          strategy *)
+          strategy, and the server's metrics registry overrides [metrics] *)
 }
 
-(** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf]. *)
+(** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf],
+    [Unix.gettimeofday], no periodic snapshots. *)
 val default_config : config
 
 (** Cumulative server statistics, also exposed as the [stats] op. *)
@@ -67,6 +86,14 @@ type t
 
 val create : ?config:config -> unit -> t
 val stats : t -> stats
+
+val metrics : t -> Tc_obs.Metrics.t
+(** The server's (always live) registry: request latency histograms,
+    the [serve/requests] counter, and pipeline phase spans. *)
+
+val uptime_ms : t -> int
+(** Milliseconds since [create], by the config clock. *)
+
 val stats_json : t -> Json.t
 
 (** Handle one request line, returning the response line (no trailing
@@ -76,9 +103,13 @@ val handle_line : t -> string -> string
 (** Drive the loop: read lines from [next] until it returns [None] (or
     [stop] returns [true] — checked between requests, for signal-driven
     drain), passing each response line to [emit]. Returns the final
-    statistics. Never raises. *)
+    statistics. Never raises. [server] reuses a caller-created server
+    (whose config then governs the loop) so the caller can read its
+    {!metrics} after the loop drains; by default a fresh one is created
+    from [config]. *)
 val run :
   ?config:config ->
+  ?server:t ->
   ?stop:(unit -> bool) ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->

@@ -1,0 +1,8 @@
+(** Phase spans: time a pipeline stage and charge wall-clock nanoseconds
+    plus allocated words ([Gc.minor_words]) to a {!Metrics} registry,
+    under the span's full nesting path (e.g. ["compile/infer"]). A
+    disabled registry makes {!wrap} a single [match] and a tail call. *)
+
+val wrap : Metrics.t -> string -> (unit -> 'a) -> 'a
+(** [wrap m name f] runs [f] under a span named [name]; the observation
+    is recorded even when [f] raises (the exception is re-raised). *)

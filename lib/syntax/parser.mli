@@ -12,5 +12,16 @@
 val parse_program :
   ?sink:Tc_support.Diagnostic.Sink.sink -> file:string -> string -> Ast.program
 
+(** Parse an already-lexed, layout-processed token stream. Callers that
+    need to time lexing, layout and parsing separately run
+    {!Lexer.tokenize} and {!Layout.layout} themselves and hand the result
+    here; [parse_program ~file src] is equivalent to composing the three.
+    With [recover], parse errors are reported through the callback and
+    parsing resynchronizes at the next top-level declaration. *)
+val parse_program_tokens :
+  ?recover:(Tc_support.Diagnostic.t -> unit) ->
+  Token.spanned list ->
+  Ast.program
+
 (** Parse a single expression (tests, REPL). *)
 val parse_expression : file:string -> string -> Ast.expr

@@ -38,6 +38,18 @@ let reset () =
 
 let snapshot () = { current with unifications = current.unifications }
 
+(** Name/value pairs in display order (for JSON and tabular output). *)
+let pairs t =
+  [
+    ("unifications", t.unifications);
+    ("var_instantiations", t.var_instantiations);
+    ("context_propagations", t.context_propagations);
+    ("context_reductions", t.context_reductions);
+    ("placeholders_created", t.holes_created);
+    ("placeholders_resolved", t.holes_resolved);
+    ("schemes_instantiated", t.schemes_instantiated);
+  ]
+
 let pp ppf t =
   Fmt.pf ppf
     "unifications=%d var-instantiations=%d context-propagations=%d \

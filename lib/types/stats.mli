@@ -17,4 +17,8 @@ val current : t
 
 val reset : unit -> unit
 val snapshot : unit -> t
+
+(** Name/value pairs in display order (for JSON and tabular output). *)
+val pairs : t -> (string * int) list
+
 val pp : Format.formatter -> t -> unit

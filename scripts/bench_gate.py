@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh benchmark run against the
+committed trajectory (BENCH_E<k>.json files at the repo root).
+
+Wall-clock numbers are machine-dependent, so raw new/old ratios are
+useless across CI runners. Instead the gate normalizes by the median
+ratio across every compared *_ms metric: a uniformly slower machine
+shifts all ratios equally and the median divides that shift out, while a
+genuine regression in one experiment sticks out above the rest. A metric
+fails when its normalized ratio exceeds the threshold (default 1.25,
+i.e. >25% slower than the run's overall speed shift).
+
+Only the experiments named with --gate (default e2 and e11) can fail the
+gate; every other shared experiment still contributes to the median.
+Missing baselines are a clean skip (exit 0 with a message), so the gate
+never blocks a fresh repo or a new experiment.
+
+Usage:
+  python3 scripts/bench_gate.py [--baseline-dir .] [--new-dir bench-new]
+                                [--gate e2 --gate e11] [--threshold 1.25]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load(path):
+    """BENCH_<EXP>.json -> {(experiment, backend, metric): value}."""
+    with open(path) as f:
+        rows = json.load(f)
+    return {
+        (r["experiment"], r["backend"], r["metric"]): float(r["value"])
+        for r in rows
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", default=".")
+    ap.add_argument("--new-dir", default="bench-new")
+    ap.add_argument("--gate", action="append", default=[],
+                    help="experiment that can fail the gate (repeatable; "
+                         "default: e2 e11)")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="max allowed normalized new/old ratio (default 1.25)")
+    args = ap.parse_args()
+    gated = [g.lower() for g in (args.gate or ["e2", "e11"])]
+
+    # pair up BENCH_<EXP>.json files present on both sides
+    pairs = []
+    for name in sorted(os.listdir(args.new_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        base = os.path.join(args.baseline_dir, name)
+        new = os.path.join(args.new_dir, name)
+        if os.path.exists(base):
+            pairs.append((name, base, new))
+        else:
+            print(f"bench-gate: no committed baseline {name}; skipping it")
+
+    if not pairs:
+        print("bench-gate: no baselines to compare against — skipping "
+              "(commit BENCH_E*.json files to enable the gate)")
+        return 0
+
+    # ratios over every shared wall-clock metric, for the machine-speed
+    # median; tiny baselines are noise, not signal
+    ratios = {}
+    for name, base, new in pairs:
+        b, n = load(base), load(new)
+        for key in sorted(set(b) & set(n)):
+            # wall-clock metrics are "<name>_ms" or "<name>_ms/<label>"
+            if not key[2].split("/")[0].endswith("_ms"):
+                continue
+            if b[key] < 0.01 or n[key] <= 0.0:
+                continue
+            ratios[key] = n[key] / b[key]
+
+    if not ratios:
+        print("bench-gate: no comparable *_ms metrics — skipping")
+        return 0
+
+    median = statistics.median(ratios.values())
+    print(f"bench-gate: {len(ratios)} wall-clock metrics, "
+          f"median new/old ratio {median:.3f} (machine-speed shift)")
+
+    failures = []
+    for (exp, backend, metric), ratio in sorted(ratios.items()):
+        norm = ratio / median
+        flag = ""
+        if exp in gated and norm > args.threshold:
+            failures.append((exp, backend, metric, norm))
+            flag = "  << REGRESSION"
+        gate = "gate" if exp in gated else "info"
+        print(f"  [{gate}] {exp}/{backend}/{metric}: ratio {ratio:.3f} "
+              f"normalized {norm:.3f}{flag}")
+
+    if failures:
+        print(f"bench-gate: FAIL — {len(failures)} metric(s) more than "
+              f"{(args.threshold - 1) * 100:.0f}% slower than the "
+              f"trajectory after normalization:")
+        for exp, backend, metric, norm in failures:
+            print(f"  {exp}/{backend}/{metric}: {norm:.2f}x")
+        return 1
+
+    print("bench-gate: OK — no gated metric regressed beyond "
+          f"{(args.threshold - 1) * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,59 @@ let tests =
                 Alcotest.(check int) "exit" 0 code;
                 Alcotest.(check bool) "has placeholders" true
                   (Helpers.contains ~needle:"placeholders-created=" out)));
+        case "stats --json emits checker counters and phase spans" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "stats"; "--json"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                match Tc_obs.Json.parse out with
+                | Error e -> Alcotest.failf "not JSON (%s): %s" e out
+                | Ok j ->
+                    let member k v =
+                      match Tc_obs.Json.member k v with
+                      | Some x -> x
+                      | None -> Alcotest.failf "stats lacks %S" k
+                    in
+                    ignore (member "placeholders_created" (member "checker" j));
+                    (match member "spans" (member "metrics" j) with
+                    | Tc_obs.Json.List (_ :: _) -> ()
+                    | _ -> Alcotest.fail "expected compile spans")));
+        case "stats --json --stable is identical across runs" (fun () ->
+            with_program demo (fun path ->
+                let args = [ "stats"; "--json"; "--stable"; path ] in
+                let code1, out1 = run_mhc args in
+                let code2, out2 = run_mhc args in
+                Alcotest.(check int) "exit" 0 code1;
+                Alcotest.(check int) "exit" 0 code2;
+                Alcotest.(check string) "deterministic" out1 out2));
+        case "run --metrics FILE writes a parseable snapshot" (fun () ->
+            with_program demo (fun path ->
+                let mfile = Filename.temp_file "metrics" ".json" in
+                Fun.protect
+                  ~finally:(fun () -> Sys.remove mfile)
+                  (fun () ->
+                    let code, out =
+                      run_mhc [ "run"; "--metrics"; mfile; path ]
+                    in
+                    Alcotest.(check int) "exit" 0 code;
+                    Alcotest.(check string) "result still printed" "42\n" out;
+                    let ic = open_in_bin mfile in
+                    let text =
+                      Fun.protect
+                        ~finally:(fun () -> close_in_noerr ic)
+                        (fun () ->
+                          really_input_string ic (in_channel_length ic))
+                    in
+                    match Tc_obs.Json.parse text with
+                    | Error e -> Alcotest.failf "metrics file not JSON: %s" e
+                    | Ok j ->
+                        Alcotest.(check bool) "has spans" true
+                          (Tc_obs.Json.member "spans" j <> None))));
+        case "check --metrics - prints the snapshot to stdout" (fun () ->
+            with_program demo (fun path ->
+                let code, out = run_mhc [ "check"; "--metrics"; "-"; path ] in
+                Alcotest.(check int) "exit" 0 code;
+                Alcotest.(check bool) "snapshot inline" true
+                  (Helpers.contains ~needle:{|"spans"|} out)));
         case "repl evaluates piped input" (fun () ->
             let out_file = Filename.temp_file "repl" ".out" in
             let cmd =

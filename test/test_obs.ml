@@ -57,6 +57,21 @@ let count_kind name evs =
 
 let trace_tests =
   [
+    case "trace sink and metrics registry coexist on one compile" (fun () ->
+        let m = Tc_obs.Metrics.create () in
+        let _, events =
+          compile_traced
+            ~opts:{ Pipeline.default_options with Pipeline.metrics = m }
+            demo
+        in
+        Alcotest.(check bool) "trace events recorded" true (events () <> []);
+        let spans =
+          List.map
+            (fun s -> s.Tc_obs.Metrics.sp_name)
+            (Tc_obs.Metrics.spans m)
+        in
+        Alcotest.(check bool) "phase spans recorded" true
+          (List.mem "compile/infer" spans));
     case "tracing is off by default" (fun () ->
         Alcotest.(check bool) "no sink" false
           (Trace.is_on Pipeline.default_options.trace));
