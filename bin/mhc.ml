@@ -682,6 +682,39 @@ let repl_cmd =
 
 (* ---- serve ---- *)
 
+(* Scaling flags shared by [serve] and [bench serve]. *)
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Handle requests on $(docv) parallel worker domains (responses \
+           stay in request order); $(b,1) keeps the sequential loop.")
+
+let cache_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Byte budget of the content-addressed compile cache (repeated \
+           sources skip the front end); $(b,0) disables caching.")
+
+let cache_verify_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-verify" ] ~docv:"N"
+        ~doc:
+          "Recompile every $(docv)-th cache hit per entry and verify the \
+           cached artifact against it ($(b,0) disables).")
+
+let max_line_arg =
+  Arg.(
+    value & opt int (1 lsl 20)
+    & info [ "max-line" ] ~docv:"BYTES"
+        ~doc:
+          "Answer $(b,bad-request) for request lines longer than $(docv) \
+           bytes, buffering at most that much ($(b,0) removes the cap).")
+
 let serve_cmd =
   let doc =
     "Serve newline-delimited JSON requests ($(b,check), $(b,compile), \
@@ -711,10 +744,10 @@ let serve_cmd =
       & info [ "metrics-every" ] ~docv:"N"
           ~doc:
             "Emit a spontaneous $(b,metrics-snapshot) line every $(docv) \
-             requests ($(b,0) disables).")
+             requests ($(b,0) disables; ignored with $(b,--workers) > 1).")
   in
   let run strategy no_prelude mono timeout retries backoff_ms inject mfile
-      every =
+      every workers cache_mb cache_verify max_line =
     handle_errors @@ fun () ->
     arm_inject inject;
     let stopped = ref false in
@@ -722,6 +755,14 @@ let serve_cmd =
        Sys.set_signal Sys.sigint
          (Sys.Signal_handle (fun _ -> stopped := true))
      with Invalid_argument _ | Sys_error _ -> ());
+    let cache =
+      if cache_mb <= 0 then None
+      else
+        Some
+          (Tc_scale.Cache.create
+             ~max_bytes:(cache_mb * 1024 * 1024)
+             ~verify_every:cache_verify ())
+    in
     let config =
       {
         Serve.default_config with
@@ -730,35 +771,120 @@ let serve_cmd =
         retries;
         backoff_ms;
         snapshot_every = every;
+        max_line_bytes = max_line;
+        compile_hook =
+          Option.map
+            (fun c ~opts ~passes ~src ->
+              Tc_scale.Cache.compile_run c ~opts ~passes ~src)
+            cache;
+        check_hook =
+          Option.map
+            (fun c ~opts ~src -> Tc_scale.Cache.check c ~opts ~src)
+            cache;
       }
     in
-    let server = Serve.create ~config () in
+    let next = Serve.bounded_next ~max_bytes:max_line stdin in
     let next () =
       (* a signal can interrupt the blocking read; treat it as EOF and
          let the drain path run *)
-      try In_channel.input_line stdin with Sys_error _ -> None
+      try next () with Sys_error _ -> None
     in
     let emit line =
       print_string line;
       print_newline ();
       flush stdout
     in
-    let s = Serve.run ~server ~stop:(fun () -> !stopped) ~next ~emit () in
-    write_metrics mfile (Serve.metrics server);
-    Fmt.epr "serve: %d requests, %d ok, %d failed, %d retried@."
+    let summary =
+      Tc_scale.Pool.run ~workers ~config ~stop:(fun () -> !stopped) ~next
+        ~emit ()
+    in
+    let merged = summary.Tc_scale.Pool.metrics in
+    Option.iter
+      (fun c -> Metrics.merge ~into:merged (Tc_scale.Cache.metrics c))
+      cache;
+    write_metrics mfile merged;
+    let s = summary.Tc_scale.Pool.stats in
+    Fmt.epr "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s)@."
       s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
+      summary.Tc_scale.Pool.workers
+      (if summary.Tc_scale.Pool.workers = 1 then "" else "s")
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
       $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
-      $ metrics_every_arg)
+      $ metrics_every_arg $ workers_arg $ cache_mb_arg $ cache_verify_arg
+      $ max_line_arg)
+
+(* ---- bench ---- *)
+
+let bench_serve_cmd =
+  let doc =
+    "Load-test the serve loop in-process: a cold phase (every request a \
+     distinct program — all compile-cache misses) then a hot phase \
+     (requests cycling over $(b,--clients) programs — cache hits after one \
+     warm-up miss each), through the same worker pool and compile cache \
+     $(b,mhc serve) uses. Prints a JSON report with throughput, p50/p99 \
+     latency, the hot/cold speedup, cache hit/miss totals, and whether \
+     the telemetry invariant held in the merged multi-worker registry; \
+     $(b,--out) also writes the BENCH_SERVE.json trajectory rows."
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Distinct programs the hot phase cycles over.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "requests" ] ~docv:"M" ~doc:"Requests per phase.")
+  in
+  let op_arg =
+    Arg.(
+      value & opt (enum [ ("run", `Run); ("check", `Check) ]) `Run
+      & info [ "op" ] ~docv:"OP" ~doc:"Request op: $(b,run) or $(b,check).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory to write BENCH_SERVE.json trajectory rows into.")
+  in
+  let run clients requests workers cache_mb cache_verify op out =
+    handle_errors @@ fun () ->
+    let report =
+      Tc_scale.Loadgen.run ~clients ~requests ~workers ~op ~cache_mb
+        ~verify_every:cache_verify ()
+    in
+    print_string (Json.to_line (Tc_scale.Loadgen.report_json report));
+    print_newline ();
+    Option.iter
+      (fun dir ->
+        let path = Tc_scale.Loadgen.write_bench_rows ~dir report in
+        Fmt.epr "wrote %s@." path)
+      out;
+    if not report.Tc_scale.Loadgen.invariant_ok then begin
+      Fmt.epr
+        "bench serve: telemetry invariant violated (latency counts do not \
+         sum to serve/requests)@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ clients_arg $ requests_arg $ workers_arg $ cache_mb_arg
+      $ cache_verify_arg $ op_arg $ out_arg)
+
+let bench_cmd =
+  let doc = "Scaling benchmarks (load generation against the serve loop)." in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_serve_cmd ]
 
 let main_cmd =
   let doc = "A MiniHaskell compiler implementing type classes by dictionary \
              conversion (Peterson & Jones, PLDI 1993)" in
   Cmd.group (Cmd.info "mhc" ~doc ~version:"1.0.0")
     [ check_cmd; core_cmd; run_cmd; counters_cmd; trace_cmd; profile_cmd;
-      disasm_cmd; stats_cmd; repl_cmd; serve_cmd ]
+      disasm_cmd; stats_cmd; repl_cmd; serve_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -15,6 +15,15 @@ type config = {
   clock : unit -> float;
   snapshot_every : int;
   base_opts : Pipeline.options;
+  max_line_bytes : int;
+  compile_hook :
+    (opts:Pipeline.options ->
+     passes:Tc_opt.Opt.pass list ->
+     src:string ->
+     Pipeline.compiled)
+    option;
+  check_hook :
+    (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
 }
 
 let default_config =
@@ -26,6 +35,9 @@ let default_config =
     clock = Unix.gettimeofday;
     snapshot_every = 0;
     base_opts = Pipeline.default_options;
+    max_line_bytes = 1 lsl 20;
+    compile_hook = None;
+    check_hook = None;
   }
 
 type stats = {
@@ -211,7 +223,9 @@ let do_check t ~id ~op req =
   let src = require_src req in
   let opts = opts_for t req in
   let { Pipeline.diagnostics; artifact } =
-    Pipeline.compile_collect ~opts ~file:"<serve>" src
+    match t.config.check_hook with
+    | Some hook -> hook ~opts ~src
+    | None -> Pipeline.compile_collect ~opts ~file:"<serve>" src
   in
   let extra =
     match (op, artifact) with
@@ -238,8 +252,13 @@ let do_run t ~id req =
   let backend = backend_of req in
   let mode = mode_of req in
   let budget = budget_of req t.config.default_budget in
-  let c = Pipeline.compile ~opts ~file:"<serve>" src in
-  let c = Pipeline.optimize (passes_of req) c in
+  let c =
+    match t.config.compile_hook with
+    | Some hook -> hook ~opts ~passes:(passes_of req) ~src
+    | None ->
+        let c = Pipeline.compile ~opts ~file:"<serve>" src in
+        Pipeline.optimize (passes_of req) c
+  in
   let r = Pipeline.exec ~backend ~mode ~budget c in
   Counters.merge t.totals r.Pipeline.counters;
   ok_response t ~id ~op:"run"
@@ -342,6 +361,18 @@ let handle_line t line =
     resp
   in
   t.stats.requests <- t.stats.requests + 1;
+  let cap = t.config.max_line_bytes in
+  if cap > 0 && String.length line > cap then begin
+    (* Degenerate input: don't even hand it to the JSON parser. The
+       [bounded_next] reader truncates such lines to [cap + 1] bytes, so
+       this test still fires after truncation without the server ever
+       buffering the full line. *)
+    t.stats.by_op <- bump t.stats.by_op "oversized";
+    finish ~op:"oversized" ~cls:(Some "bad-request")
+      (fail_response t ~id:None ~op:"oversized" ~cls:"bad-request"
+         (Printf.sprintf "request line exceeds %d bytes" cap))
+  end
+  else
   match Json.parse line with
   | Error m ->
       t.stats.by_op <- bump t.stats.by_op "invalid";
@@ -380,6 +411,24 @@ let snapshot_line t =
          ("after_requests", Json.Int t.stats.requests);
          ("metrics", Metrics.snapshot t.metrics);
        ])
+
+(* A line reader with bounded buffering: bytes past [max_bytes] are
+   discarded as they stream in, keeping exactly one extra byte so
+   [handle_line]'s length test still classifies the request as
+   oversized. A 100 GB line therefore costs 100 GB of reading but only
+   [max_bytes + 1] bytes of memory. *)
+let bounded_next ?(max_bytes = default_config.max_line_bytes) ic () =
+  let buf = Buffer.create 256 in
+  let rec go seen_any =
+    match In_channel.input_char ic with
+    | None -> if seen_any then Some (Buffer.contents buf) else None
+    | Some '\n' -> Some (Buffer.contents buf)
+    | Some c ->
+        if max_bytes = 0 || Buffer.length buf <= max_bytes then
+          Buffer.add_char buf c;
+        go true
+  in
+  go false
 
 let run ?(config = default_config) ?server ?(stop = fun () -> false) ~next
     ~emit () =

@@ -65,10 +65,28 @@ type config = {
   base_opts : Pipeline.options;
       (** compile options; the request's [strategy] field overrides the
           strategy, and the server's metrics registry overrides [metrics] *)
+  max_line_bytes : int;
+      (** request lines longer than this answer a [bad-request] (op
+          ["oversized"]) without being parsed; [0] disables the cap *)
+  compile_hook :
+    (opts:Pipeline.options ->
+     passes:Tc_opt.Opt.pass list ->
+     src:string ->
+     Pipeline.compiled)
+    option;
+      (** replaces [Pipeline.compile] + [Pipeline.optimize] for the [run]
+          op — the seam where {!Tc_scale}'s compile cache plugs in
+          without a dependency cycle. Must preserve per-request
+          semantics: raise what [compile] would raise. *)
+  check_hook :
+    (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
+      (** likewise replaces [Pipeline.compile_collect] for [check] and
+          [compile] ops *)
 }
 
 (** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf],
-    [Unix.gettimeofday], no periodic snapshots. *)
+    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap, no
+    compile hooks. *)
 val default_config : config
 
 (** Cumulative server statistics, also exposed as the [stats] op. *)
@@ -97,8 +115,17 @@ val uptime_ms : t -> int
 val stats_json : t -> Json.t
 
 (** Handle one request line, returning the response line (no trailing
-    newline). Never raises. *)
+    newline). Never raises. Lines longer than [config.max_line_bytes]
+    answer a [bad-request] under op ["oversized"] without touching the
+    JSON parser. *)
 val handle_line : t -> string -> string
+
+val bounded_next : ?max_bytes:int -> in_channel -> unit -> string option
+(** A [next] source reading newline-delimited lines from a channel with
+    bounded buffering: bytes past [max_bytes] (default
+    [default_config.max_line_bytes]; [0] = unlimited) are discarded as
+    they stream in, retaining one extra byte so {!handle_line} still
+    classifies the request as oversized. *)
 
 (** Drive the loop: read lines from [next] until it returns [None] (or
     [stop] returns [true] — checked between requests, for signal-driven

@@ -102,7 +102,7 @@ let pop_scope st : pending =
   | [] -> invalid_arg "Infer.pop_scope: no scope"
 
 let new_hole st kind ty loc : ph * Core.expr =
-  Stats.current.holes_created <- Stats.current.holes_created + 1;
+  (Stats.current ()).holes_created <- (Stats.current ()).holes_created + 1;
   let hole = Core.fresh_hole () in
   let ph = { ph_hole = hole; ph_kind = kind; ph_ty = ty; ph_loc = loc } in
   (match st.scopes with
@@ -435,7 +435,7 @@ and try_default st ~loc (v : Ty.tyvar) : bool =
 (** Resolve one placeholder (§6.3). *)
 and resolve_ph st (penv : param_env) (ph : ph) : unit =
   if ph.ph_hole.hole_fill = None then begin
-    Stats.current.holes_resolved <- Stats.current.holes_resolved + 1;
+    (Stats.current ()).holes_resolved <- (Stats.current ()).holes_resolved + 1;
     (* [why] is only forced when a trace sink is attached *)
     let fill ~why e =
       Trace.emit (trace st) (fun () ->
@@ -545,7 +545,7 @@ and resolve_ph st (penv : param_env) (ph : ph) : unit =
   end
 
 and resolve_ph_again st penv ph =
-  Stats.current.holes_resolved <- Stats.current.holes_resolved - 1;
+  (Stats.current ()).holes_resolved <- (Stats.current ()).holes_resolved - 1;
   resolve_ph st penv ph
 
 (* ------------------------------------------------------------------ *)
@@ -706,8 +706,8 @@ and infer_group st (venv : venv) (g : Kernel.group) : venv * Core.bind_group =
               match List.assoc_opt x group_schemes with
               | Some (xs : Scheme.t) ->
                   if ph.ph_hole.hole_fill = None then begin
-                    Stats.current.holes_resolved <-
-                      Stats.current.holes_resolved + 1;
+                    (Stats.current ()).holes_resolved <-
+                      (Stats.current ()).holes_resolved + 1;
                     let dicts =
                       List.concat_map
                         (fun (tv : Ty.tyvar) ->

@@ -188,6 +188,56 @@ let merge_hist ~(into : histogram) (src : histogram) : unit =
   if src.h_min < into.h_min then into.h_min <- src.h_min;
   if src.h_max > into.h_max then into.h_max <- src.h_max
 
+(** Fold every instrument of [src] into [into]: counters add, gauges
+    take the maximum (last-write-wins has no cross-registry order, and
+    the peak is the useful aggregate for e.g. cache occupancy),
+    histograms merge elementwise, and span stats are found-or-minted in
+    [into] (keeping [into]'s own registration order for names it already
+    has) with counts, nanoseconds and allocation totals added. Merging a
+    disabled registry, or into one, is a no-op. *)
+let merge ~(into : t) (src : t) : unit =
+  match (into, src) with
+  | None, _ | _, None -> ()
+  | Some dst, Some src ->
+      Hashtbl.iter
+        (fun name (c : counter) ->
+          let d =
+            find_or_add dst.r_counters name (fun () ->
+                { c_name = name; c_value = 0 })
+          in
+          d.c_value <- d.c_value + c.c_value)
+        src.r_counters;
+      Hashtbl.iter
+        (fun name (g : gauge) ->
+          let d =
+            find_or_add dst.r_gauges name (fun () ->
+                { g_name = name; g_value = g.g_value })
+          in
+          if g.g_value > d.g_value then d.g_value <- g.g_value)
+        src.r_gauges;
+      Hashtbl.iter
+        (fun name (h : histogram) ->
+          let d = find_or_add dst.r_hists name (fun () -> fresh_hist name) in
+          merge_hist ~into:d h)
+        src.r_hists;
+      (* Merge spans in the source's first-entered order so paths new to
+         [dst] keep their relative order (parents before children). *)
+      Hashtbl.fold (fun _ s acc -> s :: acc) src.r_spans []
+      |> List.sort (fun a b -> compare a.sp_seq b.sp_seq)
+      |> List.iter (fun (s : span_stat) ->
+             let d =
+               find_or_add dst.r_spans s.sp_name (fun () ->
+                   let d =
+                     { sp_name = s.sp_name; sp_seq = dst.r_seq; sp_count = 0;
+                       sp_ns = 0; sp_words = 0 }
+                   in
+                   dst.r_seq <- dst.r_seq + 1;
+                   d)
+             in
+             d.sp_count <- d.sp_count + s.sp_count;
+             d.sp_ns <- sat_add d.sp_ns s.sp_ns;
+             d.sp_words <- sat_add d.sp_words s.sp_words)
+
 (* ------------------------------------------------------------------ *)
 (* Spans (recording half; the timing half is {!Span}).                 *)
 (* ------------------------------------------------------------------ *)

@@ -62,6 +62,14 @@ val merge_hist : into:histogram -> histogram -> unit
 (** Elementwise addition; counts, sums and extrema combine so the merge
     equals observing both streams into one histogram. *)
 
+val merge : into:t -> t -> unit
+(** Fold every instrument of the source registry into [into]: counters
+    add, gauges take the maximum, histograms {!merge_hist}, and span
+    stats accumulate counts/durations/allocations (span paths new to
+    [into] keep their relative first-entered order). Used to combine
+    per-worker registries into one serve-wide view; no-op when either
+    side is {!disabled}. *)
+
 val bucket_of : int -> int
 (** The bucket index a value bins into (total over all of [int]). *)
 

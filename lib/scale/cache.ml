@@ -1,0 +1,296 @@
+(** Content-addressed compile cache (see the interface for semantics).
+
+    Layout: one mutex guards the entry table, the LRU clock and the
+    telemetry registry. Compiles always run {e outside} the lock — a
+    slow compile must not stall other workers' hits — so two workers
+    racing on the same missing key may both compile; the second insert
+    is dropped (first-writer-wins) and only one copy is retained. *)
+
+module Pipeline = Typeclasses.Pipeline
+module Metrics = Tc_obs.Metrics
+module Ident = Tc_support.Ident
+module Diagnostic = Tc_support.Diagnostic
+module Core = Tc_core_ir.Core
+
+type value =
+  | Artifact of Pipeline.compiled   (* run path: post-optimization *)
+  | Checked of Pipeline.checked     (* check path: diagnostics + artifact *)
+
+type entry = {
+  e_value : value;
+  e_bytes : int;          (* estimated reachable size, at insert *)
+  mutable e_tick : int;   (* LRU clock value of the last touch *)
+  mutable e_hits : int;   (* per-entry, drives sampled verification *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  max_bytes : int;
+  verify_every : int;
+  reg : Metrics.t;
+  mutable tick : int;
+  mutable total_bytes : int;
+}
+
+let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) () =
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    max_bytes;
+    verify_every;
+    reg = Metrics.create ();
+    tick = 0;
+    total_bytes = 0;
+  }
+
+let metrics t = t.reg
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+(* Counter/gauge bumps happen under the lock: the registry itself is not
+   domain-safe, and the cache is shared across workers. *)
+let count t name = Metrics.incr (Metrics.counter t.reg ("scale/cache/" ^ name))
+
+let set_occupancy t =
+  Metrics.set (Metrics.gauge t.reg "scale/cache/entries")
+    (Hashtbl.length t.table);
+  Metrics.set (Metrics.gauge t.reg "scale/cache/bytes") t.total_bytes
+
+let entries t = locked t @@ fun () -> Hashtbl.length t.table
+let bytes t = locked t @@ fun () -> t.total_bytes
+
+(* ---- key derivation ---- *)
+
+(* Canonical rendering of exactly the inputs the artifact depends on.
+   [trace]/[metrics] are observation sinks, not inputs, and are excluded;
+   [max_errors] only affects the accumulating path. *)
+let key kind ~(opts : Pipeline.options) ~src =
+  let opt_fields =
+    Printf.sprintf "strategy=%s;lits=%b;defaulting=%b;prelude=%b;lint=%b"
+      (Pipeline.strategy_name opts.Pipeline.strategy)
+      opts.Pipeline.overloaded_literals opts.Pipeline.defaulting
+      opts.Pipeline.include_prelude opts.Pipeline.lint
+  in
+  let head =
+    match kind with
+    | `Run passes ->
+        Printf.sprintf "run:%s;passes=%s" opt_fields
+          (String.concat "," (List.map Tc_opt.Opt.pass_name passes))
+    | `Check ->
+        Printf.sprintf "check:%s;max_errors=%d" opt_fields
+          opts.Pipeline.max_errors
+  in
+  Digest.to_hex (Digest.string (head ^ "\x00" ^ src))
+
+(* ---- sink stripping / splicing ---- *)
+
+(* Stored artifacts must not retain the inserting request's trace sink or
+   metrics registry (the registry alone would drag a server's whole
+   instrument table into every size estimate), and a hit must report
+   downstream phases (exec spans) to the *caller's* sinks, not the
+   inserter's. So: strip on insert, splice on every return. *)
+let strip_compiled (c : Pipeline.compiled) : Pipeline.compiled =
+  {
+    c with
+    Pipeline.options =
+      {
+        c.Pipeline.options with
+        Pipeline.metrics = Metrics.disabled;
+        trace = Tc_obs.Trace.none;
+      };
+  }
+
+let splice_compiled (opts : Pipeline.options) (c : Pipeline.compiled) :
+    Pipeline.compiled =
+  {
+    c with
+    Pipeline.options =
+      {
+        c.Pipeline.options with
+        Pipeline.metrics = opts.Pipeline.metrics;
+        trace = opts.Pipeline.trace;
+      };
+  }
+
+let strip_value = function
+  | Artifact c -> Artifact (strip_compiled c)
+  | Checked ck ->
+      Checked
+        {
+          ck with
+          Pipeline.artifact = Option.map strip_compiled ck.Pipeline.artifact;
+        }
+
+let splice_value opts = function
+  | Artifact c -> Artifact (splice_compiled opts c)
+  | Checked ck ->
+      Checked
+        {
+          ck with
+          Pipeline.artifact =
+            Option.map (splice_compiled opts) ck.Pipeline.artifact;
+        }
+
+(* ---- fingerprints (verification mode) ---- *)
+
+(* Two compiles of the same source are not structurally equal — gensym
+   stamps differ — so verification compares a digest of the
+   gensym-invariant surface instead: what the user can observe. *)
+let fingerprint (c : Pipeline.compiled) : string =
+  let schemes =
+    List.map
+      (fun (n, s) -> Ident.text n ^ " :: " ^ Tc_types.Scheme.to_string s)
+      c.Pipeline.user_schemes
+    |> List.sort compare
+  in
+  let binds =
+    List.fold_left
+      (fun acc g ->
+        acc
+        + match g with Core.Nonrec _ -> 1 | Core.Rec bs -> List.length bs)
+      0 c.Pipeline.core.Core.p_binds
+  in
+  Printf.sprintf "%s|groups=%d|binds=%d|warnings=%d"
+    (String.concat ";" schemes)
+    (List.length c.Pipeline.core.Core.p_binds)
+    binds
+    (List.length c.Pipeline.warnings)
+
+let fingerprint_value = function
+  | Artifact c -> "artifact:" ^ fingerprint c
+  | Checked ck ->
+      let count sev =
+        List.length
+          (List.filter
+             (fun (d : Diagnostic.t) -> d.Diagnostic.severity = sev)
+             ck.Pipeline.diagnostics)
+      in
+      Printf.sprintf "checked:errors=%d;warnings=%d;ice=%d;%s"
+        (count Diagnostic.Error) (count Diagnostic.Warning)
+        (count Diagnostic.Bug)
+        (match ck.Pipeline.artifact with
+        | None -> "-"
+        | Some c -> fingerprint c)
+
+(* ---- the table ---- *)
+
+let size_of (v : value) : int =
+  Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+(* Evict least-recently-used entries until the byte budget holds. Linear
+   scan for the minimum tick: the table is small (tens to thousands of
+   entries) and eviction is off the hit path. *)
+let evict_over_budget t =
+  if t.max_bytes > 0 then
+    while t.total_bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, oldest) when oldest.e_tick <= e.e_tick -> acc
+            | _ -> Some (k, e))
+          t.table None
+      in
+      match victim with
+      | None -> ()
+      | Some (k, e) ->
+          Hashtbl.remove t.table k;
+          t.total_bytes <- t.total_bytes - e.e_bytes;
+          count t "evictions"
+    done
+
+(* A hit under the lock: returns the entry plus whether this touch is a
+   verification sample. *)
+let lookup t k =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table k with
+  | None ->
+      count t "misses";
+      None
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.e_tick <- t.tick;
+      e.e_hits <- e.e_hits + 1;
+      count t "hits";
+      let verify = t.verify_every > 0 && e.e_hits mod t.verify_every = 0 in
+      Some (e.e_value, verify)
+
+(* Insert after an out-of-lock compile. First-writer-wins: if a racing
+   worker inserted the same key meanwhile, keep theirs. *)
+let insert t k v =
+  let v = strip_value v in
+  let sz = size_of v in
+  locked t @@ fun () ->
+  (if not (Hashtbl.mem t.table k) then begin
+     t.tick <- t.tick + 1;
+     Hashtbl.add t.table k { e_value = v; e_bytes = sz; e_tick = t.tick;
+                             e_hits = 0 };
+     t.total_bytes <- t.total_bytes + sz;
+     count t "inserts";
+     evict_over_budget t
+   end);
+  set_occupancy t
+
+let drop t k =
+  locked t @@ fun () ->
+  (match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table k;
+      t.total_bytes <- t.total_bytes - e.e_bytes);
+  set_occupancy t
+
+(* The common shape of both paths: [compile ()] must produce the same
+   [value] constructor the key's entries hold. *)
+let memo t ~k ~opts ~(compile : unit -> value) : value =
+  match lookup t k with
+  | None ->
+      let v = compile () in
+      insert t k v;
+      splice_value opts v
+  | Some (v, verify) ->
+      if not verify then splice_value opts v
+      else begin
+        (* Sampled verification: recompile and compare fingerprints. On
+           mismatch the cache self-heals — drop the stale entry, answer
+           with (and re-cache) the fresh compile. *)
+        let fresh = compile () in
+        if String.equal (fingerprint_value fresh) (fingerprint_value v) then begin
+          locked t (fun () -> count t "verified");
+          splice_value opts v
+        end
+        else begin
+          locked t (fun () -> count t "verify_fail");
+          drop t k;
+          insert t k fresh;
+          splice_value opts fresh
+        end
+      end
+
+let compile_run t ~(opts : Pipeline.options) ~passes ~src =
+  let k = key (`Run passes) ~opts ~src in
+  let compile () =
+    Artifact
+      (Pipeline.optimize passes (Pipeline.compile ~opts ~file:"<serve>" src))
+  in
+  match memo t ~k ~opts ~compile with
+  | Artifact c -> c
+  | Checked _ -> assert false (* run keys only ever hold [Artifact] *)
+
+let check t ~(opts : Pipeline.options) ~src =
+  let k = key `Check ~opts ~src in
+  let compile () =
+    Checked (Pipeline.compile_collect ~opts ~file:"<serve>" src)
+  in
+  match memo t ~k ~opts ~compile with
+  | Checked ck -> ck
+  | Artifact _ -> assert false

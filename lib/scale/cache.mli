@@ -1,0 +1,102 @@
+(** A content-addressed compile cache.
+
+    Serving recompiles the same program over and over — editor
+    keystroke loops, fleets of identical queries, retries. The whole
+    front end (lex through lower) is a pure function of the source text
+    and the subset of {!Typeclasses.Pipeline.options} that affect its
+    output, so the compiled artifact can be memoized under a content
+    hash of exactly those inputs. This is the *Tabled Typeclass
+    Resolution* idea lifted from individual resolution queries to
+    whole-program granularity: the table key is a digest of everything
+    the answer depends on, and nothing else.
+
+    {2 Key derivation}
+
+    The key is an MD5 digest over a canonical rendering of:
+
+    - a kind tag ([run:]/[check:]), because the two paths produce
+      different artifact types from the same source;
+    - the output-relevant option fields — strategy,
+      [overloaded_literals], [defaulting], [include_prelude], [lint],
+      and (for the accumulating check path only) [max_errors];
+    - the optimizer pass list, in order (run path only) — the cache
+      stores post-optimization artifacts;
+    - the source text itself.
+
+    [trace] and [metrics] are deliberately {e excluded}: they change
+    what is observed, never what is produced. Cached artifacts are
+    stored with both stripped and returned with the caller's sinks
+    spliced back in, so a hit reports to the requesting server's
+    registry and never retains another registry alive.
+
+    {2 Semantics}
+
+    - Hits are byte-for-byte keyed: any change to source or options
+      misses. Compile {e errors} are never cached — a raising compile
+      propagates and leaves no entry, so error responses always reflect
+      a fresh compile.
+    - Bounded LRU: entries are evicted least-recently-used-first once
+      the byte budget (estimated reachable size of stored artifacts) is
+      exceeded.
+    - Verification mode: with [verify_every = n > 0], every [n]-th hit
+      on an entry recompiles from source and compares a
+      gensym-invariant fingerprint (sorted user schemes, core
+      bind/group counts, diagnostic tallies) against the cached
+      artifact. A mismatch drops the entry, counts
+      [scale/cache/verify_fail], and answers with the fresh compile.
+    - Thread-safe: lookups, inserts and counter bumps are mutex-guarded
+      (compiles themselves run outside the lock), so one cache can be
+      shared by every worker in a {!Pool}.
+
+    Telemetry lives in the cache's own always-live registry
+    ({!metrics}): counters [scale/cache/hits], [misses], [inserts],
+    [evictions], [verified], [verify_fail]; gauges
+    [scale/cache/entries], [scale/cache/bytes]. *)
+
+module Pipeline = Typeclasses.Pipeline
+
+type t
+
+val create : ?max_bytes:int -> ?verify_every:int -> unit -> t
+(** [max_bytes] bounds the estimated total size of cached artifacts
+    (default 64 MiB; [0] = unbounded). [verify_every = n > 0] recompiles
+    every [n]-th hit per entry and asserts fingerprint equality
+    (default [0] = off). *)
+
+val metrics : t -> Tc_obs.Metrics.t
+(** The cache's own registry (see the counter/gauge list above). Merge
+    it into a server-wide view with {!Tc_obs.Metrics.merge}. *)
+
+val key :
+  [ `Run of Tc_opt.Opt.pass list | `Check ] ->
+  opts:Pipeline.options ->
+  src:string ->
+  string
+(** The content hash (hex MD5) a request stores under — exposed for
+    tests and diagnostics. *)
+
+val compile_run :
+  t ->
+  opts:Pipeline.options ->
+  passes:Tc_opt.Opt.pass list ->
+  src:string ->
+  Pipeline.compiled
+(** The [run]-path compile: cached equivalent of [Pipeline.compile]
+    followed by [Pipeline.optimize passes]. Raises whatever [compile]
+    raises on a miss over erroneous source; hits skip the front end
+    entirely. Shape-compatible with [Serve.config.compile_hook]. *)
+
+val check :
+  t -> opts:Pipeline.options -> src:string -> Pipeline.checked
+(** The accumulating-path compile: cached equivalent of
+    [Pipeline.compile_collect]. Never raises. Shape-compatible with
+    [Serve.config.check_hook]. *)
+
+val entries : t -> int
+val bytes : t -> int
+(** Current occupancy (also exported as gauges). *)
+
+val fingerprint : Pipeline.compiled -> string
+(** The gensym-invariant digest verification mode compares: sorted
+    rendered user schemes, core group/bind counts, warning tally.
+    Exposed for tests. *)

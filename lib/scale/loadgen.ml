@@ -1,0 +1,212 @@
+(** Load generator (see the interface for the phase design). *)
+
+module Serve = Typeclasses.Serve
+module Metrics = Tc_obs.Metrics
+module Json = Tc_obs.Json
+
+type phase = {
+  ph_label : string;
+  ph_requests : int;
+  ph_elapsed_s : float;
+  ph_rps : float;
+  ph_p50_us : int;
+  ph_p99_us : int;
+  ph_ok : int;
+  ph_failed : int;
+}
+
+type report = {
+  clients : int;
+  requests : int;
+  workers : int;
+  op : string;
+  cold : phase;
+  hot : phase;
+  speedup : float;
+  invariant_ok : bool;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(* A small but real program — classes, dictionaries, a compile that does
+   actual inference work — made unique per variant through a padding
+   binding, so cold-phase requests can never collide in the cache. *)
+let source ~variant =
+  Printf.sprintf
+    "double :: Num a => a -> a\n\
+     double x = x + x\n\
+     pad%d = %d\n\
+     main = double 21\n"
+    variant variant
+
+let request ~op ~variant =
+  Json.to_line
+    (Json.Obj
+       [
+         ("op", Json.Str op);
+         ("id", Json.Int variant);
+         ("src", Json.Str (source ~variant));
+       ])
+
+let latency_prefix = "serve/latency/"
+
+(* Total latency observations vs. the request counter — the serve
+   telemetry invariant, on any registry (including a merged one). *)
+let latency_totals (m : Metrics.t) =
+  let scratch = Metrics.create () in
+  let acc = Metrics.histogram scratch "acc" in
+  List.iter
+    (fun (name, h) ->
+      if String.starts_with ~prefix:latency_prefix name then
+        Metrics.merge_hist ~into:acc h)
+    (Metrics.histograms m);
+  acc
+
+let invariant_holds (m : Metrics.t) =
+  let requests =
+    match List.assoc_opt "serve/requests" (Metrics.counters m) with
+    | Some n -> n
+    | None -> 0
+  in
+  Metrics.hist_count (latency_totals m) = requests
+
+let run_phase ~label ~workers ~config ~clock (lines : string array) =
+  let i = ref 0 in
+  let next () =
+    if !i >= Array.length lines then None
+    else begin
+      let l = lines.(!i) in
+      incr i;
+      Some l
+    end
+  in
+  let t0 = clock () in
+  let summary = Pool.run ~workers ~config ~next ~emit:(fun _ -> ()) () in
+  let dt = clock () -. t0 in
+  let acc = latency_totals summary.Pool.metrics in
+  let n = Array.length lines in
+  ( {
+      ph_label = label;
+      ph_requests = n;
+      ph_elapsed_s = dt;
+      ph_rps = (if dt > 0. then float_of_int n /. dt else 0.);
+      ph_p50_us = Metrics.quantile acc 0.5;
+      ph_p99_us = Metrics.quantile acc 0.99;
+      ph_ok = summary.Pool.stats.Serve.ok;
+      ph_failed = summary.Pool.stats.Serve.failed;
+    },
+    summary )
+
+let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
+    ?(cache_mb = 64) ?(verify_every = 0) ?(clock = Unix.gettimeofday) () =
+  let clients = max 1 clients in
+  let requests = max clients requests in
+  let op_name = match op with `Run -> "run" | `Check -> "check" in
+  let cache =
+    Cache.create ~max_bytes:(cache_mb * 1024 * 1024) ~verify_every ()
+  in
+  let config =
+    {
+      Serve.default_config with
+      Serve.compile_hook =
+        Some (fun ~opts ~passes ~src -> Cache.compile_run cache ~opts ~passes ~src);
+      check_hook = Some (fun ~opts ~src -> Cache.check cache ~opts ~src);
+    }
+  in
+  (* Cold: request [i] carries variant [i] — every source distinct.
+     Hot: variants cycle over a fresh block of [clients] programs, so
+     each misses once (warm-up) and hits thereafter. *)
+  let cold_lines =
+    Array.init requests (fun i -> request ~op:op_name ~variant:i)
+  in
+  let hot_lines =
+    Array.init requests (fun i ->
+        request ~op:op_name ~variant:(requests + (i mod clients)))
+  in
+  let cold, _ = run_phase ~label:"cold" ~workers ~config ~clock cold_lines in
+  let hot, hot_summary =
+    run_phase ~label:"hot" ~workers ~config ~clock hot_lines
+  in
+  let counter name =
+    match List.assoc_opt name (Metrics.counters (Cache.metrics cache)) with
+    | Some n -> n
+    | None -> 0
+  in
+  {
+    clients;
+    requests;
+    workers;
+    op = op_name;
+    cold;
+    hot;
+    speedup = (if cold.ph_rps > 0. then hot.ph_rps /. cold.ph_rps else 0.);
+    invariant_ok = invariant_holds hot_summary.Pool.metrics;
+    cache_hits = counter "scale/cache/hits";
+    cache_misses = counter "scale/cache/misses";
+  }
+
+(* ---- rendering ---- *)
+
+let phase_json p =
+  Json.Obj
+    [
+      ("requests", Json.Int p.ph_requests);
+      ("elapsed_ms", Json.Int (int_of_float (p.ph_elapsed_s *. 1000.)));
+      ("rps", Json.Int (int_of_float p.ph_rps));
+      ("p50_us", Json.Int p.ph_p50_us);
+      ("p99_us", Json.Int p.ph_p99_us);
+      ("ok", Json.Int p.ph_ok);
+      ("failed", Json.Int p.ph_failed);
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("bench", Json.Str "serve");
+      ("clients", Json.Int r.clients);
+      ("requests", Json.Int r.requests);
+      ("workers", Json.Int r.workers);
+      ("op", Json.Str r.op);
+      ("cold", phase_json r.cold);
+      ("hot", phase_json r.hot);
+      ("hot_speedup_x100", Json.Int (int_of_float (r.speedup *. 100.)));
+      ("invariant_ok", Json.Bool r.invariant_ok);
+      ("cache_hits", Json.Int r.cache_hits);
+      ("cache_misses", Json.Int r.cache_misses);
+    ]
+
+(* The trajectory rows, in the same record shape the bechamel harness
+   writes (bench/bench_util.ml), so scripts/bench_gate.py can compare a
+   fresh run against the committed BENCH_SERVE.json baseline. *)
+let write_bench_rows ~dir r =
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+  in
+  let backend = Printf.sprintf "workers=%d" r.workers in
+  let rows =
+    [
+      ("cold_rps", r.cold.ph_rps);
+      ("hot_rps", r.hot.ph_rps);
+      ("hot_speedup", r.speedup);
+      ("p50_ms/cold", float_of_int r.cold.ph_p50_us /. 1000.);
+      ("p99_ms/cold", float_of_int r.cold.ph_p99_us /. 1000.);
+      ("p50_ms/hot", float_of_int r.hot.ph_p50_us /. 1000.);
+      ("p99_ms/hot", float_of_int r.hot.ph_p99_us /. 1000.);
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (m, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|  {"experiment": "serve", "backend": %S, "metric": %S, "value": %s}|}
+           backend m (num v)))
+    rows;
+  Buffer.add_string buf "\n]\n";
+  let path = Filename.concat dir "BENCH_SERVE.json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  path

@@ -1,0 +1,69 @@
+(** [mhc bench serve] — a load generator for the serve loop.
+
+    Drives the NDJSON request/response contract in-process through
+    {!Pool.run} (so the numbers include queueing, re-sequencing and
+    per-worker registry merging, not just raw compiles) in two phases
+    over the same compile cache:
+
+    - {b cold}: every request carries a distinct generated program —
+      all cache misses; the front end runs for each.
+    - {b hot}: requests cycle over [clients] distinct programs — after
+      one warm-up miss apiece, every request is a cache hit and skips
+      the front end.
+
+    The report carries throughput (requests/s) and p50/p99 latency per
+    phase (quantiles of the merged [serve/latency] histograms, so they
+    are the same numbers the serve telemetry exports), the hot/cold
+    speedup, cache hit/miss totals, and whether the telemetry
+    invariant — per-op latency counts summing exactly to
+    [serve/requests] — held in the merged multi-worker registry. *)
+
+type phase = {
+  ph_label : string;    (** ["cold"] or ["hot"] *)
+  ph_requests : int;
+  ph_elapsed_s : float;
+  ph_rps : float;
+  ph_p50_us : int;
+  ph_p99_us : int;
+  ph_ok : int;
+  ph_failed : int;
+}
+
+type report = {
+  clients : int;
+  requests : int;
+  workers : int;
+  op : string;           (** ["run"] or ["check"] *)
+  cold : phase;
+  hot : phase;
+  speedup : float;       (** hot rps / cold rps *)
+  invariant_ok : bool;   (** latency counts sum to [serve/requests] *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val invariant_holds : Tc_obs.Metrics.t -> bool
+(** [sum over serve/latency histograms of count = serve/requests]
+    in the given registry — the telemetry invariant, checkable on any
+    (including merged) registry. *)
+
+val run :
+  ?clients:int ->
+  ?requests:int ->
+  ?workers:int ->
+  ?op:[ `Run | `Check ] ->
+  ?cache_mb:int ->
+  ?verify_every:int ->
+  ?clock:(unit -> float) ->
+  unit ->
+  report
+(** Defaults: 4 clients, 64 requests per phase, 1 worker, [`Run],
+    64 MiB cache, no verification, [Unix.gettimeofday]. *)
+
+val report_json : report -> Tc_obs.Json.t
+(** The full report as one JSON object (the CI artifact). *)
+
+val write_bench_rows : dir:string -> report -> string
+(** Write the [BENCH_SERVE.json] trajectory rows (experiment ["serve"],
+    the same record shape the bechamel benchmarks emit) under [dir];
+    returns the path written. *)

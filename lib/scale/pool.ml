@@ -1,0 +1,163 @@
+(** Domain worker pool (see the interface for the contract).
+
+    Concurrency layout: one mutex guards the work queue, the reorder
+    buffer and the sequence counters. Workers wait on [nonempty] (work
+    arrived, or EOF); the coordinator waits on [progress] (queue room
+    opened, or a response completed). Request handling, [next] and
+    [emit] all run outside the lock. *)
+
+module Serve = Typeclasses.Serve
+module Metrics = Tc_obs.Metrics
+
+type summary = {
+  stats : Serve.stats;
+  metrics : Metrics.t;
+  workers : int;
+}
+
+let empty_stats () : Serve.stats =
+  {
+    Serve.requests = 0;
+    responses = 0;
+    ok = 0;
+    failed = 0;
+    retried = 0;
+    by_op = [];
+    by_class = [];
+  }
+
+let merge_assoc into src =
+  List.fold_left
+    (fun acc (k, v) ->
+      let n = match List.assoc_opt k acc with Some n -> n | None -> 0 in
+      (k, n + v) :: List.remove_assoc k acc)
+    into src
+
+let merge_stats ~(into : Serve.stats) (s : Serve.stats) =
+  into.Serve.requests <- into.Serve.requests + s.Serve.requests;
+  into.responses <- into.responses + s.Serve.responses;
+  into.ok <- into.ok + s.Serve.ok;
+  into.failed <- into.failed + s.Serve.failed;
+  into.retried <- into.retried + s.Serve.retried;
+  into.by_op <- merge_assoc into.by_op s.Serve.by_op;
+  into.by_class <- merge_assoc into.by_class s.Serve.by_class
+
+let sequential ~config ?stop ~next ~emit () =
+  let server = Serve.create ~config () in
+  let stats = Serve.run ~server ?stop ~next ~emit () in
+  let merged = Metrics.create () in
+  Metrics.merge ~into:merged (Serve.metrics server);
+  { stats; metrics = merged; workers = 1 }
+
+let parallel ~workers ~config ~queue_depth ~stop ~next ~emit () =
+  let lock = Mutex.create () in
+  let nonempty = Condition.create () in
+  let progress = Condition.create () in
+  let queue : (int * string) Queue.t = Queue.create () in
+  let ready : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let eof = ref false in
+  (* Both counters are written by the coordinator only. *)
+  let next_seq = ref 0 in
+  let next_emit = ref 0 in
+
+  let worker () =
+    let server = Serve.create ~config () in
+    let rec take () =
+      if not (Queue.is_empty queue) then Some (Queue.pop queue)
+      else if !eof then None
+      else begin
+        Condition.wait nonempty lock;
+        take ()
+      end
+    in
+    let rec loop () =
+      Mutex.lock lock;
+      match take () with
+      | None -> Mutex.unlock lock
+      | Some (seq, line) ->
+          (* Queue room opened: the coordinator may be blocked on it. *)
+          Condition.signal progress;
+          Mutex.unlock lock;
+          let resp = Serve.handle_line server line in
+          Mutex.lock lock;
+          Hashtbl.add ready seq resp;
+          Condition.signal progress;
+          Mutex.unlock lock;
+          loop ()
+    in
+    loop ();
+    (Serve.stats server, Serve.metrics server)
+  in
+  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+
+  (* Emit every response that is next in sequence. Collects under the
+     lock, emits outside it. *)
+  let drain_ready () =
+    Mutex.lock lock;
+    let batch = ref [] in
+    let rec collect () =
+      match Hashtbl.find_opt ready !next_emit with
+      | None -> ()
+      | Some resp ->
+          Hashtbl.remove ready !next_emit;
+          incr next_emit;
+          batch := resp :: !batch;
+          collect ()
+    in
+    collect ();
+    Mutex.unlock lock;
+    List.iter emit (List.rev !batch)
+  in
+
+  let rec feed () =
+    if not (stop ()) then
+      match next () with
+      | None -> ()
+      | Some line ->
+          let seq = !next_seq in
+          incr next_seq;
+          Mutex.lock lock;
+          while Queue.length queue >= queue_depth do
+            Condition.wait progress lock
+          done;
+          Queue.push (seq, line) queue;
+          Condition.signal nonempty;
+          Mutex.unlock lock;
+          drain_ready ();
+          feed ()
+  in
+  feed ();
+
+  Mutex.lock lock;
+  eof := true;
+  Condition.broadcast nonempty;
+  Mutex.unlock lock;
+
+  (* Input exhausted: wait out the in-flight tail, emitting in order. *)
+  while !next_emit < !next_seq do
+    Mutex.lock lock;
+    while
+      !next_emit < !next_seq && not (Hashtbl.mem ready !next_emit)
+    do
+      Condition.wait progress lock
+    done;
+    Mutex.unlock lock;
+    drain_ready ()
+  done;
+
+  let results = List.map Domain.join domains in
+  let stats = empty_stats () in
+  let merged = Metrics.create () in
+  List.iter
+    (fun (s, m) ->
+      merge_stats ~into:stats s;
+      Metrics.merge ~into:merged m)
+    results;
+  { stats; metrics = merged; workers }
+
+let run ?(workers = 1) ?(config = Serve.default_config) ?(queue_depth = 64)
+    ?(stop = fun () -> false) ~next ~emit () =
+  if workers <= 1 then sequential ~config ~stop ~next ~emit ()
+  else
+    parallel ~workers ~config ~queue_depth:(max 1 queue_depth) ~stop ~next
+      ~emit ()

@@ -1,0 +1,56 @@
+(** A parallel worker pool behind the serve loop.
+
+    [run] drives the same NDJSON request/response contract as
+    {!Typeclasses.Serve.run}, but fans request handling out over OCaml 5
+    domains. The coordinator (calling domain) is the only reader of
+    [next] and the only writer to [emit]; each worker owns a private
+    {!Typeclasses.Serve.t} — its own stats, latency registry and
+    evaluator state — so request handling needs no locking beyond the
+    bounded work queue, and per-request isolation and budget enforcement
+    are exactly the sequential server's. Responses are re-sequenced
+    through a reorder buffer, so output order equals input order
+    regardless of which worker finishes first.
+
+    On completion the per-worker registries are folded into one fresh
+    registry with {!Tc_obs.Metrics.merge}; counters add and histograms
+    merge elementwise, so the serve telemetry invariant — the per-op
+    [serve/latency] counts summing exactly to [serve/requests] — holds
+    in the merged view whenever it holds per worker.
+
+    Pooled-mode deviations from the sequential loop, by design:
+
+    - [config.snapshot_every] is ignored (spontaneous snapshot lines
+      would interleave with re-sequenced responses);
+    - in-band [stats]/[metrics] requests report the handling worker's
+      view, not the pool-wide aggregate (the merged view exists only at
+      summary time);
+    - a live [config.base_opts.trace] sink is unsupported (sinks are not
+      domain-safe).
+
+    With [workers <= 1] this is exactly [Serve.run] (same loop, same
+    snapshot behaviour), just with the summary's merged-registry
+    shape. *)
+
+module Serve = Typeclasses.Serve
+
+type summary = {
+  stats : Serve.stats;       (** all workers' stats, summed *)
+  metrics : Tc_obs.Metrics.t;
+      (** all workers' registries merged into one fresh registry *)
+  workers : int;             (** domains that handled requests *)
+}
+
+val run :
+  ?workers:int ->
+  ?config:Serve.config ->
+  ?queue_depth:int ->
+  ?stop:(unit -> bool) ->
+  next:(unit -> string option) ->
+  emit:(string -> unit) ->
+  unit ->
+  summary
+(** [workers] defaults to 1 (sequential); [queue_depth] (default 64)
+    bounds how far the coordinator reads ahead of the slowest worker,
+    so an input firehose cannot buffer unboundedly. [stop] is checked
+    between reads. Blocks until input is exhausted, every response is
+    emitted, and all workers have joined. *)

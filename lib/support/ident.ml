@@ -9,16 +9,33 @@ type t = {
   text : string; (** user-visible spelling *)
 }
 
+(* The intern table and stamp counter are process-global (stamps must be
+   canonical across every compile, including compiles running on other
+   domains in the [Tc_scale.Pool] worker pool), so both are guarded by
+   one mutex. The critical sections are a hashtable probe and an
+   integer bump; uncontended lock/unlock costs a few nanoseconds. *)
 let table : (string, t) Hashtbl.t = Hashtbl.create 512
 let counter = ref 0
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
 
 let fresh_stamp () =
   incr counter;
   !counter
 
 (** [intern s] returns the canonical identifier spelled [s]. Two calls with
-    the same string yield physically equal identifiers. *)
+    the same string yield physically equal identifiers, on any domain. *)
 let intern text =
+  locked @@ fun () ->
   match Hashtbl.find_opt table text with
   | Some id -> id
   | None ->
@@ -29,7 +46,7 @@ let intern text =
 (** [gensym base] mints an identifier distinct from every other identifier,
     interned or generated, with a spelling derived from [base]. *)
 let gensym base =
-  let stamp = fresh_stamp () in
+  let stamp = locked fresh_stamp in
   { id = stamp; text = Printf.sprintf "%s_%d" base stamp }
 
 let text t = t.text

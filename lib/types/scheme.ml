@@ -26,7 +26,7 @@ let is_mono s = s.vars = []
     for the generic ones, together with the fresh variables in quantifier
     order (used to insert dictionary placeholders at occurrence sites). *)
 let instantiate ~level (s : t) : Ty.t * Ty.tyvar list =
-  Stats.current.schemes_instantiated <- Stats.current.schemes_instantiated + 1;
+  (Stats.current ()).schemes_instantiated <- (Stats.current ()).schemes_instantiated + 1;
   if s.vars = [] then (s.ty, [])
   else begin
     let mapping = Hashtbl.create 8 in

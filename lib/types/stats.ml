@@ -24,19 +24,27 @@ let create () =
     schemes_instantiated = 0;
   }
 
-(** Global counters, reset per compilation. *)
-let current = create ()
+(* Per-domain counters, reset per compilation: each domain running a
+   compile (e.g. a [Tc_scale.Pool] serve worker) gets its own record, so
+   parallel compiles never interleave their instrumentation. *)
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+
+(** The calling domain's counters. *)
+let current () = Domain.DLS.get key
 
 let reset () =
-  current.unifications <- 0;
-  current.var_instantiations <- 0;
-  current.context_propagations <- 0;
-  current.context_reductions <- 0;
-  current.holes_created <- 0;
-  current.holes_resolved <- 0;
-  current.schemes_instantiated <- 0
+  let c = current () in
+  c.unifications <- 0;
+  c.var_instantiations <- 0;
+  c.context_propagations <- 0;
+  c.context_reductions <- 0;
+  c.holes_created <- 0;
+  c.holes_resolved <- 0;
+  c.schemes_instantiated <- 0
 
-let snapshot () = { current with unifications = current.unifications }
+let snapshot () =
+  let c = current () in
+  { c with unifications = c.unifications }
 
 (** Name/value pairs in display order (for JSON and tabular output). *)
 let pairs t =

@@ -12,8 +12,10 @@ type t = {
 
 val create : unit -> t
 
-(** Global counters, reset per compilation. *)
-val current : t
+(** The calling domain's counters, reset per compilation. Domain-local:
+    parallel compiles on worker domains each instrument their own
+    record. *)
+val current : unit -> t
 
 val reset : unit -> unit
 val snapshot : unit -> t

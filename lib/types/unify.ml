@@ -40,8 +40,8 @@ let occurs_adjust ~loc (tv : Ty.tyvar) level whole =
 (** Propagate [classes] onto type [t] (the paper's [propagateClasses]). *)
 let rec propagate_classes env ~loc (classes : Ty.Context.t) (t : Ty.t) : unit =
   if classes <> [] then begin
-    Stats.current.context_propagations <-
-      Stats.current.context_propagations + 1;
+    (Stats.current ()).context_propagations <-
+      (Stats.current ()).context_propagations + 1;
     match Ty.prune t with
     | Ty.TVar tv ->
         let u = Ty.unbound_exn tv in
@@ -62,7 +62,7 @@ let rec propagate_classes env ~loc (classes : Ty.Context.t) (t : Ty.t) : unit =
 
 (** Context reduction at a constructor (the paper's [propagateClassTycon]). *)
 and propagate_class_tycon env ~loc c (tc : Tycon.t) args =
-  Stats.current.context_reductions <- Stats.current.context_reductions + 1;
+  (Stats.current ()).context_reductions <- (Stats.current ()).context_reductions + 1;
   Tc_obs.Trace.emit env.Class_env.trace (fun () ->
       Tc_obs.Trace.Context_reduction
         { cls = c; ty = Fmt.str "%a" (Ty.pp_with 2) (Ty.TCon (tc, args)); loc });
@@ -79,7 +79,7 @@ and propagate_class_tycon env ~loc c (tc : Tycon.t) args =
 (** Instantiate the unbound variable [tv] to [t] (the paper's
     [instantiateTyvar]). *)
 let instantiate_tyvar env ~loc (tv : Ty.tyvar) (t : Ty.t) : unit =
-  Stats.current.var_instantiations <- Stats.current.var_instantiations + 1;
+  (Stats.current ()).var_instantiations <- (Stats.current ()).var_instantiations + 1;
   let u = Ty.unbound_exn tv in
   if u.level = Ty.generic_level then
     invalid_arg "Unify: attempt to unify a generic (quantified) variable";
@@ -91,7 +91,7 @@ let instantiate_tyvar env ~loc (tv : Ty.tyvar) (t : Ty.t) : unit =
   propagate_classes env ~loc u.context t
 
 let rec unify env ~loc (t1 : Ty.t) (t2 : Ty.t) : unit =
-  Stats.current.unifications <- Stats.current.unifications + 1;
+  (Stats.current ()).unifications <- (Stats.current ()).unifications + 1;
   let t1 = Ty.prune t1 and t2 = Ty.prune t2 in
   match (t1, t2) with
   | Ty.TVar a, Ty.TVar b when a.tv_id = b.tv_id -> ()

@@ -191,24 +191,32 @@ let value_of (s : slot) : value =
 
 (* Synthetic protos for over-application: after an inner call returns a
    function, apply it to the [n] pending arguments held in the frame's
-   locals. *)
+   locals. The table is process-global (protos are immutable and shared
+   across every VM state, including states running on other domains in
+   the [Tc_scale.Pool] worker pool), so it is guarded by a mutex. *)
 let apply_protos : (int, B.proto) Hashtbl.t = Hashtbl.create 8
+let apply_protos_lock = Mutex.create ()
 
 let apply_proto (n : int) : B.proto =
-  match Hashtbl.find_opt apply_protos n with
-  | Some p -> p
-  | None ->
-      let p =
-        {
-          B.p_name = Printf.sprintf "<apply/%d>" n;
-          p_arity = n;
-          p_nlocals = n;
-          p_captures = [||];
-          p_code = [| B.APPLY_LOCALS n |];
-        }
-      in
-      Hashtbl.replace apply_protos n p;
-      p
+  Mutex.lock apply_protos_lock;
+  let p =
+    match Hashtbl.find_opt apply_protos n with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            B.p_name = Printf.sprintf "<apply/%d>" n;
+            p_arity = n;
+            p_nlocals = n;
+            p_captures = [||];
+            p_code = [| B.APPLY_LOCALS n |];
+          }
+        in
+        Hashtbl.replace apply_protos n p;
+        p
+  in
+  Mutex.unlock apply_protos_lock;
+  p
 
 (* ------------------------------------------------------------------ *)
 (* The interpreter loop.                                               *)

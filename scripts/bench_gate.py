@@ -15,9 +15,22 @@ gate; every other shared experiment still contributes to the median.
 Missing baselines are a clean skip (exit 0 with a message), so the gate
 never blocks a fresh repo or a new experiment.
 
+Besides the relative (trajectory) gate, --slo rows check absolute bounds
+against the fresh run only: "serve/p99_ms/hot<=2000" fails the gate when
+the new run's serve experiment reports a hot p99 above 2 seconds, and
+"serve/hot_speedup>=2" fails when the compile cache stops paying for
+itself. SLO bounds are deliberately loose — they catch order-of-magnitude
+collapses, not machine noise.
+
+A missing or unparseable BENCH_<EXP>.json on either side (a bench binary
+that crashed mid-run, a partial artifact download) is a warning and a
+skipped experiment, never an abort: one broken experiment must not mask
+the comparison of the others.
+
 Usage:
   python3 scripts/bench_gate.py [--baseline-dir .] [--new-dir bench-new]
                                 [--gate e2 --gate e11] [--threshold 1.25]
+                                [--slo EXPR ...]
 """
 
 import argparse
@@ -28,13 +41,58 @@ import sys
 
 
 def load(path):
-    """BENCH_<EXP>.json -> {(experiment, backend, metric): value}."""
-    with open(path) as f:
-        rows = json.load(f)
-    return {
-        (r["experiment"], r["backend"], r["metric"]): float(r["value"])
-        for r in rows
-    }
+    """BENCH_<EXP>.json -> {(experiment, backend, metric): value},
+    or None (with a warning) when the file is missing or malformed."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+        return {
+            (r["experiment"], r["backend"], r["metric"]): float(r["value"])
+            for r in rows
+        }
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"bench-gate: WARNING — cannot read {path} ({e}); "
+              f"skipping this experiment")
+        return None
+
+
+def parse_slo(expr):
+    """'exp/metric<=bound' or 'exp/metric>=bound' ->
+    (experiment, metric, op, bound)."""
+    for op in ("<=", ">="):
+        if op in expr:
+            lhs, bound = expr.split(op, 1)
+            exp, _, metric = lhs.partition("/")
+            if not exp or not metric:
+                raise ValueError(f"malformed SLO {expr!r}: want exp/metric")
+            return exp, metric, op, float(bound)
+    raise ValueError(f"malformed SLO {expr!r}: want <= or >=")
+
+
+def check_slos(slos, new_dir):
+    """Absolute bounds against the fresh run. Returns failure count;
+    metrics absent from the run warn and skip (the tolerance rule)."""
+    failures = 0
+    for expr in slos:
+        exp, metric, op, bound = parse_slo(expr)
+        path = os.path.join(new_dir, f"BENCH_{exp.upper()}.json")
+        rows = load(path)
+        if rows is None:
+            continue
+        values = [v for (e, _, m), v in rows.items()
+                  if e == exp and m == metric]
+        if not values:
+            print(f"bench-gate: WARNING — SLO {expr}: metric "
+                  f"{exp}/{metric} not in {path}; skipping")
+            continue
+        value = values[0]
+        ok = value <= bound if op == "<=" else value >= bound
+        status = "ok" if ok else "FAIL"
+        print(f"  [slo] {exp}/{metric} = {value:.3f} {op} {bound:g}: "
+              f"{status}")
+        if not ok:
+            failures += 1
+    return failures
 
 
 def main():
@@ -46,8 +104,13 @@ def main():
                          "default: e2 e11)")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="max allowed normalized new/old ratio (default 1.25)")
+    ap.add_argument("--slo", action="append", default=[],
+                    help="absolute bound on the fresh run, e.g. "
+                         "'serve/p99_ms/hot<=2000' or 'serve/hot_speedup>=2' "
+                         "(repeatable)")
     args = ap.parse_args()
     gated = [g.lower() for g in (args.gate or ["e2", "e11"])]
+    slo_failures = check_slos(args.slo, args.new_dir)
 
     # pair up BENCH_<EXP>.json files present on both sides
     pairs = []
@@ -64,13 +127,15 @@ def main():
     if not pairs:
         print("bench-gate: no baselines to compare against — skipping "
               "(commit BENCH_E*.json files to enable the gate)")
-        return 0
+        return 1 if slo_failures else 0
 
     # ratios over every shared wall-clock metric, for the machine-speed
     # median; tiny baselines are noise, not signal
     ratios = {}
     for name, base, new in pairs:
         b, n = load(base), load(new)
+        if b is None or n is None:
+            continue
         for key in sorted(set(b) & set(n)):
             # wall-clock metrics are "<name>_ms" or "<name>_ms/<label>"
             if not key[2].split("/")[0].endswith("_ms"):
@@ -81,7 +146,7 @@ def main():
 
     if not ratios:
         print("bench-gate: no comparable *_ms metrics — skipping")
-        return 0
+        return 1 if slo_failures else 0
 
     median = statistics.median(ratios.values())
     print(f"bench-gate: {len(ratios)} wall-clock metrics, "
@@ -106,8 +171,12 @@ def main():
             print(f"  {exp}/{backend}/{metric}: {norm:.2f}x")
         return 1
 
+    if slo_failures:
+        print(f"bench-gate: FAIL — {slo_failures} SLO bound(s) violated")
+        return 1
+
     print("bench-gate: OK — no gated metric regressed beyond "
-          f"{(args.threshold - 1) * 100:.0f}%")
+          f"{(args.threshold - 1) * 100:.0f}% and all SLO bounds hold")
     return 0
 
 

@@ -471,10 +471,110 @@ let serve_cases =
           events);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Registry merging (the multi-worker aggregation path).               *)
+(* ------------------------------------------------------------------ *)
+
+let merge_cases =
+  [
+    case "merge with disjoint counter keys keeps both" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        Metrics.add (Metrics.counter a "serve/requests") 3;
+        Metrics.add (Metrics.counter b "scale/cache/hits") 5;
+        Metrics.merge ~into:a b;
+        Alcotest.(check (list (pair string int)))
+          "disjoint keys union, shared order by name"
+          [ ("scale/cache/hits", 5); ("serve/requests", 3) ]
+          (Metrics.counters a));
+    case "merge adds shared counters and maxes gauges" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        Metrics.add (Metrics.counter a "reqs") 3;
+        Metrics.add (Metrics.counter b "reqs") 4;
+        Metrics.set (Metrics.gauge a "depth") 9;
+        Metrics.set (Metrics.gauge b "depth") 2;
+        Metrics.set (Metrics.gauge b "only-b") 6;
+        Metrics.merge ~into:a b;
+        Alcotest.(check int) "counters add" 7
+          (Metrics.counter_value (Metrics.counter a "reqs"));
+        Alcotest.(check (list (pair string int)))
+          "gauges take max; new gauges appear"
+          [ ("depth", 9); ("only-b", 6) ]
+          (Metrics.gauges a));
+    case "merging an empty registry is the identity" (fun () ->
+        let a = Metrics.create () in
+        Metrics.add (Metrics.counter a "reqs") 2;
+        Metrics.observe (Metrics.histogram a "lat") 100;
+        ignore (Metrics.span_push a "compile");
+        Metrics.span_pop a;
+        Metrics.span_record a "compile" ~ns:10 ~words:1;
+        let before = Json.to_string (Metrics.snapshot a) in
+        Metrics.merge ~into:a (Metrics.create ());
+        Alcotest.(check string) "into unchanged" before
+          (Json.to_string (Metrics.snapshot a));
+        (* ... and merging into an empty registry copies the source. *)
+        let fresh = Metrics.create () in
+        Metrics.merge ~into:fresh a;
+        Alcotest.(check string) "copy into empty" before
+          (Json.to_string (Metrics.snapshot fresh));
+        (* Disabled on either side is a no-op, not a crash. *)
+        Metrics.merge ~into:Metrics.disabled a;
+        Metrics.merge ~into:a Metrics.disabled;
+        Alcotest.(check string) "disabled no-op" before
+          (Json.to_string (Metrics.snapshot a)));
+    case "histogram merge preserves quantile monotonicity" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        let ha = Metrics.histogram a "lat" and hb = Metrics.histogram b "lat" in
+        (* One low-latency stream, one heavy-tailed stream. *)
+        List.iter (Metrics.observe ha) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+        List.iter (Metrics.observe hb) [ 1000; 2000; 4000; 1 lsl 30 ];
+        (* Reference: every observation in a single histogram. *)
+        let all = Metrics.create () in
+        let href = Metrics.histogram all "lat" in
+        List.iter (Metrics.observe href)
+          [ 1; 2; 3; 4; 5; 6; 7; 8; 1000; 2000; 4000; 1 lsl 30 ];
+        Metrics.merge ~into:a b;
+        Alcotest.(check int) "count sums" 12 (Metrics.hist_count ha);
+        List.iter
+          (fun q ->
+            Alcotest.(check int)
+              (Printf.sprintf "q%.2f equals single-stream histogram" q)
+              (Metrics.quantile href q) (Metrics.quantile ha q))
+          [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+        let qs = List.map (Metrics.quantile ha) [ 0.5; 0.9; 0.99; 1.0 ] in
+        let rec mono = function
+          | x :: (y :: _ as rest) -> x <= y && mono rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "p50 <= p90 <= p99 <= p100" true (mono qs));
+    case "merge accumulates span stats preserving entry order" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        let enter m name =
+          ignore (Metrics.span_push m name);
+          Metrics.span_pop m
+        in
+        enter a "compile";
+        Metrics.span_record a "compile" ~ns:100 ~words:10;
+        enter b "compile";
+        enter b "exec";
+        Metrics.span_record b "compile" ~ns:50 ~words:5;
+        Metrics.span_record b "exec" ~ns:7 ~words:1;
+        Metrics.merge ~into:a b;
+        match Metrics.spans a with
+        | [ c; e ] ->
+            Alcotest.(check string) "into's span first" "compile" c.sp_name;
+            Alcotest.(check int) "counts add" 2 c.sp_count;
+            Alcotest.(check int) "ns add" 150 c.sp_ns;
+            Alcotest.(check string) "new span appended" "exec" e.sp_name;
+            Alcotest.(check int) "new span count" 1 e.sp_count
+        | l ->
+            Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  ]
+
 let tests =
   [
     ("metrics instruments", instrument_cases);
     ("metrics spans", span_cases);
     ("metrics snapshots", json_cases);
+    ("metrics merge", merge_cases);
     ("serve telemetry", serve_cases);
   ]

@@ -1,0 +1,334 @@
+(** The scaling layer: content-addressed compile cache, domain worker
+    pool, and load generator.
+
+    - Cache keys cover exactly the output-relevant inputs: source,
+      strategy, optimizer passes; observation sinks are excluded.
+    - A cache hit skips the front end entirely — over a serving pair of
+      identical requests the [compile] phase span count stays at 1
+      while [serve/requests] reaches 2.
+    - Eviction respects the byte budget; verification recompiles
+      sampled hits and self-heals on mismatch.
+    - The pool preserves request→response order under out-of-order
+      completion, and its merged registry preserves the telemetry
+      invariant (latency counts sum to [serve/requests]).
+    - Oversized request lines classify as [bad-request] without
+      unbounded buffering. *)
+
+open Helpers
+module Pipeline = Typeclasses.Pipeline
+module Serve = Typeclasses.Serve
+module Metrics = Tc_obs.Metrics
+module Json = Tc_obs.Json
+module Cache = Tc_scale.Cache
+module Pool = Tc_scale.Pool
+module Loadgen = Tc_scale.Loadgen
+
+let demo = "double :: Num a => a -> a\ndouble x = x + x\nmain = double 21\n"
+
+let counter_of m name =
+  match List.assoc_opt name (Metrics.counters m) with
+  | Some n -> n
+  | None -> 0
+
+let cache_counter c name = counter_of (Cache.metrics c) ("scale/cache/" ^ name)
+
+let default_opts = Pipeline.default_options
+
+(* ------------------------------------------------------------------ *)
+(* Cache.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cases =
+  [
+    case "second compile of identical source is a hit" (fun () ->
+        let c = Cache.create () in
+        let a = Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo in
+        let b = Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo in
+        Alcotest.(check int) "one miss" 1 (cache_counter c "misses");
+        Alcotest.(check int) "one hit" 1 (cache_counter c "hits");
+        Alcotest.(check int) "one insert" 1 (cache_counter c "inserts");
+        Alcotest.(check int) "one entry" 1 (Cache.entries c);
+        Alcotest.(check bool) "bytes accounted" true (Cache.bytes c > 0);
+        (* both artifacts execute to the same answer *)
+        let exec x =
+          (Pipeline.exec ~budget:(Pipeline.Budget.fuel 1_000_000) x)
+            .Pipeline.rendered
+        in
+        Alcotest.(check string) "same result" (exec a) (exec b));
+    case "key covers src, strategy and passes; not sinks" (fun () ->
+        let k = Cache.key (`Run []) ~opts:default_opts ~src:demo in
+        Alcotest.(check bool) "src changes the key" true
+          (k <> Cache.key (`Run []) ~opts:default_opts ~src:(demo ^ " "));
+        Alcotest.(check bool) "strategy changes the key" true
+          (k
+          <> Cache.key (`Run [])
+               ~opts:{ default_opts with Pipeline.strategy = Pipeline.Tags }
+               ~src:demo);
+        (match Tc_opt.Opt.of_string "all" with
+        | Some passes ->
+            Alcotest.(check bool) "passes change the key" true
+              (k <> Cache.key (`Run passes) ~opts:default_opts ~src:demo)
+        | None -> Alcotest.fail "opt level \"all\" should parse");
+        Alcotest.(check bool) "check path is keyed apart" true
+          (k <> Cache.key `Check ~opts:default_opts ~src:demo);
+        Alcotest.(check string) "metrics/trace excluded" k
+          (Cache.key (`Run [])
+             ~opts:{ default_opts with Pipeline.metrics = Metrics.create () }
+             ~src:demo));
+    case "serve hit skips the front end (compile span stays at 1)"
+      (fun () ->
+        let cache = Cache.create () in
+        let config =
+          {
+            Serve.default_config with
+            Serve.sleep = (fun _ -> ());
+            compile_hook =
+              Some
+                (fun ~opts ~passes ~src ->
+                  Cache.compile_run cache ~opts ~passes ~src);
+          }
+        in
+        let t = Serve.create ~config () in
+        let req =
+          Json.to_line
+            (Json.Obj [ ("op", Json.Str "run"); ("src", Json.Str demo) ])
+        in
+        ignore (Serve.handle_line t req);
+        ignore (Serve.handle_line t req);
+        Alcotest.(check int) "two requests" 2
+          (counter_of (Serve.metrics t) "serve/requests");
+        Alcotest.(check int) "one cache hit" 1 (cache_counter cache "hits");
+        let compile_spans =
+          List.filter
+            (fun (s : Metrics.span_stat) -> s.Metrics.sp_name = "compile")
+            (Metrics.spans (Serve.metrics t))
+        in
+        match compile_spans with
+        | [ s ] ->
+            Alcotest.(check int)
+              "front end ran once for two requests" 1 s.Metrics.sp_count
+        | l -> Alcotest.failf "expected one compile span, got %d"
+                 (List.length l));
+    case "byte budget evicts least-recently-used entries" (fun () ->
+        (* budget far below one artifact: every insert evicts the last *)
+        let c = Cache.create ~max_bytes:1024 () in
+        let src i = Printf.sprintf "main = %d" i in
+        for i = 1 to 3 do
+          ignore (Cache.compile_run c ~opts:default_opts ~passes:[]
+                    ~src:(src i))
+        done;
+        Alcotest.(check int) "three inserts" 3 (cache_counter c "inserts");
+        Alcotest.(check bool) "evictions happened" true
+          (cache_counter c "evictions" >= 2);
+        Alcotest.(check bool) "occupancy bounded" true (Cache.entries c <= 1));
+    case "verification recompiles sampled hits and passes" (fun () ->
+        let c = Cache.create ~verify_every:1 () in
+        ignore (Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo);
+        ignore (Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo);
+        ignore (Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo);
+        Alcotest.(check int) "every hit verified" 2
+          (cache_counter c "verified");
+        Alcotest.(check int) "no mismatches" 0
+          (cache_counter c "verify_fail");
+        (* the fingerprint itself is gensym-invariant across compiles *)
+        let fp () =
+          Cache.fingerprint (Pipeline.compile ~file:"t.mhs" demo)
+        in
+        Alcotest.(check string) "stable fingerprint" (fp ()) (fp ()));
+    case "compile errors propagate and are never cached" (fun () ->
+        let c = Cache.create () in
+        let bad = "main = notInScope" in
+        let attempt () =
+          match
+            Cache.compile_run c ~opts:default_opts ~passes:[] ~src:bad
+          with
+          | _ -> Alcotest.fail "expected a compile error"
+          | exception Tc_support.Diagnostic.Error _ -> ()
+        in
+        attempt ();
+        attempt ();
+        Alcotest.(check int) "both attempts missed" 2
+          (cache_counter c "misses");
+        Alcotest.(check int) "nothing inserted" 0 (Cache.entries c);
+        (* the accumulating path *does* cache its diagnostics *)
+        let ck1 = Cache.check c ~opts:default_opts ~src:bad in
+        let ck2 = Cache.check c ~opts:default_opts ~src:bad in
+        Alcotest.(check bool) "no artifact" true
+          (ck1.Pipeline.artifact = None && ck2.Pipeline.artifact = None);
+        Alcotest.(check int) "check hit" 1 (cache_counter c "hits"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pool_requests n =
+  Array.init n (fun i ->
+      Json.to_line
+        (Json.Obj
+           [
+             ("op", Json.Str "run");
+             ("id", Json.Int i);
+             ("src", Json.Str (Printf.sprintf "main = %d + %d" i i));
+           ]))
+
+let run_pool ~workers lines =
+  let i = ref 0 in
+  let next () =
+    if !i >= Array.length lines then None
+    else begin
+      let l = lines.(!i) in
+      incr i;
+      Some l
+    end
+  in
+  let out = ref [] in
+  let config = { Serve.default_config with Serve.sleep = (fun _ -> ()) } in
+  let summary =
+    Pool.run ~workers ~config ~next ~emit:(fun l -> out := l :: !out) ()
+  in
+  (summary, List.rev !out)
+
+let response_id line =
+  match Json.parse line with
+  | Ok r -> Option.bind (Json.member "id" r) Json.to_int
+  | Error _ -> None
+
+let pool_cases =
+  [
+    case "responses come back in request order across 4 workers" (fun () ->
+        let n = 12 in
+        let summary, out = run_pool ~workers:4 (pool_requests n) in
+        Alcotest.(check int) "every response emitted" n (List.length out);
+        Alcotest.(check (list int)) "in request order"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        Alcotest.(check int) "4 workers joined" 4 summary.Pool.workers);
+    case "merged registry preserves the telemetry invariant" (fun () ->
+        let n = 10 in
+        let summary, _ = run_pool ~workers:3 (pool_requests n) in
+        Alcotest.(check int) "stats merged across workers" n
+          summary.Pool.stats.Serve.requests;
+        Alcotest.(check int) "all ok" n summary.Pool.stats.Serve.ok;
+        Alcotest.(check int) "merged request counter" n
+          (counter_of summary.Pool.metrics "serve/requests");
+        Alcotest.(check bool) "latency counts sum to serve/requests" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+    case "workers=1 falls back to the sequential loop" (fun () ->
+        let n = 3 in
+        let summary, out = run_pool ~workers:1 (pool_requests n) in
+        Alcotest.(check int) "one worker" 1 summary.Pool.workers;
+        Alcotest.(check (list int)) "ordered"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        Alcotest.(check bool) "invariant" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Oversized lines.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let oversize_cases =
+  [
+    case "a line over the cap answers bad-request (op oversized)"
+      (fun () ->
+        let config =
+          {
+            Serve.default_config with
+            Serve.sleep = (fun _ -> ());
+            max_line_bytes = 64;
+          }
+        in
+        let t = Serve.create ~config () in
+        let big =
+          Json.to_line
+            (Json.Obj
+               [
+                 ("op", Json.Str "run");
+                 ("src", Json.Str (String.make 200 'x'));
+               ])
+        in
+        let resp = Serve.handle_line t big in
+        (match Json.parse resp with
+        | Error m -> Alcotest.failf "unparseable response: %s" m
+        | Ok r ->
+            Alcotest.(check bool) "not ok" true
+              (Json.member "ok" r = Some (Json.Bool false));
+            Alcotest.(check bool) "op oversized" true
+              (Json.member "op" r = Some (Json.Str "oversized")));
+        Alcotest.(check int) "counted as a request" 1
+          (counter_of (Serve.metrics t) "serve/requests");
+        (* a line exactly at the cap still parses *)
+        let small = Json.to_line (Json.Obj [ ("op", Json.Str "ping") ]) in
+        Alcotest.(check bool) "under the cap is served" true
+          (Helpers.contains ~needle:"\"ok\":true"
+             (Serve.handle_line t small)));
+    case "bounded_next buffers at most max_bytes + 1" (fun () ->
+        let path = Filename.temp_file "mhc_scale" ".ndjson" in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (String.make 1000 'x');
+            Out_channel.output_string oc "\nshort\n");
+        let ic = In_channel.open_bin path in
+        Fun.protect
+          ~finally:(fun () ->
+            In_channel.close ic;
+            Sys.remove path)
+          (fun () ->
+            let next = Serve.bounded_next ~max_bytes:8 ic in
+            (match next () with
+            | Some l ->
+                Alcotest.(check int) "truncated to cap + 1" 9
+                  (String.length l)
+            | None -> Alcotest.fail "expected the oversized line");
+            Alcotest.(check (option string))
+              "following line intact" (Some "short") (next ());
+            Alcotest.(check (option string)) "then EOF" None (next ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Load generator.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cases =
+  [
+    case "a small run reports sane phases and holds the invariant"
+      (fun () ->
+        (* one worker: deterministic cache arithmetic (with more workers,
+           simultaneous requests for a not-yet-inserted key can each
+           miss — first-writer-wins racing is by design) *)
+        let r = Loadgen.run ~clients:2 ~requests:6 ~workers:1 () in
+        Alcotest.(check int) "cold all ok" 6 r.Loadgen.cold.Loadgen.ph_ok;
+        Alcotest.(check int) "hot all ok" 6 r.Loadgen.hot.Loadgen.ph_ok;
+        Alcotest.(check int) "hot phase: one warm-up miss per client" 4
+          r.Loadgen.cache_hits;
+        Alcotest.(check int) "misses: cold + warm-up" 8
+          r.Loadgen.cache_misses;
+        Alcotest.(check bool) "invariant held" true r.Loadgen.invariant_ok;
+        (* trajectory rows parse and carry the gated metrics *)
+        let dir = Filename.temp_file "mhc_bench" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let path = Loadgen.write_bench_rows ~dir r in
+        let rows = In_channel.with_open_bin path In_channel.input_all in
+        Sys.remove path;
+        Sys.rmdir dir;
+        match Json.parse rows with
+        | Error m -> Alcotest.failf "BENCH_SERVE.json unparseable: %s" m
+        | Ok (Json.List items) ->
+            Alcotest.(check int) "seven rows" 7 (List.length items);
+            Alcotest.(check bool) "hot_speedup row present" true
+              (List.exists
+                 (fun row ->
+                   Json.member "metric" row = Some (Json.Str "hot_speedup"))
+                 items)
+        | Ok _ -> Alcotest.fail "expected a JSON array");
+  ]
+
+let tests =
+  [
+    ("scale cache", cache_cases);
+    ("scale pool", pool_cases);
+    ("scale oversize", oversize_cases);
+    ("scale loadgen", loadgen_cases);
+  ]
