@@ -174,16 +174,98 @@ let write_metrics dest (m : Metrics.t) =
           Out_channel.output_string oc
             (Json.to_string (Metrics.snapshot m) ^ "\n"))
 
-let build_opts ?(trace = Trace.none) ?(metrics = Metrics.disabled) strategy
-    no_prelude mono_lits : Pipeline.options =
+let build_opts ?(trace = Trace.none) ?(metrics = Metrics.disabled)
+    ?(specialise = Pipeline.default_spec) strategy no_prelude mono_lits :
+    Pipeline.options =
   {
     Pipeline.default_options with
     strategy;
     overloaded_literals = not mono_lits;
     include_prelude = not no_prelude;
+    specialise;
     trace;
     metrics;
   }
+
+(* ---- spec profiles (the profile -> optimize loop) ---- *)
+
+(* [mhc profile --emit-spec] writes one of these; [run]/[serve]
+   [--spec-profile] loads it back to drive profile-guided
+   specialization. A broken profile is a user error (exit 1), not an
+   ICE. *)
+let read_spec_profile path : Profile.spec =
+  let fail m =
+    raise
+      (Diagnostic.Error
+         (Diagnostic.make ~severity:Diagnostic.Error ~loc:Tc_support.Loc.none
+            (Printf.sprintf "%s: %s" path m)))
+  in
+  match Json.parse (read_file path) with
+  | Error m -> fail ("not valid JSON: " ^ m)
+  | Ok j -> (
+      match Profile.spec_of_json j with Ok sp -> sp | Error m -> fail m)
+
+let spec_profile_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec-profile" ] ~docv:"FILE"
+        ~doc:
+          "Load a dispatch profile (written by $(b,mhc profile \
+           --emit-spec)) and drive profile-guided specialization with it: \
+           only overloaded bindings the profile shows as hot are cloned \
+           at their concrete instance types; the cold tail keeps \
+           dictionary dispatch. Implies $(b,-O spec) unless $(b,-O) is \
+           given explicitly.")
+
+let spec_options_of_profile = function
+  | None -> Pipeline.default_spec
+  | Some path ->
+      {
+        Pipeline.default_spec with
+        Pipeline.spec_profile = Some (read_spec_profile path);
+      }
+
+(* When a profile is loaded but no -O was given, default to the
+   specializing pipeline — the flag is useless without the pass. *)
+let spec_default_passes ~spec_profile passes =
+  match (spec_profile, passes) with
+  | Some _, [] -> Option.value ~default:[] (Tc_opt.Opt.of_string "spec")
+  | _ -> passes
+
+let spec_report_json ~file (c : Pipeline.compiled) : Json.t =
+  let body =
+    match c.Pipeline.spec_report with
+    | None -> Json.Null
+    | Some r ->
+        Json.Obj
+          [
+            ("clones", Json.Int r.Tc_opt.Specialise.sr_clones);
+            ("call_sites", Json.Int r.Tc_opt.Specialise.sr_call_sites);
+            ("hot_binds", Json.Int r.Tc_opt.Specialise.sr_hot_binds);
+            ("cold_binds", Json.Int r.Tc_opt.Specialise.sr_cold_binds);
+            ("budget_skips", Json.Int r.Tc_opt.Specialise.sr_budget_skips);
+            ("size_before", Json.Int r.Tc_opt.Specialise.sr_size_before);
+            ("size_after", Json.Int r.Tc_opt.Specialise.sr_size_after);
+            ("growth", Json.Float (Tc_opt.Specialise.growth r));
+            ("sels_before", Json.Int r.Tc_opt.Specialise.sr_sels_before);
+            ("sels_after", Json.Int r.Tc_opt.Specialise.sr_sels_after);
+            ("dicts_before", Json.Int r.Tc_opt.Specialise.sr_dicts_before);
+            ("dicts_after", Json.Int r.Tc_opt.Specialise.sr_dicts_after);
+            ( "profile_guided",
+              Json.Bool r.Tc_opt.Specialise.sr_profile_guided );
+          ]
+  in
+  Json.Obj [ ("file", Json.Str file); ("specialise", body) ]
+
+let write_spec_report dest ~file c =
+  match dest with
+  | None -> ()
+  | Some "-" -> Fmt.pr "%s@." (Json.to_string (spec_report_json ~file c))
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Json.to_string (spec_report_json ~file c) ^ "\n"))
 
 let compile opts file =
   let src = read_file file in
@@ -343,23 +425,39 @@ let run_cmd =
      wall-clock deadline by default, so divergent programs terminate with \
      exit code 3 instead of hanging)."
   in
+  let spec_report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec-report" ] ~docv:"FILE"
+          ~doc:
+            "Write the specializer's report — clones minted, call sites \
+             rewritten, hot/cold binding split, budget refusals, code \
+             growth — as JSON to $(docv) ($(b,-) for stdout) after \
+             optimization.")
+  in
   let run strategy no_prelude mono passes mode backend fuel timeout inject
-      mfile file =
+      mfile spec_profile spec_report file =
     handle_errors @@ fun () ->
     arm_inject inject;
     let metrics = metrics_for mfile in
-    let c = compile (build_opts ~metrics strategy no_prelude mono) file in
+    let specialise = spec_options_of_profile spec_profile in
+    let passes = spec_default_passes ~spec_profile passes in
+    let c =
+      compile (build_opts ~metrics ~specialise strategy no_prelude mono) file
+    in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let r = Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c in
     write_metrics mfile metrics;
+    write_spec_report spec_report ~file c;
     Fmt.pr "%s@." r.Pipeline.rendered
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ inject_arg
-      $ metrics_arg $ file_arg)
+      $ metrics_arg $ spec_profile_arg $ spec_report_arg $ file_arg)
 
 let counters_cmd =
   let doc = "Evaluate $(b,main) and report run-time operation counters." in
@@ -430,10 +528,25 @@ let profile_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Show the $(docv) hottest sites of each kind (-1 = all).")
   in
+  let emit_spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-spec" ] ~docv:"FILE"
+          ~doc:
+            "Also write the profile as a specialization input — every hit \
+             dispatch site with its descriptor and count — to $(docv) \
+             ($(b,-) for stdout). Feed it back with $(b,mhc run \
+             --spec-profile) to clone exactly the hot sites.")
+  in
   let run strategy no_prelude mono passes mode backend fuel timeout top json
-      file =
+      emit_spec spec_profile file =
     handle_errors @@ fun () ->
-    let c = compile (build_opts strategy no_prelude mono) file in
+    let specialise = spec_options_of_profile spec_profile in
+    let passes = spec_default_passes ~spec_profile passes in
+    let c =
+      compile (build_opts ~specialise strategy no_prelude mono) file
+    in
     let c = Pipeline.optimize passes c in
     print_warnings c;
     let r =
@@ -441,6 +554,17 @@ let profile_cmd =
         ~profile:true c
     in
     let report = Option.get r.Pipeline.profile in
+    (match emit_spec with
+    | None -> ()
+    | Some dest ->
+        let text =
+          Json.to_string (Profile.spec_json (Profile.spec_of_report report))
+          ^ "\n"
+        in
+        if dest = "-" then print_string text
+        else
+          Out_channel.with_open_bin dest (fun oc ->
+              Out_channel.output_string oc text));
     if json then
       Fmt.pr "%s@."
         (Json.to_string
@@ -463,7 +587,7 @@ let profile_cmd =
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ top_arg $ json_arg
-      $ file_arg)
+      $ emit_spec_arg $ spec_profile_arg $ file_arg)
 
 let disasm_cmd =
   let doc = "Compile to VM bytecode and print the disassembly." in
@@ -747,7 +871,7 @@ let serve_cmd =
              requests ($(b,0) disables; ignored with $(b,--workers) > 1).")
   in
   let run strategy no_prelude mono timeout retries backoff_ms inject mfile
-      every workers cache_mb cache_verify max_line =
+      every workers cache_mb cache_verify max_line spec_profile =
     handle_errors @@ fun () ->
     arm_inject inject;
     let stopped = ref false in
@@ -763,6 +887,42 @@ let serve_cmd =
              ~max_bytes:(cache_mb * 1024 * 1024)
              ~verify_every:cache_verify ())
     in
+    let hooks =
+      let cached =
+        match cache with
+        | None -> Serve.no_hooks
+        | Some c ->
+            {
+              Serve.no_hooks with
+              Serve.compile =
+                Some
+                  (fun ~opts ~passes ~src ->
+                    Tc_scale.Cache.compile_run c ~opts ~passes ~src);
+              check = Some (fun ~opts ~src -> Tc_scale.Cache.check c ~opts ~src);
+            }
+      in
+      match spec_profile with
+      | None -> cached
+      | Some path ->
+          (* The specialise seam composes after the compile/cache seam:
+             cache hits get re-specialized against the loaded profile
+             (the cache stores unspecialized artifacts under a key that
+             excludes this server-side profile). *)
+          let specialise = spec_options_of_profile (Some path) in
+          let passes = spec_default_passes ~spec_profile [] in
+          {
+            cached with
+            Serve.specialise =
+              Some
+                (fun c ->
+                  Pipeline.optimize passes
+                    {
+                      c with
+                      Pipeline.options =
+                        { c.Pipeline.options with Pipeline.specialise };
+                    });
+          }
+    in
     let config =
       {
         Serve.default_config with
@@ -772,15 +932,7 @@ let serve_cmd =
         backoff_ms;
         snapshot_every = every;
         max_line_bytes = max_line;
-        compile_hook =
-          Option.map
-            (fun c ~opts ~passes ~src ->
-              Tc_scale.Cache.compile_run c ~opts ~passes ~src)
-            cache;
-        check_hook =
-          Option.map
-            (fun c ~opts ~src -> Tc_scale.Cache.check c ~opts ~src)
-            cache;
+        hooks;
       }
     in
     let next = Serve.bounded_next ~max_bytes:max_line stdin in
@@ -814,7 +966,7 @@ let serve_cmd =
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
       $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
       $ metrics_every_arg $ workers_arg $ cache_mb_arg $ cache_verify_arg
-      $ max_line_arg)
+      $ max_line_arg $ spec_profile_arg)
 
 (* ---- bench ---- *)
 

@@ -79,8 +79,8 @@ let () =
 
   (* -------- run them -------------------------------------------- *)
   Fmt.pr "@.== running both ==@.";
-  let c3, r =
-    Pipeline.compile_and_run ~file:"paper3.mhs"
+  let c3 =
+    Pipeline.compile ~file:"paper3.mhs"
       {|
 f :: Num a => a -> a
 f x = if x == 0 then x else x + f (x - 1)
@@ -88,5 +88,5 @@ g x = str (x, length x)
 main = (f (10 :: Int), g "ab", g [True])
 |}
   in
-  ignore c3;
+  let r = Pipeline.exec c3 in
   Fmt.pr "result: %s@." r.rendered

@@ -55,6 +55,26 @@ let strategy_name = function
   | Dicts_flat -> "dicts-flat"
   | Tags -> "tags"
 
+(* Specializer options: how the [Specialise] optimizer pass is driven.
+   With a profile loaded, only hot bindings (>= threshold profiled
+   dispatches in their body) are cloned; without one every overloaded
+   binding is a candidate. The budgets bound code growth either way. *)
+type spec_options = {
+  spec_profile : Profile.spec option;  (* loaded dispatch profile *)
+  spec_threshold : int;                (* hotness threshold, in hits *)
+  spec_max_clones : int;               (* <= 0 disables cloning *)
+  spec_max_growth : float;             (* size multiple cap; <= 0 off *)
+}
+
+(* kept in sync with Tc_opt.Specialise.default_policy *)
+let default_spec =
+  {
+    spec_profile = None;
+    spec_threshold = 1;
+    spec_max_clones = 2000;
+    spec_max_growth = 0.;
+  }
+
 type options = {
   strategy : strategy;
   overloaded_literals : bool;  (* integer literals via fromInt (Num a => a) *)
@@ -62,6 +82,7 @@ type options = {
   include_prelude : bool;
   lint : bool;
   max_errors : int;            (* accumulating-mode error cap; <= 0 unlimited *)
+  specialise : spec_options;   (* drives the Specialise optimizer pass *)
   trace : Trace.t;             (* compile-time event sink; off by default *)
   metrics : Metrics.t;         (* phase spans + counters; off by default *)
 }
@@ -74,9 +95,21 @@ let default_options =
     include_prelude = true;
     lint = true;
     max_errors = 100;
+    specialise = default_spec;
     trace = Trace.none;
     metrics = Metrics.disabled;
   }
+
+(* The artifact-relevant rendering of the spec options, for compile-cache
+   keys: two compiles whose signatures differ must not share an optimized
+   artifact. *)
+let spec_signature (o : options) : string =
+  let s = o.specialise in
+  Printf.sprintf "profile=%s;threshold=%d;clones=%d;growth=%g"
+    (match s.spec_profile with
+     | None -> "-"
+     | Some sp -> Profile.spec_digest sp)
+    s.spec_threshold s.spec_max_clones s.spec_max_growth
 
 (** The checker-level options implied by the pipeline options. Under [Tags]
     the program is still checked with the nested dictionary translation
@@ -100,6 +133,8 @@ type compiled = {
   warnings : Diagnostic.t list;
   checker_stats : Stats.t;
   options : options;
+  spec_report : Tc_opt.Specialise.report option;
+      (* what the last Specialise pass did, once [optimize] ran one *)
   (* tooling hooks (REPL, :type): the final value environment and the
      fixity table of the compiled program *)
   venv : Infer.venv;
@@ -507,6 +542,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
     warnings = Diagnostic.Sink.warnings env.sink;
     checker_stats = Stats.snapshot ();
     options = opts;
+    spec_report = None;
     venv;
     fixities;
   }
@@ -609,10 +645,6 @@ type result = {
   profile : Profile.report option;      (* when requested *)
 }
 
-(* deprecated names for [result]; see the interface *)
-type run_result = result
-type exec_result = result
-
 (** Lower a compiled program to bytecode. The [mode] is baked in at
     compile time: lazy code delays arguments and let bindings, strict code
     evaluates them inline (dictionary fields stay delayed in both). *)
@@ -668,15 +700,6 @@ let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
       finish ~meter:(Tc_vm.Vm.meter st) ~rendered
         ~counters:(Tc_vm.Vm.counters st) ~value:None
 
-let run ?mode ?budget ?entry (c : compiled) : result =
-  exec ~backend:`Tree ?mode ?budget ?entry c
-
-(** Convenience: compile and run in one step (on either backend). *)
-let compile_and_run ?opts ?file ?backend ?(mode = `Lazy) ?budget ?profile src
-    =
-  let c = compile ?opts ?file src in
-  (c, exec ?backend ~mode ?budget ?profile c)
-
 (** Type check only; returns the inferred qualified types of the user's
     top-level bindings, rendered. *)
 let check_types ?opts ?file src : (string * string) list =
@@ -699,14 +722,71 @@ let expression_type (c : compiled) (src : string) : string =
 
 (** Apply an optimizer pipeline to a compiled program, reporting a
     per-pass [Opt_pass] event (program size and static dictionary-operation
-    deltas) to the compile's trace sink. *)
+    deltas) to the compile's trace sink. The [Specialise] pass runs under
+    the policy in [options.specialise] — with a loaded profile remapped
+    onto the program's site table, this is the profile-guided half of the
+    profile → optimize loop — and its typed report lands in
+    [spec_report], in an [opt/spec/*] metrics family, and in a
+    [Spec_report] trace event. *)
 let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
   let tr = c.options.trace in
   let metrics = c.options.metrics in
   Span.wrap metrics "optimize" @@ fun () ->
+  let spec_report = ref c.spec_report in
+  (* the policy is rebuilt against the current core: profiled counts are
+     remapped (descriptor-first, id fallback) onto the sites that survived
+     the passes already applied *)
+  let spec_policy core : Tc_opt.Specialise.policy =
+    let s = c.options.specialise in
+    {
+      Tc_opt.Specialise.hot_counts =
+        Option.map
+          (fun sp -> Profile.counts_for sp (Profile.site_table core))
+          s.spec_profile;
+      hot_threshold = s.spec_threshold;
+      max_clones = s.spec_max_clones;
+      max_growth = s.spec_max_growth;
+    }
+  in
+  let record_spec (r : Tc_opt.Specialise.report) =
+    spec_report := Some r;
+    let add name v = Metrics.add (Metrics.counter metrics ("opt/spec/" ^ name)) v in
+    add "clones" r.Tc_opt.Specialise.sr_clones;
+    add "call_sites" r.Tc_opt.Specialise.sr_call_sites;
+    add "hot_binds" r.Tc_opt.Specialise.sr_hot_binds;
+    add "cold_binds" r.Tc_opt.Specialise.sr_cold_binds;
+    add "budget_skips" r.Tc_opt.Specialise.sr_budget_skips;
+    add "sels_removed"
+      (max 0
+         (r.Tc_opt.Specialise.sr_sels_before
+          - r.Tc_opt.Specialise.sr_sels_after));
+    add "dicts_removed"
+      (max 0
+         (r.Tc_opt.Specialise.sr_dicts_before
+          - r.Tc_opt.Specialise.sr_dicts_after));
+    Trace.emit tr (fun () ->
+        Trace.Spec_report
+          {
+            clones = r.Tc_opt.Specialise.sr_clones;
+            call_sites = r.Tc_opt.Specialise.sr_call_sites;
+            hot_binds = r.Tc_opt.Specialise.sr_hot_binds;
+            cold_binds = r.Tc_opt.Specialise.sr_cold_binds;
+            budget_skips = r.Tc_opt.Specialise.sr_budget_skips;
+            size_before = r.Tc_opt.Specialise.sr_size_before;
+            size_after = r.Tc_opt.Specialise.sr_size_after;
+            profile_guided = r.Tc_opt.Specialise.sr_profile_guided;
+          })
+  in
   let run_pass pass core =
     Span.wrap metrics (Tc_opt.Opt.pass_name pass) (fun () ->
-        Tc_opt.Opt.run_pass pass core)
+        match (pass : Tc_opt.Opt.pass) with
+        | Tc_opt.Opt.Specialise ->
+            let core', rep =
+              Tc_opt.Opt.run_pass_report ~spec:(spec_policy core) pass core
+            in
+            Option.iter record_spec rep;
+            core'
+        | _ -> Tc_opt.Opt.run_pass pass core)
   in
   let core =
     List.fold_left
@@ -728,4 +808,4 @@ let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
       c.core passes
   in
   if c.options.lint then Lint.check_program ~primitives:Prims.names core;
-  { c with core }
+  { c with core; spec_report = !spec_report }

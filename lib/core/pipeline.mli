@@ -33,6 +33,26 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+(** How the [Specialise] optimizer pass is driven (paper §9 +
+    profile-guided hotness). With [spec_profile] loaded — an
+    [mhc profile --emit-spec] artifact parsed by
+    {!Tc_obs.Profile.spec_of_json} — only overloaded bindings whose
+    bodies account for at least [spec_threshold] profiled dispatches are
+    cloned at their concrete instance types; the cold tail keeps
+    dictionary dispatch. Without a profile every overloaded binding is a
+    candidate (the historical static behavior). [spec_max_clones]
+    ([<= 0] disables cloning) and [spec_max_growth] (program-size
+    multiple; [<= 0] uncapped) bound code growth. *)
+type spec_options = {
+  spec_profile : Tc_obs.Profile.spec option;
+  spec_threshold : int;
+  spec_max_clones : int;
+  spec_max_growth : float;
+}
+
+(** No profile, threshold 1, 2000 clones, no growth cap. *)
+val default_spec : spec_options
+
 type options = {
   strategy : strategy;
   overloaded_literals : bool;
@@ -43,6 +63,9 @@ type options = {
   max_errors : int;
       (** cap on errors recorded by {!compile_collect} before it gives up
           on the file; [<= 0] means unlimited (default 100) *)
+  specialise : spec_options;
+      (** drives the [Specialise] pass in {!optimize};
+          {!default_spec} by default *)
   trace : Tc_obs.Trace.t;
       (** compile-time event sink; {!Tc_obs.Trace.none} (off) by default *)
   metrics : Tc_obs.Metrics.t;
@@ -60,6 +83,11 @@ val default_options : options
 (** The checker-level options implied by the pipeline options. *)
 val infer_options : options -> Infer.options
 
+(** Canonical rendering of the artifact-relevant {!spec_options} (profile
+    digest, threshold, budgets) — compile caches must fold this into
+    their keys so differently-specialized artifacts never collide. *)
+val spec_signature : options -> string
+
 type compiled = {
   env : Class_env.t;
   core : Core.program;
@@ -68,6 +96,8 @@ type compiled = {
   warnings : Diagnostic.t list;
   checker_stats : Stats.t;
   options : options;
+  spec_report : Tc_opt.Specialise.report option;
+      (** what the last [Specialise] pass did, once {!optimize} ran one *)
   venv : Infer.venv;     (** tooling: the final value environment *)
   fixities : Fixity.env; (** tooling: the program's fixity table *)
 }
@@ -109,12 +139,6 @@ type result = {
       (** per-site dispatch profile, when requested *)
 }
 
-type run_result = result
-[@@ocaml.deprecated "use Pipeline.result"]
-
-type exec_result = result
-[@@ocaml.deprecated "use Pipeline.result"]
-
 (** Lower a compiled program to VM bytecode ([mode] is baked in at
     compile time). *)
 val bytecode :
@@ -140,25 +164,6 @@ val exec :
   compiled ->
   result
 
-val run :
-  ?mode:[ `Lazy | `Strict ] ->
-  ?budget:Budget.t ->
-  ?entry:Ident.t ->
-  compiled ->
-  result
-[@@ocaml.deprecated "use Pipeline.exec"]
-
-(** Compile and execute in one step (on either backend). *)
-val compile_and_run :
-  ?opts:options ->
-  ?file:string ->
-  ?backend:backend ->
-  ?mode:[ `Lazy | `Strict ] ->
-  ?budget:Budget.t ->
-  ?profile:bool ->
-  string ->
-  compiled * result
-
 (** Type check only; user bindings with rendered qualified types. *)
 val check_types : ?opts:options -> ?file:string -> string -> (string * string) list
 
@@ -168,5 +173,9 @@ val expression_type : compiled -> string -> string
 
 (** Apply an optimizer pipeline (re-linting the result). Each pass reports
     an [Opt_pass] event — program size and static [Sel]/[MkDict] deltas —
-    to the compile's trace sink. *)
+    to the compile's trace sink. The [Specialise] pass runs under
+    [options.specialise]: a loaded profile is remapped onto the current
+    core's site table ({!Tc_obs.Profile.counts_for}) so only hot bindings
+    are cloned, and the pass's typed report lands in [spec_report], in
+    [opt/spec/*] metrics counters, and in a [Spec_report] trace event. *)
 val optimize : Tc_opt.Opt.pass list -> compiled -> compiled

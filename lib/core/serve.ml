@@ -7,6 +7,24 @@ module Diagnostic = Tc_support.Diagnostic
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
 
+(* The seams where external layers plug into the request loop without a
+   dependency cycle: Tc_scale's compile cache replaces [compile]/[check];
+   [specialise] post-processes every run's artifact (the CLI installs a
+   profile-guided Pipeline.optimize here), composing with a cache in
+   front of it because it runs on whatever the compile seam returned. *)
+type hooks = {
+  compile :
+    (opts:Pipeline.options ->
+     passes:Tc_opt.Opt.pass list ->
+     src:string ->
+     Pipeline.compiled)
+    option;
+  check : (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
+  specialise : (Pipeline.compiled -> Pipeline.compiled) option;
+}
+
+let no_hooks = { compile = None; check = None; specialise = None }
+
 type config = {
   default_budget : Budget.t;
   retries : int;
@@ -16,14 +34,7 @@ type config = {
   snapshot_every : int;
   base_opts : Pipeline.options;
   max_line_bytes : int;
-  compile_hook :
-    (opts:Pipeline.options ->
-     passes:Tc_opt.Opt.pass list ->
-     src:string ->
-     Pipeline.compiled)
-    option;
-  check_hook :
-    (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
+  hooks : hooks;
 }
 
 let default_config =
@@ -36,8 +47,7 @@ let default_config =
     snapshot_every = 0;
     base_opts = Pipeline.default_options;
     max_line_bytes = 1 lsl 20;
-    compile_hook = None;
-    check_hook = None;
+    hooks = no_hooks;
   }
 
 type stats = {
@@ -223,7 +233,7 @@ let do_check t ~id ~op req =
   let src = require_src req in
   let opts = opts_for t req in
   let { Pipeline.diagnostics; artifact } =
-    match t.config.check_hook with
+    match t.config.hooks.check with
     | Some hook -> hook ~opts ~src
     | None -> Pipeline.compile_collect ~opts ~file:"<serve>" src
   in
@@ -253,11 +263,18 @@ let do_run t ~id req =
   let mode = mode_of req in
   let budget = budget_of req t.config.default_budget in
   let c =
-    match t.config.compile_hook with
+    match t.config.hooks.compile with
     | Some hook -> hook ~opts ~passes:(passes_of req) ~src
     | None ->
         let c = Pipeline.compile ~opts ~file:"<serve>" src in
         Pipeline.optimize (passes_of req) c
+  in
+  (* the specialise seam runs on whatever the compile seam produced, so a
+     cache hit still gets (re-)specialized for this server's policy *)
+  let c =
+    match t.config.hooks.specialise with
+    | Some hook -> hook c
+    | None -> c
   in
   let r = Pipeline.exec ~backend ~mode ~budget c in
   Counters.merge t.totals r.Pipeline.counters;

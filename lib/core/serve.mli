@@ -49,6 +49,31 @@
 module Budget = Tc_resilience.Budget
 module Json = Tc_obs.Json
 
+(** The seams where external layers plug into the request loop without a
+    dependency cycle. All three default to [None] (plain pipeline
+    calls). *)
+type hooks = {
+  compile :
+    (opts:Pipeline.options ->
+     passes:Tc_opt.Opt.pass list ->
+     src:string ->
+     Pipeline.compiled)
+    option;
+      (** replaces [Pipeline.compile] + [Pipeline.optimize] for the [run]
+          op — where {!Tc_scale}'s compile cache plugs in. Must preserve
+          per-request semantics: raise what [compile] would raise. *)
+  check : (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
+      (** likewise replaces [Pipeline.compile_collect] for [check] and
+          [compile] ops *)
+  specialise : (Pipeline.compiled -> Pipeline.compiled) option;
+      (** post-processes every [run] artifact {e after} the compile seam
+          — the CLI installs a profile-guided [Pipeline.optimize] here,
+          so specialization composes with a compile cache in front *)
+}
+
+(** All three seams empty. *)
+val no_hooks : hooks
+
 type config = {
   default_budget : Budget.t;
       (** applied to every request unless overridden per request *)
@@ -68,25 +93,12 @@ type config = {
   max_line_bytes : int;
       (** request lines longer than this answer a [bad-request] (op
           ["oversized"]) without being parsed; [0] disables the cap *)
-  compile_hook :
-    (opts:Pipeline.options ->
-     passes:Tc_opt.Opt.pass list ->
-     src:string ->
-     Pipeline.compiled)
-    option;
-      (** replaces [Pipeline.compile] + [Pipeline.optimize] for the [run]
-          op — the seam where {!Tc_scale}'s compile cache plugs in
-          without a dependency cycle. Must preserve per-request
-          semantics: raise what [compile] would raise. *)
-  check_hook :
-    (opts:Pipeline.options -> src:string -> Pipeline.checked) option;
-      (** likewise replaces [Pipeline.compile_collect] for [check] and
-          [compile] ops *)
+  hooks : hooks;  (** external seams; {!no_hooks} by default *)
 }
 
 (** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf],
-    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap, no
-    compile hooks. *)
+    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap,
+    {!no_hooks}. *)
 val default_config : config
 
 (** Cumulative server statistics, also exposed as the [stats] op. *)

@@ -208,3 +208,158 @@ let report_json ?(top = -1) (r : report) : Json.t =
       ("selection_sites", Json.List (List.map entry_json (take top r.r_sels)));
       ("construction_sites",
        Json.List (List.map entry_json (take top r.r_dicts))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec profiles: the persisted form of a dispatch profile, consumed   *)
+(* by the profile-guided specializer on a later compile.               *)
+(* ------------------------------------------------------------------ *)
+
+type spec_site = {
+  ss_id : int;
+  ss_kind : site_kind;
+  ss_class : string;
+  ss_detail : string;
+  ss_loc : string;  (* rendered location; "" when none *)
+  ss_count : int;
+}
+
+type spec = spec_site list
+
+let spec_of_entry (e : entry) : spec_site =
+  {
+    ss_id = e.e_site.s_id;
+    ss_kind = e.e_site.s_kind;
+    ss_class = Ident.text e.e_site.s_class;
+    ss_detail = e.e_site.s_detail;
+    ss_loc =
+      (if Loc.is_none e.e_site.s_loc then ""
+       else Loc.to_string e.e_site.s_loc);
+    ss_count = e.e_count;
+  }
+
+let spec_of_report (r : report) : spec =
+  List.map spec_of_entry (r.r_sels @ r.r_dicts)
+
+let spec_json (s : spec) : Json.t =
+  Json.Obj
+    [ ("version", Json.Int 1);
+      ("kind", Json.Str "mhc-spec-profile");
+      ("sites",
+       Json.List
+         (List.map
+            (fun ss ->
+              Json.Obj
+                [ ("site", Json.Int ss.ss_id);
+                  ("kind", Json.Str (kind_name ss.ss_kind));
+                  ("class", Json.Str ss.ss_class);
+                  ("label", Json.Str ss.ss_detail);
+                  ("loc",
+                   if ss.ss_loc = "" then Json.Null else Json.Str ss.ss_loc);
+                  ("count", Json.Int ss.ss_count) ])
+            s)) ]
+
+let site_of_json (j : Json.t) : (spec_site, string) result =
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  match (int "site", str "kind", int "count") with
+  | Some id, Some kind, Some count -> (
+      match kind with
+      | "sel" | "mkdict" ->
+          Ok
+            {
+              ss_id = id;
+              ss_kind = (if kind = "sel" then Selection else Construction);
+              ss_class = Option.value ~default:"?" (str "class");
+              ss_detail = Option.value ~default:"" (str "label");
+              ss_loc = Option.value ~default:"" (str "loc");
+              ss_count = count;
+            }
+      | k -> Error (Printf.sprintf "unknown site kind %S" k))
+  | _ ->
+      Error
+        "site entry needs integer \"site\", string \"kind\" and integer \
+         \"count\""
+
+let sites_of_json (j : Json.t) : (spec, string) result =
+  match j with
+  | Json.List items ->
+      List.fold_left
+        (fun acc item ->
+          match (acc, site_of_json item) with
+          | Error _, _ -> acc
+          | _, Error e -> Error e
+          | Ok ss, Ok s -> Ok (s :: ss))
+        (Ok []) items
+      |> Result.map List.rev
+  | _ -> Error "expected a JSON array of sites"
+
+(** Accepts both the compact [--emit-spec] form ([{"sites": [...]}]) and
+    the full [mhc profile --json] report
+    ([{"selection_sites": [...], "construction_sites": [...]}]). *)
+let spec_of_json (j : Json.t) : (spec, string) result =
+  match
+    ( Json.member "sites" j,
+      Json.member "selection_sites" j,
+      Json.member "construction_sites" j )
+  with
+  | Some sites, _, _ -> sites_of_json sites
+  | None, Some sels, Some dicts -> (
+      match (sites_of_json sels, sites_of_json dicts) with
+      | Ok a, Ok b -> Ok (a @ b)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | _ ->
+      Error
+        "not a dispatch profile: expected a \"sites\" array or \
+         \"selection_sites\"/\"construction_sites\""
+
+let spec_digest (s : spec) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ss ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%s|%s|%s|%s|%d\n" ss.ss_id (kind_name ss.ss_kind)
+           ss.ss_class ss.ss_detail ss.ss_loc ss.ss_count))
+    s;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Remapping a loaded spec onto the current program's site table.
+
+   Site ids are deterministic for identical source + options in a fresh
+   process, but a profile may have been taken against a slightly different
+   compile (other passes applied first, an edited file). So matching is
+   descriptor-first — (kind, class, label, loc) identifies a site across
+   compiles, with counts summed when desugaring duplicates a location —
+   and falls back to the raw id only for sites whose descriptor is absent
+   from the profile. *)
+let descriptor ~kind ~cls ~detail ~loc =
+  kind ^ "|" ^ cls ^ "|" ^ detail ^ "|" ^ loc
+
+let counts_for (s : spec) (sites : site_info list) : (int * int) list =
+  let by_desc : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let by_id : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ss ->
+      let d =
+        descriptor ~kind:(kind_name ss.ss_kind) ~cls:ss.ss_class
+          ~detail:ss.ss_detail ~loc:ss.ss_loc
+      in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt by_desc d) in
+      Hashtbl.replace by_desc d (prev + ss.ss_count);
+      Hashtbl.replace by_id ss.ss_id ss.ss_count)
+    s;
+  List.filter_map
+    (fun (si : site_info) ->
+      let d =
+        descriptor ~kind:(kind_name si.s_kind)
+          ~cls:(Ident.text si.s_class) ~detail:si.s_detail
+          ~loc:
+            (if Loc.is_none si.s_loc then "" else Loc.to_string si.s_loc)
+      in
+      match Hashtbl.find_opt by_desc d with
+      | Some n when n > 0 -> Some (si.s_id, n)
+      | Some _ -> None
+      | None -> (
+          match Hashtbl.find_opt by_id si.s_id with
+          | Some n when n > 0 -> Some (si.s_id, n)
+          | _ -> None))
+    sites

@@ -63,3 +63,41 @@ val pp_report : ?top:int -> Format.formatter -> report -> unit
 
 (** JSON report; [top] limits each site list (default: all). *)
 val report_json : ?top:int -> report -> Json.t
+
+(** {2 Spec profiles}
+
+    The persisted form of a dispatch profile — what [mhc profile
+    --emit-spec] writes and [mhc run --spec-profile] reads back to drive
+    profile-guided specialization. Each site keeps its id, descriptor
+    (kind, class, method/tycon label, rendered location) and hit count;
+    the descriptor makes remapping robust when the consuming compile
+    minted different site ids than the profiled one. *)
+
+type spec_site = {
+  ss_id : int;
+  ss_kind : site_kind;
+  ss_class : string;
+  ss_detail : string;
+  ss_loc : string;  (** rendered location; [""] when none *)
+  ss_count : int;
+}
+
+type spec = spec_site list
+
+(** Every hit site of a run, selections then constructions. *)
+val spec_of_report : report -> spec
+
+val spec_json : spec -> Json.t
+
+(** Accepts both the compact [--emit-spec] form and the full
+    [mhc profile --json] report. *)
+val spec_of_json : Json.t -> (spec, string) result
+
+(** Content digest, for compile-cache keys. *)
+val spec_digest : spec -> string
+
+(** [counts_for spec sites] attributes profiled hit counts to the sites
+    of the current program: descriptor-first matching (counts summed per
+    descriptor), raw-id fallback. Sites with no profiled hits are
+    omitted. *)
+val counts_for : spec -> site_info list -> (int * int) list

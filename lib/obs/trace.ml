@@ -48,6 +48,16 @@ type event =
       dicts_before : int;         (* static MkDict node counts *)
       dicts_after : int;
     }
+  | Spec_report of {
+      clones : int;               (* type-specific clones minted *)
+      call_sites : int;           (* calls redirected to clones *)
+      hot_binds : int;            (* overloaded bindings deemed hot *)
+      cold_binds : int;           (* left on dictionary dispatch *)
+      budget_skips : int;         (* clones refused by the budget *)
+      size_before : int;
+      size_after : int;
+      profile_guided : bool;      (* hotness from a loaded profile? *)
+    }
 
 type sink = { emit : event -> unit }
 
@@ -74,7 +84,7 @@ let loc_of_event = function
   | Placeholder_created { loc; _ }
   | Placeholder_resolved { loc; _ }
   | Defaulting { loc; _ } -> Some loc
-  | Opt_pass _ -> None
+  | Opt_pass _ | Spec_report _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Rendering.                                                          *)
@@ -106,6 +116,16 @@ let pp_event ppf (e : event) =
       Fmt.pf ppf
         "opt-pass %s: size %d -> %d, sels %d -> %d, dicts %d -> %d" pass
         size_before size_after sels_before sels_after dicts_before dicts_after
+  | Spec_report { clones; call_sites; hot_binds; cold_binds; budget_skips;
+                  size_before; size_after; profile_guided } ->
+      Fmt.pf ppf
+        "specialise%s: %d clone(s) over %d call site(s), %d hot / %d cold \
+         binding(s), %d budget skip(s), size %d -> %d (growth %.2fx)"
+        (if profile_guided then " (profile-guided)" else "")
+        clones call_sites hot_binds cold_binds budget_skips size_before
+        size_after
+        (if size_before = 0 then 1.
+         else float_of_int size_after /. float_of_int size_before)
 
 let loc_json (loc : Loc.t) : Json.t =
   if Loc.is_none loc then Json.Null else Json.Str (Loc.to_string loc)
@@ -157,5 +177,17 @@ let event_json (e : event) : Json.t =
           ("sels_after", Json.Int sels_after);
           ("dicts_before", Json.Int dicts_before);
           ("dicts_after", Json.Int dicts_after) ]
+  | Spec_report { clones; call_sites; hot_binds; cold_binds; budget_skips;
+                  size_before; size_after; profile_guided } ->
+      Json.Obj
+        [ ("event", Json.Str "spec-report");
+          ("clones", Json.Int clones);
+          ("call_sites", Json.Int call_sites);
+          ("hot_binds", Json.Int hot_binds);
+          ("cold_binds", Json.Int cold_binds);
+          ("budget_skips", Json.Int budget_skips);
+          ("size_before", Json.Int size_before);
+          ("size_after", Json.Int size_after);
+          ("profile_guided", Json.Bool profile_guided) ]
 
 let events_json (es : event list) : Json.t = Json.List (List.map event_json es)

@@ -36,6 +36,16 @@ type event =
       dicts_before : int;
       dicts_after : int;
     }
+  | Spec_report of {
+      clones : int;
+      call_sites : int;
+      hot_binds : int;
+      cold_binds : int;
+      budget_skips : int;
+      size_before : int;
+      size_after : int;
+      profile_guided : bool;
+    }  (** the specializer's typed report (see {!Tc_opt.Specialise}) *)
 
 type sink = { emit : event -> unit }
 

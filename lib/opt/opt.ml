@@ -16,16 +16,25 @@ let pass_name = function
   | Specialise -> "specialise"
   | Dce -> "dce"
 
-let run_pass (p : pass) (prog : Core.program) : Core.program =
+(** Run one pass; [spec] parameterizes the [Specialise] pass (ignored by
+    every other pass). The specializer's report, when it ran, rides in the
+    second component. *)
+let run_pass_report ?(spec = Specialise.default_policy) (p : pass)
+    (prog : Core.program) : Core.program * Specialise.report option =
   match p with
-  | Simplify -> Simplify.program prog
-  | Inner_entry -> Inner_entry.program prog
-  | Hoist -> Hoist.program prog
-  | Specialise -> Specialise.program prog
-  | Dce -> Dce.program prog
+  | Simplify -> (Simplify.program prog, None)
+  | Inner_entry -> (Inner_entry.program prog, None)
+  | Hoist -> (Hoist.program prog, None)
+  | Specialise ->
+      let prog, r = Specialise.program ~policy:spec prog in
+      (prog, Some r)
+  | Dce -> (Dce.program prog, None)
 
-let run (passes : pass list) (prog : Core.program) : Core.program =
-  List.fold_left (fun prog p -> run_pass p prog) prog passes
+let run_pass ?spec (p : pass) (prog : Core.program) : Core.program =
+  fst (run_pass_report ?spec p prog)
+
+let run ?spec (passes : pass list) (prog : Core.program) : Core.program =
+  List.fold_left (fun prog p -> run_pass ?spec p prog) prog passes
 
 (** The standard "everything on" pipeline. *)
 let all : pass list = [ Simplify; Inner_entry; Hoist; Specialise; Simplify; Dce ]

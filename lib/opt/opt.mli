@@ -10,8 +10,16 @@ type pass =
   | Dce           (** drop unreachable bindings *)
 
 val pass_name : pass -> string
-val run_pass : pass -> Core.program -> Core.program
-val run : pass list -> Core.program -> Core.program
+
+(** [spec] (default {!Specialise.default_policy}) parameterizes the
+    [Specialise] pass and is ignored by every other pass; the report is
+    [Some] exactly when the specializer ran. *)
+val run_pass_report :
+  ?spec:Specialise.policy -> pass -> Core.program ->
+  Core.program * Specialise.report option
+
+val run_pass : ?spec:Specialise.policy -> pass -> Core.program -> Core.program
+val run : ?spec:Specialise.policy -> pass list -> Core.program -> Core.program
 
 (** The standard "everything on" pipeline. *)
 val all : pass list

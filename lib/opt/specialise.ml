@@ -15,11 +15,76 @@
 open Tc_support
 module Core = Tc_core_ir.Core
 
-let max_clones = 2000
+(* ------------------------------------------------------------------ *)
+(* Policy and report.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  hot_counts : (int * int) list option;
+      (* profiled (site id, hit count) pairs for the program being
+         specialized; [None] = static mode, every overloaded binding is
+         hot. Dependency note: this library sits below [Tc_obs], so the
+         profile arrives pre-remapped as plain pairs. *)
+  hot_threshold : int;
+      (* an overloaded binding is hot iff the profiled hits over the
+         dispatch sites in its body sum to at least this *)
+  max_clones : int;   (* <= 0 disables cloning entirely (identity) *)
+  max_growth : float; (* size cap as a multiple of the input; <= 0 = off *)
+}
+
+let default_policy =
+  { hot_counts = None; hot_threshold = 1; max_clones = 2000; max_growth = 0. }
+
+type report = {
+  sr_clones : int;        (* type-specific clones minted *)
+  sr_call_sites : int;    (* calls redirected to clones *)
+  sr_hot_binds : int;     (* overloaded bindings deemed hot *)
+  sr_cold_binds : int;    (* overloaded bindings left on dictionaries *)
+  sr_budget_skips : int;  (* clones refused by max_clones/max_growth *)
+  sr_size_before : int;
+  sr_size_after : int;
+  sr_sels_before : int;   (* static Sel node counts *)
+  sr_sels_after : int;
+  sr_dicts_before : int;  (* static MkDict node counts *)
+  sr_dicts_after : int;
+  sr_profile_guided : bool;
+}
+
+let growth (r : report) : float =
+  if r.sr_size_before = 0 then 1.
+  else float_of_int r.sr_size_after /. float_of_int r.sr_size_before
+
+(* static program measurements, for the report (this library cannot see
+   [Tc_obs.Profile], which has the same helpers for the trace layer) *)
+let program_size (p : Core.program) : int =
+  List.fold_left
+    (fun acc g ->
+      List.fold_left
+        (fun acc (b : Core.bind) -> acc + Core.size b.Core.b_expr)
+        acc (Core.binds_of_group g))
+    0 p.Core.p_binds
+
+let static_dict_ops (p : Core.program) : int * int =
+  let sels = ref 0 and dicts = ref 0 in
+  let rec go (e : Core.expr) =
+    (match e with
+     | Core.Sel _ -> incr sels
+     | Core.MkDict _ -> incr dicts
+     | _ -> ());
+    Core.iter_sub go e
+  in
+  List.iter
+    (fun g ->
+      List.iter (fun (b : Core.bind) -> go b.Core.b_expr) (Core.binds_of_group g))
+    p.Core.p_binds;
+  (!sels, !dicts)
 
 type ctx = {
+  policy : policy;
   (* top-level overloaded bindings: name -> (dict params, other params, body) *)
   overloaded : (Ident.t list * Ident.t list * Core.expr) Ident.Tbl.t;
+  (* the hot subset of [overloaded] — the only bindings worth cloning *)
+  hot : unit Ident.Tbl.t;
   (* top-level dictionary bindings with literal MkDict bodies *)
   dict_bodies : Core.expr Ident.Tbl.t;
   top_names : unit Ident.Tbl.t;
@@ -27,6 +92,10 @@ type ctx = {
   memo : (string, Ident.t) Hashtbl.t;
   mutable new_binds : Core.bind list;  (* clones, most recent first *)
   mutable clone_count : int;
+  mutable call_sites : int;    (* calls redirected to clones *)
+  mutable budget_skips : int;  (* clone mints refused by the budget *)
+  mutable est_size : int;      (* input size + estimated clone growth *)
+  size_allowance : int;        (* max_int when max_growth is off *)
 }
 
 (** Is [e] closed except for top-level names? *)
@@ -69,46 +138,63 @@ let rec specialise_expr ctx ?(bound = Ident.Set.empty) (e : Core.expr) :
   let e = map_sub_scoped (fun b e' -> specialise_expr ctx ~bound:b e') bound e in
   match Core.unfold_app e [] with
   | Core.Var f, args
-    when Ident.Tbl.mem ctx.overloaded f && not (Ident.Set.mem f bound) ->
+    when Ident.Tbl.mem ctx.hot f && not (Ident.Set.mem f bound) ->
       let dict_params, _, _ = Ident.Tbl.find ctx.overloaded f in
       let k = List.length dict_params in
-      if List.length args >= k && ctx.clone_count < max_clones then begin
+      if List.length args >= k then begin
         let dicts = List.filteri (fun i _ -> i < k) args in
         let rest = List.filteri (fun i _ -> i >= k) args in
         if List.for_all (is_constant ctx) dicts then
-          let clone = clone_for ctx f dicts in
-          Core.apps (Core.Var clone) rest
+          match clone_for ctx f dicts with
+          | Some clone ->
+              ctx.call_sites <- ctx.call_sites + 1;
+              Core.apps (Core.Var clone) rest
+          | None -> e
         else e
       end
       else e
   | _ -> e
 
-and clone_for ctx (f : Ident.t) (dicts : Core.expr list) : Ident.t =
+and clone_for ctx (f : Ident.t) (dicts : Core.expr list) : Ident.t option =
   let key = key_of ctx f dicts in
   match Hashtbl.find_opt ctx.memo key with
-  | Some name -> name
+  | Some name -> Some name
   | None ->
       let dict_params, other_params, body = Ident.Tbl.find ctx.overloaded f in
-      let name = Ident.gensym (Ident.text f ^ "$spec") in
-      ctx.clone_count <- ctx.clone_count + 1;
-      Hashtbl.add ctx.memo key name;
-      Ident.Tbl.replace ctx.top_names name ();
-      let subst =
-        List.fold_left2
-          (fun m p d -> Ident.Map.add p d m)
-          Ident.Map.empty dict_params dicts
-      in
-      let body' = Core.subst subst body in
-      (* simplify first (collapses Sel-of-known-dict), then look for more
-         specializable calls inside the clone — including its own
-         recursive calls, which now carry constant dictionaries *)
-      let body' = Simplify.expr body' in
-      let body' = specialise_expr ctx body' in
-      let body' = Simplify.expr body' in
-      ctx.new_binds <-
-        { Core.b_name = name; b_expr = Core.lam other_params body' }
-        :: ctx.new_binds;
-      name
+      (* the budget: a clone count cap plus an (estimated, checked before
+         the mint so recursion through the memo stays simple) code-growth
+         cap relative to the input program *)
+      let est = Core.size body in
+      if
+        ctx.clone_count >= ctx.policy.max_clones
+        || ctx.est_size + est > ctx.size_allowance
+      then begin
+        ctx.budget_skips <- ctx.budget_skips + 1;
+        None
+      end
+      else begin
+        let name = Ident.gensym (Ident.text f ^ "$spec") in
+        ctx.clone_count <- ctx.clone_count + 1;
+        ctx.est_size <- ctx.est_size + est;
+        Hashtbl.add ctx.memo key name;
+        Ident.Tbl.replace ctx.top_names name ();
+        let subst =
+          List.fold_left2
+            (fun m p d -> Ident.Map.add p d m)
+            Ident.Map.empty dict_params dicts
+        in
+        let body' = Core.subst subst body in
+        (* simplify first (collapses Sel-of-known-dict), then look for more
+           specializable calls inside the clone — including its own
+           recursive calls, which now carry constant dictionaries *)
+        let body' = Simplify.expr body' in
+        let body' = specialise_expr ctx body' in
+        let body' = Simplify.expr body' in
+        ctx.new_binds <-
+          { Core.b_name = name; b_expr = Core.lam other_params body' }
+          :: ctx.new_binds;
+        Some name
+      end
 
 (** Forward selections from constant top-level dictionaries:
     [Sel i d$Eq$Int] → the field expression. Applied during clone
@@ -206,15 +292,70 @@ let rec local_reduce ctx (e : Core.expr) : Core.expr =
           | _ -> e))
   | _ -> e
 
-let program (p : Core.program) : Core.program =
+(* Profiled hits attributed to [e]: the sum over the dispatch sites
+   occurring in it. *)
+let profiled_hits (counts : (int, int) Hashtbl.t) (e : Core.expr) : int =
+  let total = ref 0 in
+  let hit id =
+    match Hashtbl.find_opt counts id with
+    | Some n -> total := !total + n
+    | None -> ()
+  in
+  let rec go (e : Core.expr) =
+    (match e with
+     | Core.Sel (s, _) -> hit s.Core.sel_site.Core.site_id
+     | Core.MkDict (t, _) -> hit t.Core.dt_site.Core.site_id
+     | _ -> ());
+    Core.iter_sub go e
+  in
+  go e;
+  !total
+
+let empty_report ~profile_guided (p : Core.program) : report =
+  let size = program_size p in
+  let sels, dicts = static_dict_ops p in
+  {
+    sr_clones = 0;
+    sr_call_sites = 0;
+    sr_hot_binds = 0;
+    sr_cold_binds = 0;
+    sr_budget_skips = 0;
+    sr_size_before = size;
+    sr_size_after = size;
+    sr_sels_before = sels;
+    sr_sels_after = sels;
+    sr_dicts_before = dicts;
+    sr_dicts_after = dicts;
+    sr_profile_guided = profile_guided;
+  }
+
+let program ?(policy = default_policy) (p : Core.program) :
+    Core.program * report =
+  let profile_guided = policy.hot_counts <> None in
+  if policy.max_clones <= 0 then
+    (* clone budget 0 is the identity transform: no cloning, and also no
+       §8.4 local reduction or top-level Sel forwarding — the program
+       comes back untouched *)
+    (p, empty_report ~profile_guided p)
+  else begin
+  let size_before = program_size p in
+  let sels_before, dicts_before = static_dict_ops p in
   let ctx =
     {
+      policy;
       overloaded = Ident.Tbl.create 64;
+      hot = Ident.Tbl.create 64;
       dict_bodies = Ident.Tbl.create 64;
       top_names = Ident.Tbl.create 256;
       memo = Hashtbl.create 64;
       new_binds = [];
       clone_count = 0;
+      call_sites = 0;
+      budget_skips = 0;
+      est_size = size_before;
+      size_allowance =
+        (if policy.max_growth <= 0. then max_int
+         else int_of_float (policy.max_growth *. float_of_int size_before));
     }
   in
   let all_binds = List.concat_map Core.binds_of_group p.p_binds in
@@ -240,6 +381,35 @@ let program (p : Core.program) : Core.program =
             (Core.MkDict (tag, List.map (Core.subst subst) fields))
       | _ -> ())
     all_binds;
+  (* hotness: in static mode every overloaded binding is hot; under a
+     profile, hot iff the profiled hits over the dispatch sites in the
+     binding's body reach the threshold. Cold bindings keep dictionary
+     dispatch — their call sites are left alone entirely. *)
+  let hot_binds = ref 0 and cold_binds = ref 0 in
+  (match policy.hot_counts with
+   | None ->
+       Ident.Tbl.iter
+         (fun f _ ->
+           incr hot_binds;
+           Ident.Tbl.replace ctx.hot f ())
+         ctx.overloaded
+   | Some pairs ->
+       let counts = Hashtbl.create 64 in
+       List.iter
+         (fun (id, n) ->
+           let prev = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+           Hashtbl.replace counts id (prev + n))
+         pairs;
+       let threshold = max 1 policy.hot_threshold in
+       List.iter
+         (fun (b : Core.bind) ->
+           if Ident.Tbl.mem ctx.overloaded b.b_name then
+             if profiled_hits counts b.b_expr >= threshold then begin
+               incr hot_binds;
+               Ident.Tbl.replace ctx.hot b.b_name ()
+             end
+             else incr cold_binds)
+         all_binds);
   let do_bind (b : Core.bind) =
     (* §8.4 constant-dictionary reduction everywhere, then clone calls *)
     let e =
@@ -272,4 +442,21 @@ let program (p : Core.program) : Core.program =
   let clones = List.rev !clones in
   let p' = { p with p_binds = rewritten @ clones } in
   let p' = Tc_core_ir.Scc.regroup p' in
-  Simplify.program p'
+  let p' = Simplify.program p' in
+  let sels_after, dicts_after = static_dict_ops p' in
+  ( p',
+    {
+      sr_clones = ctx.clone_count;
+      sr_call_sites = ctx.call_sites;
+      sr_hot_binds = !hot_binds;
+      sr_cold_binds = !cold_binds;
+      sr_budget_skips = ctx.budget_skips;
+      sr_size_before = size_before;
+      sr_size_after = program_size p';
+      sr_sels_before = sels_before;
+      sr_sels_after = sels_after;
+      sr_dicts_before = dicts_before;
+      sr_dicts_after = dicts_after;
+      sr_profile_guided = profile_guided;
+    } )
+  end

@@ -1,6 +1,52 @@
 (** Specialization (paper §9): calls of overloaded functions with constant
     dictionary arguments are redirected to memoized type-specific clones
     with the dictionaries substituted; combined with simplification this
-    eliminates dictionary operations from fully-specializable code. *)
+    eliminates dictionary operations from fully-specializable code.
 
-val program : Tc_core_ir.Core.program -> Tc_core_ir.Core.program
+    The pass is driven by a {!policy}: in static mode (the default) every
+    overloaded binding is a cloning candidate; in profile-guided mode the
+    caller supplies per-site hit counts (remapped from a
+    {!Tc_obs.Profile.spec} by the pipeline — this library sits below the
+    observability layer) and only {e hot} bindings, those whose bodies
+    account for at least [hot_threshold] profiled dispatches, are cloned.
+    The cold tail keeps dictionary dispatch unchanged. [max_clones] and
+    [max_growth] bound code growth; a clone refused by the budget leaves
+    its call site on dictionaries and is tallied in the report. *)
+
+type policy = {
+  hot_counts : (int * int) list option;
+      (** profiled (site id, hits); [None] = static mode: all hot *)
+  hot_threshold : int;
+      (** minimum profiled hits in a binding's body to count as hot *)
+  max_clones : int;  (** [<= 0] makes the pass the identity transform *)
+  max_growth : float;
+      (** cap on (estimated) program size as a multiple of the input;
+          [<= 0] disables the cap *)
+}
+
+(** Static mode, threshold 1, 2000 clones, no growth cap — the behavior
+    of the un-parameterized pass. *)
+val default_policy : policy
+
+(** What the pass did — replaces the old silent [program -> program]. *)
+type report = {
+  sr_clones : int;        (** type-specific clones minted *)
+  sr_call_sites : int;    (** calls redirected to clones *)
+  sr_hot_binds : int;     (** overloaded bindings deemed hot *)
+  sr_cold_binds : int;    (** overloaded bindings left on dictionaries *)
+  sr_budget_skips : int;  (** clones refused by the budget *)
+  sr_size_before : int;
+  sr_size_after : int;
+  sr_sels_before : int;   (** static [Sel] node counts *)
+  sr_sels_after : int;
+  sr_dicts_before : int;  (** static [MkDict] node counts *)
+  sr_dicts_after : int;
+  sr_profile_guided : bool;
+}
+
+(** Code-growth ratio, [size_after / size_before] ([1.0] when empty). *)
+val growth : report -> float
+
+val program :
+  ?policy:policy -> Tc_core_ir.Core.program ->
+  Tc_core_ir.Core.program * report

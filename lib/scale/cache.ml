@@ -72,7 +72,10 @@ let bytes t = locked t @@ fun () -> t.total_bytes
 
 (* Canonical rendering of exactly the inputs the artifact depends on.
    [trace]/[metrics] are observation sinks, not inputs, and are excluded;
-   [max_errors] only affects the accumulating path. *)
+   [max_errors] only affects the accumulating path. The run path stores
+   post-optimization artifacts, so everything that steers the optimizer —
+   the pass list and the specializer options (profile digest, threshold,
+   budgets, via [Pipeline.spec_signature]) — is part of the key. *)
 let key kind ~(opts : Pipeline.options) ~src =
   let opt_fields =
     Printf.sprintf "strategy=%s;lits=%b;defaulting=%b;prelude=%b;lint=%b"
@@ -83,8 +86,9 @@ let key kind ~(opts : Pipeline.options) ~src =
   let head =
     match kind with
     | `Run passes ->
-        Printf.sprintf "run:%s;passes=%s" opt_fields
+        Printf.sprintf "run:%s;passes=%s;spec=%s" opt_fields
           (String.concat "," (List.map Tc_opt.Opt.pass_name passes))
+          (Pipeline.spec_signature opts)
     | `Check ->
         Printf.sprintf "check:%s;max_errors=%d" opt_fields
           opts.Pipeline.max_errors

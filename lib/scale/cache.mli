@@ -19,8 +19,11 @@
     - the output-relevant option fields — strategy,
       [overloaded_literals], [defaulting], [include_prelude], [lint],
       and (for the accumulating check path only) [max_errors];
-    - the optimizer pass list, in order (run path only) — the cache
-      stores post-optimization artifacts;
+    - the optimizer pass list, in order, and the specializer options
+      ({!Typeclasses.Pipeline.spec_signature}: profile digest, hotness
+      threshold, clone/growth budgets) — run path only; the cache stores
+      post-optimization artifacts, so two differently-specialized
+      compiles of one source must key apart;
     - the source text itself.
 
     [trace] and [metrics] are deliberately {e excluded}: they change
@@ -84,13 +87,13 @@ val compile_run :
 (** The [run]-path compile: cached equivalent of [Pipeline.compile]
     followed by [Pipeline.optimize passes]. Raises whatever [compile]
     raises on a miss over erroneous source; hits skip the front end
-    entirely. Shape-compatible with [Serve.config.compile_hook]. *)
+    entirely. Shape-compatible with the [Serve.hooks.compile] seam. *)
 
 val check :
   t -> opts:Pipeline.options -> src:string -> Pipeline.checked
 (** The accumulating-path compile: cached equivalent of
-    [Pipeline.compile_collect]. Never raises. Shape-compatible with
-    [Serve.config.check_hook]. *)
+    [Pipeline.compile_collect]. Never raises. Shape-compatible with the
+    [Serve.hooks.check] seam. *)
 
 val entries : t -> int
 val bytes : t -> int

@@ -108,9 +108,15 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
   let config =
     {
       Serve.default_config with
-      Serve.compile_hook =
-        Some (fun ~opts ~passes ~src -> Cache.compile_run cache ~opts ~passes ~src);
-      check_hook = Some (fun ~opts ~src -> Cache.check cache ~opts ~src);
+      Serve.hooks =
+        {
+          Serve.no_hooks with
+          Serve.compile =
+            Some
+              (fun ~opts ~passes ~src ->
+                Cache.compile_run cache ~opts ~passes ~src);
+          check = Some (fun ~opts ~src -> Cache.check cache ~opts ~src);
+        };
     }
   in
   (* Cold: request [i] carries variant [i] — every source distinct.

@@ -273,6 +273,137 @@ let tests =
                 Alcotest.(check int) "exit" 2 code;
                 Alcotest.(check bool) "contained" true
                   (Helpers.contains ~needle:"internal error" out)));
+        case "profile --emit-spec round-trips through run --spec-profile"
+          (fun () ->
+            let src =
+              "mySum :: Num a => a -> a\n\
+               mySum n = if n == 0 then 0 else n + mySum (n - 1)\n\
+               main = mySum (40 :: Int)\n"
+            in
+            with_program src (fun path ->
+                let spec = Filename.temp_file "spec" ".json" in
+                let report = Filename.temp_file "specrep" ".json" in
+                Fun.protect
+                  ~finally:(fun () -> Sys.remove spec; Sys.remove report)
+                  (fun () ->
+                    let code, _ =
+                      run_mhc [ "profile"; "--emit-spec"; spec; path ]
+                    in
+                    Alcotest.(check int) "profile exit" 0 code;
+                    let read f =
+                      let ic = open_in_bin f in
+                      Fun.protect
+                        ~finally:(fun () -> close_in_noerr ic)
+                        (fun () ->
+                          really_input_string ic (in_channel_length ic))
+                    in
+                    Alcotest.(check bool) "spec profile is typed JSON" true
+                      (Helpers.contains ~needle:"mhc-spec-profile"
+                         (read spec));
+                    let code_plain, out_plain = run_mhc [ "run"; path ] in
+                    let code_spec, out_spec =
+                      run_mhc
+                        [ "run"; "--spec-profile"; spec;
+                          "--spec-report"; report; path ]
+                    in
+                    Alcotest.(check int) "plain exit" 0 code_plain;
+                    Alcotest.(check int) "spec exit" 0 code_spec;
+                    Alcotest.(check string) "same result" out_plain out_spec;
+                    (* and on the VM backend *)
+                    let code_vm, out_vm =
+                      run_mhc
+                        [ "run"; "--backend"; "vm"; "--spec-profile"; spec;
+                          path ]
+                    in
+                    Alcotest.(check int) "vm exit" 0 code_vm;
+                    Alcotest.(check string) "vm agrees" out_plain out_vm;
+                    let rep = read report in
+                    Alcotest.(check bool) "report profile-guided" true
+                      (Helpers.contains ~needle:{|"profile_guided": true|}
+                         rep);
+                    Alcotest.(check bool) "report is not the null report"
+                      false
+                      (Helpers.contains ~needle:{|"clones": 0|} rep))));
+        case "a profile matching nothing leaves the program unchanged"
+          (fun () ->
+            (* the cold tail: a spec profile recorded from a different
+               program attributes no hits, so no binding is hot and the
+               compile is byte-for-byte the unspecialized one *)
+            with_program demo (fun other ->
+                let src = "main = sum (enumFromTo 1 10)\n" in
+                with_program src (fun path ->
+                    let spec = Filename.temp_file "spec" ".json" in
+                    let report = Filename.temp_file "specrep" ".json" in
+                    Fun.protect
+                      ~finally:(fun () ->
+                        Sys.remove spec; Sys.remove report)
+                      (fun () ->
+                        let code, _ =
+                          run_mhc [ "profile"; "--emit-spec"; spec; other ]
+                        in
+                        Alcotest.(check int) "profile exit" 0 code;
+                        let code, out =
+                          run_mhc
+                            [ "run"; "--spec-profile"; spec;
+                              "--spec-report"; report; path ]
+                        in
+                        Alcotest.(check int) "exit" 0 code;
+                        Alcotest.(check string) "result" "55\n" out;
+                        let ic = open_in_bin report in
+                        let rep =
+                          Fun.protect
+                            ~finally:(fun () -> close_in_noerr ic)
+                            (fun () ->
+                              really_input_string ic (in_channel_length ic))
+                        in
+                        Alcotest.(check bool) "zero clones" true
+                          (Helpers.contains ~needle:{|"clones": 0|} rep)))));
+        case "run --spec-profile rejects a broken profile with exit 1"
+          (fun () ->
+            with_program demo (fun path ->
+                with_program "this is not json" (fun bogus ->
+                    let code, out =
+                      run_mhc [ "run"; "--spec-profile"; bogus; path ]
+                    in
+                    Alcotest.(check int) "exit" 1 code;
+                    Alcotest.(check bool) "diagnosed" true
+                      (Helpers.contains ~needle:"not valid JSON" out))));
+        case "serve --spec-profile answers run requests identically" (fun () ->
+            with_program demo (fun path ->
+                let spec = Filename.temp_file "spec" ".json" in
+                Fun.protect
+                  ~finally:(fun () -> Sys.remove spec)
+                  (fun () ->
+                    let code, _ =
+                      run_mhc [ "profile"; "--emit-spec"; spec; path ]
+                    in
+                    Alcotest.(check int) "profile exit" 0 code;
+                    let out = Filename.temp_file "serve" ".out" in
+                    let request =
+                      (* as a printf *argument* (not its format string) the
+                         \n stays a two-character JSON escape *)
+                      "{\"op\":\"run\",\"src\":\"double :: Num a => a -> \
+                       a\\ndouble x = x + x\\nmain = double 21\"}"
+                    in
+                    let cmd =
+                      Printf.sprintf
+                        "printf '%%s\\n' %s | %s serve --spec-profile %s \
+                         > %s 2>/dev/null"
+                        (Filename.quote request) (Filename.quote mhc)
+                        (Filename.quote spec) (Filename.quote out)
+                    in
+                    let code = Sys.command cmd in
+                    let ic = open_in_bin out in
+                    let text =
+                      Fun.protect
+                        ~finally:(fun () ->
+                          close_in_noerr ic; Sys.remove out)
+                        (fun () ->
+                          really_input_string ic (in_channel_length ic))
+                    in
+                    Alcotest.(check int) "exit" 0 code;
+                    Alcotest.(check bool) "answered with the result" true
+                      (Helpers.contains ~needle:"\"value\":\"42\"" text))));
         case "serve answers over stdin and drains at EOF" (fun () ->
             with_program demo (fun _ ->
                 let out = Filename.temp_file "serve" ".out" in

@@ -134,6 +134,36 @@ let run_tags src =
   let c = Pipeline.compile ~opts:tags_opts ~file:"diff.mhs" src in
   (Pipeline.exec ~budget:(Pipeline.Budget.fuel 50_000_000) c).rendered
 
+let budget = Pipeline.Budget.fuel 50_000_000
+
+let spec_passes = Opt.[ Simplify; Specialise; Simplify; Dce ]
+
+(* Profile-guided specialization of an already-compiled artifact: profile
+   one run, feed the spec profile back, re-optimize (site ids match). *)
+let pgo_of (c : Pipeline.compiled) : Pipeline.compiled =
+  let r = Pipeline.exec ~profile:true ~budget c in
+  let sp = Tc_obs.Profile.spec_of_report (Option.get r.Pipeline.profile) in
+  Pipeline.optimize spec_passes
+    {
+      c with
+      Pipeline.options =
+        {
+          c.Pipeline.options with
+          Pipeline.specialise =
+            { Pipeline.default_spec with Pipeline.spec_profile = Some sp };
+        };
+    }
+
+let exec_on backend (c : Pipeline.compiled) : string =
+  (Pipeline.exec ~backend ~budget c).Pipeline.rendered
+
+let render_core (p : Tc_core_ir.Core.program) : string =
+  Fmt.str "%a" Tc_core_ir.Core_pp.pp_program p
+
+(* the realistic example corpus (primes excluded: lazy-only infinite
+   streams make it too slow to profile repeatedly here) *)
+let corpus = Test_opt.example_programs
+
 let tests =
   [
     ( "differential",
@@ -147,6 +177,30 @@ let tests =
             && reference = run ~passes:Opt.all src
             && reference = run ~opts:flat_opts ~passes:Opt.all src
             && reference = run_tags src);
+        prop "tree and VM agree with specialization on and off" ~count:60
+          gen_program
+          (fun src ->
+            let c = Pipeline.compile ~file:"diff.mhs" src in
+            let cs = pgo_of c in
+            let reference = exec_on `Tree c in
+            reference = exec_on `Vm c
+            && reference = exec_on `Tree cs
+            && reference = exec_on `Vm cs);
+        prop "clone budget 0 is the identity on generated programs" ~count:60
+          gen_program
+          (fun src ->
+            let c = Pipeline.compile ~file:"diff.mhs" src in
+            let p', rep =
+              Tc_opt.Specialise.program
+                ~policy:
+                  {
+                    Tc_opt.Specialise.default_policy with
+                    Tc_opt.Specialise.max_clones = 0;
+                  }
+                c.Pipeline.core
+            in
+            rep.Tc_opt.Specialise.sr_clones = 0
+            && render_core c.Pipeline.core = render_core p');
         prop "specialization never increases dictionary operations"
           ~count:60 gen_program
           (fun src ->
@@ -159,5 +213,29 @@ let tests =
             in
             after.selections <= before.selections
             && after.dict_constructions <= before.dict_constructions);
+        case "corpus: spec on/off agrees across backends, never pessimizes"
+          (fun () ->
+            List.iter
+              (fun (name, src) ->
+                let c = Pipeline.compile ~file:(name ^ ".mhs") src in
+                let before =
+                  (Pipeline.exec ~budget c).Pipeline.counters
+                in
+                let cs = pgo_of c in
+                let reference = exec_on `Tree c in
+                List.iter
+                  (fun (label, v) ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "%s/%s" name label) reference v)
+                  [
+                    ("vm", exec_on `Vm c);
+                    ("tree+spec", exec_on `Tree cs);
+                    ("vm+spec", exec_on `Vm cs);
+                  ];
+                let after = (Pipeline.exec ~budget cs).Pipeline.counters in
+                Alcotest.(check bool)
+                  (name ^ " dispatch not pessimized") true
+                  (after.selections <= before.selections))
+              corpus);
       ] );
   ]

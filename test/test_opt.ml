@@ -97,6 +97,202 @@ let flat_preservation_cases =
             pipelines))
     (programs @ example_programs)
 
+(* ------------------------------------------------------------------ *)
+(* Profile-guided specialization (§9 + the redesigned optimizer API):   *)
+(* policy budgets, the typed report, hot/cold splitting.                *)
+(* ------------------------------------------------------------------ *)
+
+module Pipeline = Typeclasses.Pipeline
+module S = Tc_opt.Specialise
+module Profile = Tc_obs.Profile
+
+let spec_passes = Opt.[ Simplify; Specialise; Simplify; Dce ]
+
+let render_core (p : Tc_core_ir.Core.program) : string =
+  Fmt.str "%a" Tc_core_ir.Core_pp.pp_program p
+
+(* The profile -> optimize loop in process: compile, profile one run,
+   feed the spec profile back into the same artifact, re-optimize. *)
+let pgo ?(threshold = 1) ?(max_clones = 2000) ?(max_growth = 0.)
+    ?(passes = spec_passes) src : Pipeline.compiled =
+  let c = compile src in
+  let r =
+    Pipeline.exec ~profile:true ~budget:(Pipeline.Budget.fuel 50_000_000) c
+  in
+  let sp = Profile.spec_of_report (Option.get r.Pipeline.profile) in
+  let c =
+    {
+      c with
+      Pipeline.options =
+        {
+          c.Pipeline.options with
+          Pipeline.specialise =
+            {
+              Pipeline.spec_profile = Some sp;
+              spec_threshold = threshold;
+              spec_max_clones = max_clones;
+              spec_max_growth = max_growth;
+            };
+        };
+    }
+  in
+  Pipeline.optimize passes c
+
+let exec_counters (c : Pipeline.compiled) =
+  let r = Pipeline.exec ~budget:(Pipeline.Budget.fuel 50_000_000) c in
+  (r.Pipeline.rendered, r.Pipeline.counters)
+
+let report_of (c : Pipeline.compiled) : S.report =
+  match c.Pipeline.spec_report with
+  | Some r -> r
+  | None -> Alcotest.fail "optimize ran Specialise but left no spec_report"
+
+(* one clearly hot recursion next to a binding executed only once *)
+let hotcold_src =
+  {|
+hotSum :: Num a => a -> a
+hotSum n = if n == 0 then 0 else n + hotSum (n - 1)
+coldSquare :: Num a => a -> a
+coldSquare x = x * x
+main = (hotSum (200 :: Int), coldSquare (2 :: Int))
+|}
+
+let pgo_cases =
+  [
+    case "clone budget 0 is the identity transform" (fun () ->
+        List.iter
+          (fun (pname, src) ->
+            let c = compile src in
+            let before = render_core c.Pipeline.core in
+            let p', rep =
+              S.program ~policy:{ S.default_policy with S.max_clones = 0 }
+                c.Pipeline.core
+            in
+            Alcotest.(check string)
+              (pname ^ " core unchanged") before (render_core p');
+            Alcotest.(check int) (pname ^ " no clones") 0 rep.S.sr_clones;
+            Alcotest.(check int)
+              (pname ^ " no sites rewritten") 0 rep.S.sr_call_sites;
+            Alcotest.(check int)
+              (pname ^ " size unchanged") rep.S.sr_size_before
+              rep.S.sr_size_after)
+          programs);
+    case "budget 0 through the Pipeline options is also the identity"
+      (fun () ->
+        let c = compile hotcold_src in
+        let before = render_core c.Pipeline.core in
+        let c' =
+          Pipeline.optimize [ Opt.Specialise ]
+            {
+              c with
+              Pipeline.options =
+                {
+                  c.Pipeline.options with
+                  Pipeline.specialise =
+                    { Pipeline.default_spec with Pipeline.spec_max_clones = 0 };
+                };
+            }
+        in
+        Alcotest.(check string) "core unchanged" before
+          (render_core c'.Pipeline.core);
+        Alcotest.(check int) "report shows zero clones" 0
+          (report_of c').S.sr_clones);
+    case "profiled hotness splits hot from cold bindings" (fun () ->
+        (* threshold 50: hotSum's sites carry ~200 hits each, coldSquare's
+           exactly one — only hotSum may be cloned *)
+        let cs = pgo ~threshold:50 ~passes:Opt.[ Simplify; Specialise ]
+            hotcold_src
+        in
+        let rep = report_of cs in
+        Alcotest.(check bool) "profile-guided" true rep.S.sr_profile_guided;
+        Alcotest.(check bool) "some binding is hot" true
+          (rep.S.sr_hot_binds >= 1);
+        Alcotest.(check bool) "the cold tail exists" true
+          (rep.S.sr_cold_binds >= 1);
+        Alcotest.(check bool) "hot bindings got clones" true
+          (rep.S.sr_clones >= 1);
+        (* semantics preserved, and the hot dispatch is gone: the only
+           selections left at run time are coldSquare's single visit *)
+        let rendered, counters = exec_counters cs in
+        let reference, before = run_counters hotcold_src in
+        Alcotest.(check string) "same result" reference rendered;
+        Alcotest.(check bool) "hot dispatch eliminated" true
+          (counters.selections < 20);
+        Alcotest.(check bool) "cold tail still dispatches" true
+          (counters.selections > 0);
+        Alcotest.(check bool) "was dispatch-heavy before" true
+          (before.selections > 400));
+    case "zero selections remain at specialized sites" (fun () ->
+        (* every executed binding is hot at threshold 1: re-profiling the
+           specialized artifact must find no dispatch at all *)
+        let src =
+          {|
+class Work a where
+  work :: a -> Int
+instance Work Int where
+  work n = n + 1
+runAll :: Work a => Int -> a -> Int
+runAll n x = if n == 0 then 0 else work x + runAll (n - 1) x
+main = runAll 50 (1 :: Int)
+|}
+        in
+        let cs = pgo src in
+        let r =
+          Pipeline.exec ~profile:true
+            ~budget:(Pipeline.Budget.fuel 50_000_000) cs
+        in
+        Alcotest.(check int) "no run-time selections" 0
+          r.Pipeline.counters.selections;
+        Alcotest.(check int) "no run-time constructions" 0
+          r.Pipeline.counters.dict_constructions;
+        match r.Pipeline.profile with
+        | Some p ->
+            Alcotest.(check int) "re-profile finds no hit sel sites" 0
+              (List.length p.Profile.r_sels)
+        | None -> Alcotest.fail "profiling was requested");
+    case "clone budget refusals are counted, semantics preserved" (fun () ->
+        let cs = pgo ~max_clones:1 hotcold_src in
+        let rep = report_of cs in
+        Alcotest.(check int) "one clone minted" 1 rep.S.sr_clones;
+        Alcotest.(check bool) "refusals counted" true
+          (rep.S.sr_budget_skips >= 1);
+        let rendered, _ = exec_counters cs in
+        Alcotest.(check string) "same result" (run hotcold_src) rendered);
+    case "growth cap at 1.0 refuses every clone" (fun () ->
+        let c = compile hotcold_src in
+        let _, rep =
+          S.program ~policy:{ S.default_policy with S.max_growth = 1.0 }
+            c.Pipeline.core
+        in
+        Alcotest.(check int) "no clones fit" 0 rep.S.sr_clones;
+        Alcotest.(check bool) "refusals counted" true
+          (rep.S.sr_budget_skips >= 1));
+    case "report accounting is internally consistent" (fun () ->
+        let cs = pgo hotcold_src in
+        let rep = report_of cs in
+        Alcotest.(check bool) "sizes positive" true
+          (rep.S.sr_size_before > 0 && rep.S.sr_size_after > 0);
+        Alcotest.(check bool) "growth matches sizes" true
+          (Float.abs
+             (S.growth rep
+             -. float_of_int rep.S.sr_size_after
+                /. float_of_int rep.S.sr_size_before)
+          < 1e-9);
+        Alcotest.(check bool) "rewrites need clones" true
+          (rep.S.sr_clones = 0 || rep.S.sr_call_sites >= rep.S.sr_clones));
+    case "static mode (no profile) still specializes everything" (fun () ->
+        let c = compile hotcold_src in
+        let c' = Pipeline.optimize spec_passes c in
+        let rep = report_of c' in
+        Alcotest.(check bool) "not profile-guided" false
+          rep.S.sr_profile_guided;
+        Alcotest.(check int) "no cold tail without a profile" 0
+          rep.S.sr_cold_binds;
+        let rendered, counters = exec_counters c' in
+        Alcotest.(check string) "same result" (run hotcold_src) rendered;
+        Alcotest.(check int) "all dispatch gone" 0 counters.selections);
+  ]
+
 let tests =
   [
     ("opt-preservation", preservation_cases);
@@ -229,4 +425,5 @@ main = f 3
                   pipelines)
               programs);
       ] );
+    ("opt-specialise-pgo", pgo_cases);
   ]

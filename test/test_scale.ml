@@ -74,6 +74,38 @@ let cache_cases =
         Alcotest.(check string) "metrics/trace excluded" k
           (Cache.key (`Run [])
              ~opts:{ default_opts with Pipeline.metrics = Metrics.create () }
+             ~src:demo);
+        (* the specializer options are artifact-relevant: a loaded profile
+           or a different budget must key apart (spec_signature), else a
+           hit could hand back a differently-specialized artifact *)
+        let spec_opts s =
+          { default_opts with Pipeline.specialise = s }
+        in
+        let profiled =
+          let c = Pipeline.compile ~file:"cache.mhs" demo in
+          Tc_obs.Profile.spec_of_report
+            (Option.get (Pipeline.exec ~profile:true c).Pipeline.profile)
+        in
+        Alcotest.(check bool) "a spec profile changes the key" true
+          (k
+          <> Cache.key (`Run [])
+               ~opts:
+                 (spec_opts
+                    {
+                      Pipeline.default_spec with
+                      Pipeline.spec_profile = Some profiled;
+                    })
+               ~src:demo);
+        Alcotest.(check bool) "the clone budget changes the key" true
+          (k
+          <> Cache.key (`Run [])
+               ~opts:
+                 (spec_opts
+                    { Pipeline.default_spec with Pipeline.spec_max_clones = 7 })
+               ~src:demo);
+        Alcotest.(check string) "the default spec options are the baseline" k
+          (Cache.key (`Run [])
+             ~opts:(spec_opts Pipeline.default_spec)
              ~src:demo));
     case "serve hit skips the front end (compile span stays at 1)"
       (fun () ->
@@ -82,10 +114,14 @@ let cache_cases =
           {
             Serve.default_config with
             Serve.sleep = (fun _ -> ());
-            compile_hook =
-              Some
-                (fun ~opts ~passes ~src ->
-                  Cache.compile_run cache ~opts ~passes ~src);
+            hooks =
+              {
+                Serve.no_hooks with
+                Serve.compile =
+                  Some
+                    (fun ~opts ~passes ~src ->
+                      Cache.compile_run cache ~opts ~passes ~src);
+              };
           }
         in
         let t = Serve.create ~config () in
