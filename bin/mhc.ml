@@ -621,29 +621,56 @@ let stats_cmd =
              counts, so the output is deterministic across runs and \
              machines.")
   in
-  let run strategy no_prelude mono json stable file =
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--json): also summarize the persistent compile \
+             cache rooted at $(docv) — valid entries, their payload \
+             bytes, and files failing validation (torn or corrupt).")
+  in
+  let run strategy no_prelude mono json stable cache_dir file =
     handle_errors @@ fun () ->
     let metrics = if json then Metrics.create () else Metrics.disabled in
     let c = compile (build_opts ~metrics strategy no_prelude mono) file in
-    if json then
-      Fmt.pr "%s@."
-        (Json.to_string
-           (Json.Obj
-              [
-                ("file", Json.Str file);
-                ( "checker",
+    if json then begin
+      let fields =
+        [
+          ("file", Json.Str file);
+          ( "checker",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Int v))
+                 (Tc_types.Stats.pairs c.checker_stats)) );
+          ("metrics", Metrics.snapshot ~stable metrics);
+        ]
+      in
+      let fields =
+        match cache_dir with
+        | None -> fields
+        | Some dir ->
+            let entries, bytes, corrupt = Tc_scale.Persist.scan ~dir in
+            fields
+            @ [
+                ( "cache_dir",
                   Json.Obj
-                    (List.map
-                       (fun (k, v) -> (k, Json.Int v))
-                       (Tc_types.Stats.pairs c.checker_stats)) );
-                ("metrics", Metrics.snapshot ~stable metrics);
-              ]))
+                    (("entries", Json.Int entries)
+                     :: (if stable then []
+                         (* marshaled payload sizes are
+                            compiler-version-dependent *)
+                         else [ ("bytes", Json.Int bytes) ])
+                    @ [ ("corrupt", Json.Int corrupt) ]) );
+              ]
+      in
+      Fmt.pr "%s@." (Json.to_string (Json.Obj fields))
+    end
     else Fmt.pr "%a@." Tc_types.Stats.pp c.checker_stats
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
-      $ stable_arg $ file_arg)
+      $ stable_arg $ cache_dir_arg $ file_arg)
 
 (* ---- the REPL ---- *)
 
@@ -839,6 +866,17 @@ let max_line_arg =
           "Answer $(b,bad-request) for request lines longer than $(docv) \
            bytes, buffering at most that much ($(b,0) removes the cap).")
 
+let deadline_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline: a request that has already \
+           waited longer than $(docv) in the pool queue when a worker \
+           dequeues it is answered $(b,shed) without compiling \
+           ($(b,0) disables; a request's own $(b,deadline_ms) field \
+           overrides the default).")
+
 let serve_cmd =
   let doc =
     "Serve newline-delimited JSON requests ($(b,check), $(b,compile), \
@@ -847,8 +885,10 @@ let serve_cmd =
      its own resource budget, full error containment — so no request (bad \
      JSON, type errors, divergence, injected faults, even simulated OOM) \
      can kill the process. Transient faults retry with exponential \
-     backoff. EOF or SIGINT drains gracefully and prints a summary to \
-     stderr."
+     backoff; with $(b,--workers) > 1 even a crashed worker domain is \
+     survived — its request answered $(b,worker-crash), the domain \
+     respawned under $(b,--max-restarts). EOF or SIGINT drains \
+     gracefully and prints a summary to stderr."
   in
   let retries_arg =
     Arg.(
@@ -870,8 +910,39 @@ let serve_cmd =
             "Emit a spontaneous $(b,metrics-snapshot) line every $(docv) \
              requests ($(b,0) disables; ignored with $(b,--workers) > 1).")
   in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Add a crash-safe persistent tier to the compile cache \
+             rooted at $(docv) (created if needed): fresh compiles are \
+             written through with atomic renames, a version header and \
+             per-entry checksums, so a restarted server starts warm; \
+             torn or corrupt entries are dropped and healed on read. \
+             Implies a cache even with $(b,--cache-mb 0).")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Budget of worker domains respawned after a crash, per \
+             server lifetime; past it the pool shrinks (the last worker \
+             degrades to answering every request $(b,worker-crash)).")
+  in
+  let shed_grace_arg =
+    Arg.(
+      value & opt float (-1.)
+      & info [ "shed-grace" ] ~docv:"MS"
+          ~doc:
+            "Admission control: once the request queue has been full \
+             for $(docv) milliseconds, answer new requests $(b,shed) at \
+             admission instead of queueing them (negative disables).")
+  in
   let run strategy no_prelude mono timeout retries backoff_ms inject mfile
-      every workers cache_mb cache_verify max_line spec_profile =
+      every workers cache_mb cache_verify max_line spec_profile deadline_ms
+      cache_dir max_restarts shed_grace =
     handle_errors @@ fun () ->
     arm_inject inject;
     let stopped = ref false in
@@ -880,12 +951,12 @@ let serve_cmd =
          (Sys.Signal_handle (fun _ -> stopped := true))
      with Invalid_argument _ | Sys_error _ -> ());
     let cache =
-      if cache_mb <= 0 then None
+      if cache_mb <= 0 && cache_dir = None then None
       else
         Some
           (Tc_scale.Cache.create
-             ~max_bytes:(cache_mb * 1024 * 1024)
-             ~verify_every:cache_verify ())
+             ~max_bytes:(max 0 cache_mb * 1024 * 1024)
+             ~verify_every:cache_verify ?dir:cache_dir ())
     in
     let hooks =
       let cached =
@@ -932,6 +1003,13 @@ let serve_cmd =
         backoff_ms;
         snapshot_every = every;
         max_line_bytes = max_line;
+        default_deadline_ms = deadline_ms;
+        extra_metrics =
+          (* in-band [stats]/[metrics] requests see the shared cache
+             registry alongside the handling worker's own *)
+          Option.map
+            (fun c () -> Tc_scale.Cache.metrics_view c)
+            cache;
         hooks;
       }
     in
@@ -947,26 +1025,34 @@ let serve_cmd =
       flush stdout
     in
     let summary =
-      Tc_scale.Pool.run ~workers ~config ~stop:(fun () -> !stopped) ~next
-        ~emit ()
+      Tc_scale.Pool.run ~workers ~config ~max_restarts
+        ~shed_grace_ms:shed_grace
+        ~stop:(fun () -> !stopped)
+        ~next ~emit ()
     in
+    Option.iter Tc_scale.Cache.close cache;
     let merged = summary.Tc_scale.Pool.metrics in
     Option.iter
       (fun c -> Metrics.merge ~into:merged (Tc_scale.Cache.metrics c))
       cache;
     write_metrics mfile merged;
     let s = summary.Tc_scale.Pool.stats in
-    Fmt.epr "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s)@."
+    Fmt.epr
+      "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s, %d \
+       restart%s)@."
       s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
       summary.Tc_scale.Pool.workers
       (if summary.Tc_scale.Pool.workers = 1 then "" else "s")
+      summary.Tc_scale.Pool.restarts
+      (if summary.Tc_scale.Pool.restarts = 1 then "" else "s")
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
       $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
       $ metrics_every_arg $ workers_arg $ cache_mb_arg $ cache_verify_arg
-      $ max_line_arg $ spec_profile_arg)
+      $ max_line_arg $ spec_profile_arg $ deadline_arg $ cache_dir_arg
+      $ max_restarts_arg $ shed_grace_arg)
 
 (* ---- bench ---- *)
 
@@ -1003,11 +1089,11 @@ let bench_serve_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Directory to write BENCH_SERVE.json trajectory rows into.")
   in
-  let run clients requests workers cache_mb cache_verify op out =
+  let run clients requests workers cache_mb cache_verify op out deadline_ms =
     handle_errors @@ fun () ->
     let report =
       Tc_scale.Loadgen.run ~clients ~requests ~workers ~op ~cache_mb
-        ~verify_every:cache_verify ()
+        ~verify_every:cache_verify ~deadline_ms ()
     in
     print_string (Json.to_line (Tc_scale.Loadgen.report_json report));
     print_newline ();
@@ -1026,7 +1112,7 @@ let bench_serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ clients_arg $ requests_arg $ workers_arg $ cache_mb_arg
-      $ cache_verify_arg $ op_arg $ out_arg)
+      $ cache_verify_arg $ op_arg $ out_arg $ deadline_arg)
 
 let bench_cmd =
   let doc = "Scaling benchmarks (load generation against the serve loop)." in

@@ -34,6 +34,8 @@ type config = {
   snapshot_every : int;
   base_opts : Pipeline.options;
   max_line_bytes : int;
+  default_deadline_ms : int;
+  extra_metrics : (unit -> Metrics.t) option;
   hooks : hooks;
 }
 
@@ -47,6 +49,8 @@ let default_config =
     snapshot_every = 0;
     base_opts = Pipeline.default_options;
     max_line_bytes = 1 lsl 20;
+    default_deadline_ms = 0;
+    extra_metrics = None;
     hooks = no_hooks;
   }
 
@@ -313,21 +317,46 @@ let stats_json t =
     Json.Obj
       (List.sort compare (List.map (fun (k, v) -> (k, Json.Int v)) assoc))
   in
+  (* scale-layer counters and gauges (pool restarts, queue depth,
+     persistent-cache hits, ...) folded into the stats op whenever the
+     config exposes an extra registry *)
+  let scale_fields =
+    match t.config.extra_metrics with
+    | None -> []
+    | Some view ->
+        let m = view () in
+        [ ("scale", tally (Metrics.counters m @ Metrics.gauges m)) ]
+  in
   Json.Obj
-    [
-      ("requests", Json.Int s.requests);
-      ("responses", Json.Int s.responses);
-      ("ok", Json.Int s.ok);
-      ("failed", Json.Int s.failed);
-      ("retried", Json.Int s.retried);
-      ("uptime_ms", Json.Int (uptime_ms t));
-      ("latency", latency_summary t);
-      ("by_op", tally s.by_op);
-      ("by_class", tally s.by_class);
-      ("counters", counters_json t.totals);
-    ]
+    ([
+       ("requests", Json.Int s.requests);
+       ("responses", Json.Int s.responses);
+       ("ok", Json.Int s.ok);
+       ("failed", Json.Int s.failed);
+       ("retried", Json.Int s.retried);
+       ("uptime_ms", Json.Int (uptime_ms t));
+       ("latency", latency_summary t);
+       ("by_op", tally s.by_op);
+       ("by_class", tally s.by_class);
+       ("counters", counters_json t.totals);
+     ]
+    @ scale_fields)
 
 let do_stats t ~id = ok_response t ~id ~op:"stats" [ ("stats", stats_json t) ]
+
+(* The registry the stats/metrics ops report: the server's own, plus a
+   merged-in copy of the [extra_metrics] view when configured (the scale
+   layer surfaces pool and cache counters this way). The extra registry
+   must not contain serve/* instruments, or the requests-vs-latency
+   invariant of the combined snapshot would break. *)
+let reported_metrics t =
+  match t.config.extra_metrics with
+  | None -> t.metrics
+  | Some view ->
+      let m = Metrics.create () in
+      Metrics.merge ~into:m t.metrics;
+      Metrics.merge ~into:m (view ());
+      m
 
 (* metrics: the whole registry as one deterministic snapshot; [stable]
    redacts machine-dependent quantities for golden comparison. The
@@ -338,7 +367,7 @@ let do_metrics t ~id req =
     match Json.member "stable" req with Some (Json.Bool b) -> b | _ -> false
   in
   ok_response t ~id ~op:"metrics"
-    [ ("metrics", Metrics.snapshot ~stable t.metrics) ]
+    [ ("metrics", Metrics.snapshot ~stable (reported_metrics t)) ]
 
 (* ---- the request boundary ---- *)
 
@@ -357,7 +386,7 @@ let with_retries t f =
   in
   go 0 t.config.backoff_ms
 
-let handle_line t line =
+let handle_line ?(queued_us = 0) t line =
   let t0 = t.config.clock () in
   (* One bookkeeping point per request, after the response is built: the
      [serve/requests] counter and the op latency histogram are bumped
@@ -402,6 +431,23 @@ let handle_line t line =
         match str_field req "op" with Some s -> s | None -> "missing"
       in
       t.stats.by_op <- bump t.stats.by_op op;
+      (* Deadline-based shedding: a request that already aged past its
+         deadline while queued (the pool passes [queued_us]) is rejected
+         here, before any compile work — answering late is worse than
+         answering [shed] promptly, and the cycles are better spent on
+         requests that can still make their deadline. *)
+      let deadline_ms =
+        match int_field req "deadline_ms" with
+        | Some ms -> ms
+        | None -> t.config.default_deadline_ms
+      in
+      if deadline_ms > 0 && queued_us > deadline_ms * 1000 then
+        finish ~op ~cls:(Some "shed")
+          (fail_response t ~id ~op ~cls:"shed"
+             (Printf.sprintf
+                "shed: aged %dms in queue, past the %dms deadline"
+                (queued_us / 1000) deadline_ms))
+      else
       try
         finish ~op ~cls:None
           (with_retries t @@ fun () ->
@@ -417,6 +463,33 @@ let handle_line t line =
       with exn ->
         let cls, message = classify exn in
         finish ~op ~cls:(Some cls) (fail_response t ~id ~op ~cls message))
+
+(* A response manufactured on behalf of a request that never (fully)
+   reached [handle_line]: the pool supervisor answers for a request
+   whose worker died mid-flight ([worker-crash]) and the coordinator
+   rejects requests at admission when the queue has been full past the
+   grace window ([shed]). Accounting mirrors [handle_line]'s [finish]
+   exactly — stats request/response/by_op/by_class bumps plus the
+   requests counter, the per-op latency histogram (latency 0: the
+   request did no work here) and the failure-class histogram — so the
+   merged-registry invariant (per-op latency counts summing exactly to
+   [serve/requests]) keeps holding when synthetic responses are
+   counted. *)
+let synthetic_failure t ~cls ~message line =
+  let id, op =
+    match Json.parse line with
+    | Error _ -> (None, "invalid")
+    | Ok req -> (
+        ( Json.member "id" req,
+          match str_field req "op" with Some s -> s | None -> "missing" ))
+  in
+  t.stats.requests <- t.stats.requests + 1;
+  t.stats.by_op <- bump t.stats.by_op op;
+  let resp = fail_response t ~id ~op ~cls message in
+  Metrics.incr (Metrics.counter t.metrics "serve/requests");
+  Metrics.observe (Metrics.histogram t.metrics (latency_prefix ^ op)) 0;
+  Metrics.observe (Metrics.histogram t.metrics ("serve/failures/" ^ cls)) 0;
+  resp
 
 (* A spontaneous (not request/response) snapshot line, emitted every
    [snapshot_every] requests; distinguished by its ["event"] field. *)

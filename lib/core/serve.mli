@@ -35,6 +35,7 @@
        "mode": "lazy" | "strict",         -- run only
        "opt": "none" | "simplify" | ... | "all",  -- run only
        "stable": true,                    -- metrics only: redact detail
+       "deadline_ms": N,       -- shed if older than this when handled
        "fuel": N, "frames": N, "timeout_ms": N,
        "allocations": N, "output_bytes": N}  -- budget overrides
     v}
@@ -44,7 +45,11 @@
     error/warning/ice tallies for check/compile, and
     [error: {"class", "message"}] on failure, where [class] is one of
     ["bad-request"], ["compile"], ["runtime"], ["resource"],
-    ["transient"] or ["ice"]. *)
+    ["transient"], ["ice"], ["shed"] (rejected unprocessed under
+    overload: aged out in the worker-pool queue past its deadline, or
+    refused at admission after the queue stayed full past the grace
+    window) or ["worker-crash"] (a synthetic response posted by the
+    pool supervisor for the request a dying worker held). *)
 
 module Budget = Tc_resilience.Budget
 module Json = Tc_obs.Json
@@ -93,12 +98,24 @@ type config = {
   max_line_bytes : int;
       (** request lines longer than this answer a [bad-request] (op
           ["oversized"]) without being parsed; [0] disables the cap *)
+  default_deadline_ms : int;
+      (** default request deadline: a request older than this (by the
+          queue age the pool passes to {!handle_line}) is answered
+          [shed] without compiling. Per-request [deadline_ms] overrides;
+          [0] (default) disables shedding *)
+  extra_metrics : (unit -> Tc_obs.Metrics.t) option;
+      (** a view of scale-layer instruments (pool restarts, queue depth,
+          persistent-cache counters) merged into the [stats]/[metrics]
+          ops' reported registry. The view is called per request and
+          must return a registry safe to read on this domain; it must
+          not contain [serve/*] instruments or the snapshot's
+          requests-vs-latency invariant breaks *)
   hooks : hooks;  (** external seams; {!no_hooks} by default *)
 }
 
 (** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf],
-    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap,
-    {!no_hooks}. *)
+    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap, no
+    request deadline, no extra metrics, {!no_hooks}. *)
 val default_config : config
 
 (** Cumulative server statistics, also exposed as the [stats] op. *)
@@ -129,8 +146,29 @@ val stats_json : t -> Json.t
 (** Handle one request line, returning the response line (no trailing
     newline). Never raises. Lines longer than [config.max_line_bytes]
     answer a [bad-request] under op ["oversized"] without touching the
-    JSON parser. *)
-val handle_line : t -> string -> string
+    JSON parser. [queued_us] (default 0) is how long the request waited
+    before handling began — the worker pool passes its queue age — and
+    drives deadline shedding: if it exceeds the request's [deadline_ms]
+    (or [config.default_deadline_ms]), the response is a cheap [shed]
+    failure with no compile work. *)
+val handle_line : ?queued_us:int -> t -> string -> string
+
+(** Classify an exception the way the request boundary would:
+    [(class, message)]. Exposed for the pool supervisor, which labels a
+    crashed worker's escaped exception. *)
+val classify : exn -> string * string
+
+(** [synthetic_failure t ~cls ~message line] manufactures the response
+    for a request that never (fully) reached {!handle_line}: the pool
+    supervisor answers for the request a dying worker held
+    ([cls = "worker-crash"]) and the coordinator refuses admission
+    under sustained overload ([cls = "shed"]). [line] is parsed only
+    for [id]/[op] echo (malformed lines answer under op ["invalid"]).
+    Bookkeeping mirrors {!handle_line} — stats and the
+    requests/latency/failure instruments all bump, with latency 0 — so
+    the per-op latency counts still sum exactly to [serve/requests] in
+    any (merged) snapshot counting synthetic responses. *)
+val synthetic_failure : t -> cls:string -> message:string -> string -> string
 
 val bounded_next : ?max_bytes:int -> in_channel -> unit -> string option
 (** A [next] source reading newline-delimited lines from a channel with

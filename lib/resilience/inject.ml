@@ -12,6 +12,9 @@ type point =
   | Render
   | Oom
   | Serve_transient
+  | Worker_crash
+  | Cache_write
+  | Cache_read
 
 let point_name = function
   | Lex -> "lex"
@@ -25,10 +28,13 @@ let point_name = function
   | Render -> "render"
   | Oom -> "oom"
   | Serve_transient -> "serve-transient"
+  | Worker_crash -> "worker-crash"
+  | Cache_write -> "cache-write"
+  | Cache_read -> "cache-read"
 
 let all_points =
   [ Lex; Parse; Static; Infer; Translate; Optimize; Eval_step; Vm_step;
-    Render; Oom; Serve_transient ]
+    Render; Oom; Serve_transient; Worker_crash; Cache_write; Cache_read ]
 
 let point_of_name s =
   List.find_opt (fun p -> point_name p = s) all_points

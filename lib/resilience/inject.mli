@@ -27,6 +27,18 @@ type point =
   | Oom          (** simulated out-of-memory (raises [Out_of_memory]) *)
   | Serve_transient
       (** per serve request; raises {!Transient}, the retryable class *)
+  | Worker_crash
+      (** in a pool worker, after dequeue and before the request handler
+          — the fault escapes the per-request isolation and kills the
+          worker domain, exercising pool supervision *)
+  | Cache_write
+      (** while persisting a compile-cache entry; the disk tier catches
+          the fault and simulates a torn (truncated) write instead of a
+          clean one *)
+  | Cache_read
+      (** while reading a persisted compile-cache entry; the disk tier
+          treats the fault as on-disk corruption (entry dropped and
+          healed, never an escaped exception) *)
 
 val point_name : point -> string
 val point_of_name : string -> point option

@@ -29,22 +29,10 @@ type t = {
   max_bytes : int;
   verify_every : int;
   reg : Metrics.t;
+  persist : Persist.t option;  (* the [--cache-dir] disk tier *)
   mutable tick : int;
   mutable total_bytes : int;
 }
-
-let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) () =
-  {
-    table = Hashtbl.create 64;
-    lock = Mutex.create ();
-    max_bytes;
-    verify_every;
-    reg = Metrics.create ();
-    tick = 0;
-    total_bytes = 0;
-  }
-
-let metrics t = t.reg
 
 let locked t f =
   Mutex.lock t.lock;
@@ -59,6 +47,51 @@ let locked t f =
 (* Counter/gauge bumps happen under the lock: the registry itself is not
    domain-safe, and the cache is shared across workers. *)
 let count t name = Metrics.incr (Metrics.counter t.reg ("scale/cache/" ^ name))
+
+let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) ?dir () =
+  let persist, report =
+    match dir with
+    | None -> (None, None)
+    | Some dir ->
+        let p, r = Persist.open_dir ~dir in
+        (Some p, Some r)
+  in
+  let t =
+    {
+      table = Hashtbl.create 64;
+      lock = Mutex.create ();
+      max_bytes;
+      verify_every;
+      reg = Metrics.create ();
+      persist;
+      tick = 0;
+      total_bytes = 0;
+    }
+  in
+  (match report with
+  | None -> ()
+  | Some r ->
+      if not r.Persist.exclusive then count t "persist/locked_out";
+      if r.Persist.wiped then count t "persist/wiped";
+      Metrics.set
+        (Metrics.gauge t.reg "scale/cache/persist/adopted_idents")
+        r.Persist.adopted);
+  t
+
+let metrics t = t.reg
+
+(* A point-in-time copy of the registry, safe to merge on any domain:
+   the live registry is guarded by the cache lock, so handing it out
+   directly (e.g. into a serve [extra_metrics] view read by workers)
+   would race with insert-path bumps. *)
+let metrics_view t =
+  locked t @@ fun () ->
+  let m = Metrics.create () in
+  Metrics.merge ~into:m t.reg;
+  m
+
+let close t =
+  match t.persist with None -> () | Some p -> Persist.close p
 
 let set_occupancy t =
   Metrics.set (Metrics.gauge t.reg "scale/cache/entries")
@@ -143,6 +176,79 @@ let splice_value opts = function
           Pipeline.artifact =
             Option.map (splice_compiled opts) ck.Pipeline.artifact;
         }
+
+(* ---- the disk tier ---- *)
+
+(* Marshaled artifacts must be closure-free. [strip_value] already
+   clears the options' sinks; the type environment additionally carries
+   its own trace sink on a mutable field, cleared here on a copy (the
+   caller's env must keep its sink). [Diagnostic.Sink], [Stats.t] and
+   everything else reachable is plain data. Marshaling WITHOUT
+   [Closures] is the safety net: a closure sneaking into the artifact
+   raises here and the entry simply isn't persisted, rather than
+   producing bytes no other process could trust. *)
+let persist_strip_compiled (c : Pipeline.compiled) : Pipeline.compiled =
+  let c = strip_compiled c in
+  {
+    c with
+    Pipeline.env =
+      { c.Pipeline.env with Tc_types.Class_env.trace = Tc_obs.Trace.none };
+  }
+
+let persist_strip_value = function
+  | Artifact c -> Artifact (persist_strip_compiled c)
+  | Checked ck ->
+      Checked
+        {
+          ck with
+          Pipeline.artifact =
+            Option.map persist_strip_compiled ck.Pipeline.artifact;
+        }
+
+(* Disk IO runs outside the cache lock (like compiles); only the counter
+   bumps take it. *)
+let persist_read t k : value option =
+  match t.persist with
+  | None -> None
+  | Some p -> (
+      match Persist.read p ~key:k with
+      | `Miss ->
+          locked t (fun () -> count t "persist/misses");
+          None
+      | `Corrupt ->
+          (* torn/corrupt bytes: already unlinked (self-healed); the
+             caller recompiles and rewrites *)
+          locked t (fun () -> count t "persist/corrupt");
+          None
+      | `Hit payload -> (
+          match (Marshal.from_string payload 0 : value) with
+          | v ->
+              locked t (fun () -> count t "persist/hits");
+              Some v
+          | exception _ ->
+              (* checksummed but unreadable (should be impossible given
+                 the executable digest in the header; never crash on bad
+                 bytes regardless) *)
+              Persist.remove p ~key:k;
+              locked t (fun () -> count t "persist/corrupt");
+              None))
+
+let persist_write t k (v : value) =
+  match t.persist with
+  | None -> ()
+  | Some p -> (
+      match Marshal.to_string (persist_strip_value v) [] with
+      | payload -> (
+          match Persist.write p ~key:k ~payload with
+          | `Written | `Torn ->
+              (* a [`Torn] write (injected crash-mid-write) still counts:
+                 the next read detects and heals it *)
+              locked t (fun () -> count t "persist/writes")
+          | `Skipped -> locked t (fun () -> count t "persist/errors"))
+      | exception _ -> locked t (fun () -> count t "persist/errors"))
+
+let persist_remove t k =
+  match t.persist with None -> () | Some p -> Persist.remove p ~key:k
 
 (* ---- fingerprints (verification mode) ---- *)
 
@@ -257,16 +363,26 @@ let drop t k =
    [value] constructor the key's entries hold. *)
 let memo t ~k ~opts ~(compile : unit -> value) : value =
   match lookup t k with
-  | None ->
-      let v = compile () in
-      insert t k v;
-      splice_value opts v
+  | None -> (
+      (* memory miss: consult the disk tier before paying for a compile.
+         A disk hit warms the memory table — subsequent hits never touch
+         disk again — and skips the front end entirely (no compile
+         span). *)
+      match persist_read t k with
+      | Some v ->
+          insert t k v;
+          splice_value opts v
+      | None ->
+          let v = compile () in
+          insert t k v;
+          persist_write t k v;
+          splice_value opts v)
   | Some (v, verify) ->
       if not verify then splice_value opts v
       else begin
         (* Sampled verification: recompile and compare fingerprints. On
-           mismatch the cache self-heals — drop the stale entry, answer
-           with (and re-cache) the fresh compile. *)
+           mismatch the cache self-heals — drop the stale entry (both
+           tiers), answer with (and re-cache) the fresh compile. *)
         let fresh = compile () in
         if String.equal (fingerprint_value fresh) (fingerprint_value v) then begin
           locked t (fun () -> count t "verified");
@@ -275,7 +391,9 @@ let memo t ~k ~opts ~(compile : unit -> value) : value =
         else begin
           locked t (fun () -> count t "verify_fail");
           drop t k;
+          persist_remove t k;
           insert t k fresh;
+          persist_write t k fresh;
           splice_value opts fresh
         end
       end

@@ -51,24 +51,54 @@
       (compiles themselves run outside the lock), so one cache can be
       shared by every worker in a {!Pool}.
 
+    {2 The persistent tier}
+
+    With [create ~dir], the cache adds a crash-safe disk tier
+    ({!Persist}) under the same content-addressed keys: a memory miss
+    consults the directory before compiling (a warm restart serves its
+    first repeated request with no compile span at all), and every fresh
+    compile is written through — atomic temp+rename, version header,
+    per-entry checksum — so a server restart starts warm. Corrupt or
+    torn entries are dropped and healed on read, never an exception;
+    entries from a different executable (marshaled layouts may differ)
+    wipe the directory and start cold. Disk entries are exempt from the
+    LRU byte budget (disk is cheap; the directory persists exactly so
+    restarts are warm). Compile errors are never persisted, matching the
+    memory tier.
+
     Telemetry lives in the cache's own always-live registry
     ({!metrics}): counters [scale/cache/hits], [misses], [inserts],
-    [evictions], [verified], [verify_fail]; gauges
-    [scale/cache/entries], [scale/cache/bytes]. *)
+    [evictions], [verified], [verify_fail], and for the disk tier
+    [scale/cache/persist/hits], [persist/misses], [persist/writes],
+    [persist/corrupt] (torn/corrupt entries healed), [persist/errors],
+    [persist/wiped], [persist/locked_out]; gauges [scale/cache/entries],
+    [scale/cache/bytes], [scale/cache/persist/adopted_idents]. *)
 
 module Pipeline = Typeclasses.Pipeline
 
 type t
 
-val create : ?max_bytes:int -> ?verify_every:int -> unit -> t
+val create : ?max_bytes:int -> ?verify_every:int -> ?dir:string -> unit -> t
 (** [max_bytes] bounds the estimated total size of cached artifacts
     (default 64 MiB; [0] = unbounded). [verify_every = n > 0] recompiles
     every [n]-th hit per entry and asserts fingerprint equality
-    (default [0] = off). *)
+    (default [0] = off). [dir] enables the persistent tier rooted at
+    that directory (created if needed; opened disabled when another
+    process holds its writer lock). *)
 
 val metrics : t -> Tc_obs.Metrics.t
 (** The cache's own registry (see the counter/gauge list above). Merge
-    it into a server-wide view with {!Tc_obs.Metrics.merge}. *)
+    it into a server-wide view with {!Tc_obs.Metrics.merge}. Guarded by
+    the cache lock — read it through {!metrics_view} from other
+    domains. *)
+
+val metrics_view : t -> Tc_obs.Metrics.t
+(** A point-in-time copy of {!metrics}, taken under the cache lock —
+    safe to merge from any domain (the serve [extra_metrics] seam). *)
+
+val close : t -> unit
+(** Release the persistent tier's writer lock (no-op without [dir]).
+    The memory tier keeps working. *)
 
 val key :
   [ `Run of Tc_opt.Opt.pass list | `Check ] ->

@@ -26,6 +26,9 @@ type report = {
   invariant_ok : bool;
   cache_hits : int;
   cache_misses : int;
+  shed : int;
+  worker_crashes : int;
+  restarts : int;
 }
 
 (* A small but real program — classes, dictionaries, a compile that does
@@ -98,7 +101,8 @@ let run_phase ~label ~workers ~config ~clock (lines : string array) =
     summary )
 
 let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
-    ?(cache_mb = 64) ?(verify_every = 0) ?(clock = Unix.gettimeofday) () =
+    ?(cache_mb = 64) ?(verify_every = 0) ?(deadline_ms = 0)
+    ?(clock = Unix.gettimeofday) () =
   let clients = max 1 clients in
   let requests = max clients requests in
   let op_name = match op with `Run -> "run" | `Check -> "check" in
@@ -108,6 +112,7 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
   let config =
     {
       Serve.default_config with
+      Serve.default_deadline_ms = deadline_ms;
       Serve.hooks =
         {
           Serve.no_hooks with
@@ -129,7 +134,9 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     Array.init requests (fun i ->
         request ~op:op_name ~variant:(requests + (i mod clients)))
   in
-  let cold, _ = run_phase ~label:"cold" ~workers ~config ~clock cold_lines in
+  let cold, cold_summary =
+    run_phase ~label:"cold" ~workers ~config ~clock cold_lines
+  in
   let hot, hot_summary =
     run_phase ~label:"hot" ~workers ~config ~clock hot_lines
   in
@@ -137,6 +144,16 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     match List.assoc_opt name (Metrics.counters (Cache.metrics cache)) with
     | Some n -> n
     | None -> 0
+  in
+  (* overload/robustness tallies across both phases, so the bench gate
+     can bound the shed rate and crash count of a whole run *)
+  let by_class cls =
+    let of_summary (s : Pool.summary) =
+      match List.assoc_opt cls s.Pool.stats.Serve.by_class with
+      | Some n -> n
+      | None -> 0
+    in
+    of_summary cold_summary + of_summary hot_summary
   in
   {
     clients;
@@ -149,6 +166,9 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     invariant_ok = invariant_holds hot_summary.Pool.metrics;
     cache_hits = counter "scale/cache/hits";
     cache_misses = counter "scale/cache/misses";
+    shed = by_class "shed";
+    worker_crashes = by_class "worker-crash";
+    restarts = cold_summary.Pool.restarts + hot_summary.Pool.restarts;
   }
 
 (* ---- rendering ---- *)
@@ -179,6 +199,9 @@ let report_json r =
       ("invariant_ok", Json.Bool r.invariant_ok);
       ("cache_hits", Json.Int r.cache_hits);
       ("cache_misses", Json.Int r.cache_misses);
+      ("shed", Json.Int r.shed);
+      ("worker_crashes", Json.Int r.worker_crashes);
+      ("restarts", Json.Int r.restarts);
     ]
 
 (* The trajectory rows, in the same record shape the bechamel harness
@@ -199,6 +222,10 @@ let write_bench_rows ~dir r =
       ("p99_ms/cold", float_of_int r.cold.ph_p99_us /. 1000.);
       ("p50_ms/hot", float_of_int r.hot.ph_p50_us /. 1000.);
       ("p99_ms/hot", float_of_int r.hot.ph_p99_us /. 1000.);
+      (* robustness counts (not *_ms: excluded from the gate's ratio
+         normalization, available to absolute --slo bounds) *)
+      ("shed", float_of_int r.shed);
+      ("worker_crashes", float_of_int r.worker_crashes);
     ]
   in
   let buf = Buffer.create 512 in

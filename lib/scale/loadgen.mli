@@ -40,6 +40,9 @@ type report = {
   invariant_ok : bool;   (** latency counts sum to [serve/requests] *)
   cache_hits : int;
   cache_misses : int;
+  shed : int;            (** [shed]-class responses across both phases *)
+  worker_crashes : int;  (** [worker-crash]-class responses, both phases *)
+  restarts : int;        (** worker domains respawned, both phases *)
 }
 
 val invariant_holds : Tc_obs.Metrics.t -> bool
@@ -54,11 +57,15 @@ val run :
   ?op:[ `Run | `Check ] ->
   ?cache_mb:int ->
   ?verify_every:int ->
+  ?deadline_ms:int ->
   ?clock:(unit -> float) ->
   unit ->
   report
 (** Defaults: 4 clients, 64 requests per phase, 1 worker, [`Run],
-    64 MiB cache, no verification, [Unix.gettimeofday]. *)
+    64 MiB cache, no verification, no deadline ([deadline_ms = 0]; a
+    positive value sheds requests older than that when dequeued, and the
+    report's [shed] count lets the bench gate bound the shed rate under
+    overload), [Unix.gettimeofday]. *)
 
 val report_json : report -> Tc_obs.Json.t
 (** The full report as one JSON object (the CI artifact). *)

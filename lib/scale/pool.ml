@@ -1,18 +1,36 @@
-(** Domain worker pool (see the interface for the contract).
+(** Supervised domain worker pool (see the interface for the contract).
 
     Concurrency layout: one mutex guards the work queue, the reorder
-    buffer and the sequence counters. Workers wait on [nonempty] (work
-    arrived, or EOF); the coordinator waits on [progress] (queue room
-    opened, or a response completed). Request handling, [next] and
-    [emit] all run outside the lock. *)
+    buffer, the sequence counters, the pool registry and the
+    supervision state (restart budget, live-worker count, dead-worker
+    accumulators). Workers wait on [nonempty] (work arrived, or EOF);
+    the coordinator waits on [progress] (queue room opened, or a
+    response completed). Request handling, [next] and [emit] all run
+    outside the lock.
+
+    Supervision: the worker loop runs under a catch-all. An escaped
+    exception — the wedge that used to hang the coordinator forever on
+    the dead worker's sequence number — now posts a synthetic
+    [worker-crash] response for the in-flight request (order
+    preserved), folds the dead incarnation's stats/registry into the
+    pool accumulators, and respawns a replacement domain after an
+    exponential backoff, up to [max_restarts] across the pool's
+    lifetime. When the budget is spent, the worker count just shrinks;
+    if the {e last} worker dies over budget, it stays behind as a
+    lame-duck drainer answering every remaining request with a
+    synthetic [worker-crash] — degraded service, but every request
+    still gets exactly one response and the coordinator always
+    drains. *)
 
 module Serve = Typeclasses.Serve
 module Metrics = Tc_obs.Metrics
+module Inject = Tc_resilience.Inject
 
 type summary = {
   stats : Serve.stats;
   metrics : Metrics.t;
   workers : int;
+  restarts : int;
 }
 
 let empty_stats () : Serve.stats =
@@ -47,48 +65,191 @@ let sequential ~config ?stop ~next ~emit () =
   let stats = Serve.run ~server ?stop ~next ~emit () in
   let merged = Metrics.create () in
   Metrics.merge ~into:merged (Serve.metrics server);
-  { stats; metrics = merged; workers = 1 }
+  { stats; metrics = merged; workers = 1; restarts = 0 }
 
-let parallel ~workers ~config ~queue_depth ~stop ~next ~emit () =
+let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
+    ~shed_grace_ms ~stop ~next ~emit () =
   let lock = Mutex.create () in
   let nonempty = Condition.create () in
   let progress = Condition.create () in
-  let queue : (int * string) Queue.t = Queue.create () in
+  (* queue entries carry their enqueue time (config clock) so workers
+     can compute the queue age that drives deadline shedding *)
+  let queue : (int * string * float) Queue.t = Queue.create () in
   let ready : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let eof = ref false in
   (* Both counters are written by the coordinator only. *)
   let next_seq = ref 0 in
   let next_emit = ref 0 in
 
-  let worker () =
+  (* Pool-wide telemetry and supervision state, all guarded by [lock]. *)
+  let pool_reg = Metrics.create () in
+  let restarts_ctr = Metrics.counter pool_reg "scale/pool/restarts" in
+  let depth_gauge = Metrics.gauge pool_reg "scale/pool/queue_depth" in
+  let shed_ctr = Metrics.counter pool_reg "scale/pool/shed" in
+  let acc_stats = empty_stats () in
+  let acc_metrics = Metrics.create () in
+  let restarts = ref 0 in
+  let live = ref workers in
+  let replacements : unit Domain.t list ref = ref [] in
+
+  (* Fold a (finished or dead) incarnation's private stats and registry
+     into the accumulators — a crashed worker's partial counts are part
+     of the pool's story, not lost with its domain. *)
+  let merge_server server =
+    Mutex.lock lock;
+    merge_stats ~into:acc_stats (Serve.stats server);
+    Metrics.merge ~into:acc_metrics (Serve.metrics server);
+    Mutex.unlock lock
+  in
+
+  (* The registry in-band stats/metrics requests see: a locked copy of
+     the pool registry, composed with whatever view the caller already
+     configured (the CLI passes the compile cache's). *)
+  let caller_view = config.Serve.extra_metrics in
+  let pool_view () =
+    let m = Metrics.create () in
+    Mutex.lock lock;
+    Metrics.merge ~into:m pool_reg;
+    Mutex.unlock lock;
+    (match caller_view with
+    | None -> ()
+    | Some view -> Metrics.merge ~into:m (view ()));
+    m
+  in
+  let config = { config with Serve.extra_metrics = Some pool_view } in
+  let clock = config.Serve.clock in
+
+  let post seq resp =
+    Mutex.lock lock;
+    Hashtbl.add ready seq resp;
+    Condition.signal progress;
+    Mutex.unlock lock
+  in
+
+  (* Dequeue under [lock] (the caller holds it); [None] only at EOF with
+     an empty queue, i.e. no request will ever arrive again. *)
+  let rec take () =
+    if not (Queue.is_empty queue) then Some (Queue.pop queue)
+    else if !eof then None
+    else begin
+      Condition.wait nonempty lock;
+      take ()
+    end
+  in
+
+  let rec worker () =
     let server = Serve.create ~config () in
-    let rec take () =
-      if not (Queue.is_empty queue) then Some (Queue.pop queue)
-      else if !eof then None
-      else begin
-        Condition.wait nonempty lock;
-        take ()
-      end
+    (* the request this incarnation holds, for crash accounting *)
+    let inflight = ref None in
+    let outcome =
+      try
+        let rec loop () =
+          Mutex.lock lock;
+          match take () with
+          | None ->
+              Mutex.unlock lock;
+              `Done
+          | Some (seq, line, enqueued) ->
+              (* Queue room opened: the coordinator may be blocked. *)
+              Condition.signal progress;
+              Mutex.unlock lock;
+              inflight := Some (seq, line);
+              let queued_us =
+                int_of_float (Float.max 0. ((clock () -. enqueued) *. 1e6))
+              in
+              if !Inject.live then
+                Inject.hit ~detail:"pool worker" Inject.Worker_crash;
+              let resp = Serve.handle_line ~queued_us server line in
+              inflight := None;
+              post seq resp;
+              loop ()
+        in
+        loop ()
+      with exn -> `Crashed exn
     in
+    match outcome with
+    | `Done ->
+        merge_server server;
+        Mutex.lock lock;
+        decr live;
+        Mutex.unlock lock
+    | `Crashed exn -> (
+        (* The request this incarnation held gets a synthetic response at
+           its own sequence number — the coordinator's reorder buffer
+           never waits on a dead worker. *)
+        (match !inflight with
+        | None -> ()
+        | Some (seq, line) ->
+            let cls, msg = Serve.classify exn in
+            post seq
+              (Serve.synthetic_failure server ~cls:"worker-crash"
+                 ~message:
+                   (Printf.sprintf "worker crashed mid-request (%s: %s)" cls
+                      msg)
+                 line));
+        merge_server server;
+        Mutex.lock lock;
+        if !restarts < max_restarts then begin
+          incr restarts;
+          Metrics.incr restarts_ctr;
+          (* exponential backoff, capped at 64x, so a crash loop cannot
+             busy-spin the pool *)
+          let backoff_s =
+            restart_backoff_ms
+            *. (2. ** float_of_int (min 6 (!restarts - 1)))
+            /. 1000.
+          in
+          match
+            Domain.spawn (fun () ->
+                if backoff_s > 0. then config.Serve.sleep backoff_s;
+                worker ())
+          with
+          | d ->
+              replacements := d :: !replacements;
+              Mutex.unlock lock
+          | exception _ ->
+              (* could not spawn (domain limit): treat as budget spent *)
+              decr live;
+              let last = !live <= 0 in
+              Mutex.unlock lock;
+              if last then drain ()
+        end
+        else begin
+          decr live;
+          let last = !live <= 0 in
+          Mutex.unlock lock;
+          if last then drain ()
+        end)
+  and drain () =
+    (* Restart budget exhausted and no live worker remains: become a
+       lame-duck drainer so liveness survives total worker loss. Every
+       queued (and still-arriving) request is answered with a synthetic
+       worker-crash failure until EOF. *)
+    let server = Serve.create ~config () in
     let rec loop () =
       Mutex.lock lock;
       match take () with
       | None -> Mutex.unlock lock
-      | Some (seq, line) ->
-          (* Queue room opened: the coordinator may be blocked on it. *)
+      | Some (seq, line, _) ->
           Condition.signal progress;
           Mutex.unlock lock;
-          let resp = Serve.handle_line server line in
-          Mutex.lock lock;
-          Hashtbl.add ready seq resp;
-          Condition.signal progress;
-          Mutex.unlock lock;
+          post seq
+            (Serve.synthetic_failure server ~cls:"worker-crash"
+               ~message:
+                 (Printf.sprintf
+                    "worker pool degraded: restart budget (%d) exhausted"
+                    max_restarts)
+               line);
           loop ()
     in
     loop ();
-    (Serve.stats server, Serve.metrics server)
+    merge_server server
   in
   let domains = List.init workers (fun _ -> Domain.spawn worker) in
+
+  (* Admission control: the coordinator owns a server solely to account
+     for requests it sheds before they ever reach a worker. *)
+  let ctl = Serve.create ~config () in
 
   (* Emit every response that is next in sequence. Collects under the
      lock, emits outside it. *)
@@ -117,12 +278,46 @@ let parallel ~workers ~config ~queue_depth ~stop ~next ~emit () =
           let seq = !next_seq in
           incr next_seq;
           Mutex.lock lock;
-          while Queue.length queue >= queue_depth do
-            Condition.wait progress lock
+          (* Backpressure with a grace window: wait for queue room, but
+             if the queue stays full past [shed_grace_ms] of (progress-
+             signalled) waiting, reject at admission — cheaper than
+             letting the request age out in the queue, and bounded
+             because supervision guarantees workers keep signalling. A
+             negative grace disables admission shedding (pure
+             backpressure, the pre-supervision behaviour). *)
+          let full_since = ref None in
+          let shed = ref false in
+          while (not !shed) && Queue.length queue >= queue_depth do
+            (match !full_since with
+            | None -> full_since := Some (clock ())
+            | Some t0 ->
+                if
+                  shed_grace_ms >= 0.
+                  && (clock () -. t0) *. 1000. > shed_grace_ms
+                then shed := true);
+            if not !shed then Condition.wait progress lock
           done;
-          Queue.push (seq, line) queue;
-          Condition.signal nonempty;
-          Mutex.unlock lock;
+          if !shed then begin
+            Metrics.incr shed_ctr;
+            Mutex.unlock lock;
+            post seq
+              (Serve.synthetic_failure ctl ~cls:"shed"
+                 ~message:
+                   (Printf.sprintf
+                      "shed at admission: queue full past the %.0fms grace \
+                       window"
+                      shed_grace_ms)
+                 line)
+          end
+          else begin
+            Queue.push (seq, line, clock ()) queue;
+            (* high-water queue depth; gauges merge by max *)
+            let d = Queue.length queue in
+            if d > Metrics.gauge_value depth_gauge then
+              Metrics.set depth_gauge d;
+            Condition.signal nonempty;
+            Mutex.unlock lock
+          end;
           drain_ready ();
           feed ()
   in
@@ -145,19 +340,37 @@ let parallel ~workers ~config ~queue_depth ~stop ~next ~emit () =
     drain_ready ()
   done;
 
-  let results = List.map Domain.join domains in
-  let stats = empty_stats () in
+  List.iter Domain.join domains;
+  (* Replacement domains spawned by crashing workers: joining one may
+     race a still-crashing worker spawning another, so drain the list
+     to a fixed point. *)
+  let rec join_replacements () =
+    Mutex.lock lock;
+    let ds = !replacements in
+    replacements := [];
+    Mutex.unlock lock;
+    match ds with
+    | [] -> ()
+    | ds ->
+        List.iter Domain.join ds;
+        join_replacements ()
+  in
+  join_replacements ();
+
+  (* All domains joined: the accumulators are quiescent. *)
+  merge_server ctl;
   let merged = Metrics.create () in
-  List.iter
-    (fun (s, m) ->
-      merge_stats ~into:stats s;
-      Metrics.merge ~into:merged m)
-    results;
-  { stats; metrics = merged; workers }
+  Metrics.merge ~into:merged acc_metrics;
+  Metrics.merge ~into:merged pool_reg;
+  { stats = acc_stats; metrics = merged; workers; restarts = !restarts }
 
 let run ?(workers = 1) ?(config = Serve.default_config) ?(queue_depth = 64)
+    ?(max_restarts = 8) ?(restart_backoff_ms = 1.) ?(shed_grace_ms = -1.)
     ?(stop = fun () -> false) ~next ~emit () =
   if workers <= 1 then sequential ~config ~stop ~next ~emit ()
   else
-    parallel ~workers ~config ~queue_depth:(max 1 queue_depth) ~stop ~next
-      ~emit ()
+    (* a queue shallower than the pool would idle workers by
+       construction, so the depth is clamped to at least [workers] *)
+    parallel ~workers ~config
+      ~queue_depth:(max workers (max 1 queue_depth))
+      ~max_restarts ~restart_backoff_ms ~shed_grace_ms ~stop ~next ~emit ()

@@ -1,4 +1,4 @@
-(** A parallel worker pool behind the serve loop.
+(** A supervised parallel worker pool behind the serve loop.
 
     [run] drives the same NDJSON request/response contract as
     {!Typeclasses.Serve.run}, but fans request handling out over OCaml 5
@@ -11,19 +11,52 @@
     through a reorder buffer, so output order equals input order
     regardless of which worker finishes first.
 
+    {2 Supervision}
+
+    The request boundary inside a worker never raises — but if an
+    exception {e does} escape the worker loop (an injected
+    {!Tc_resilience.Inject.Worker_crash}, a runtime bug), the pool
+    survives it: the in-flight request is answered with a synthetic
+    [worker-crash] response at its own sequence number (every request
+    gets exactly one response, in order — the coordinator never hangs on
+    a dead worker), the dead incarnation's stats and metrics registry
+    are still merged into the pool totals, and a replacement domain is
+    spawned after an exponential backoff ([restart_backoff_ms],
+    doubling, capped at 64x), up to [max_restarts] restarts over the
+    pool's lifetime. Past the budget the pool shrinks; if the last
+    worker dies over budget, it remains as a lame-duck drainer
+    answering every remaining request with [worker-crash] so the
+    coordinator always drains. Restarts are counted in the summary and
+    as [scale/pool/restarts].
+
+    {2 Overload}
+
+    [queue_depth] (clamped to at least [workers]) bounds how far the
+    coordinator reads ahead; the high-water mark is exported as the
+    [scale/pool/queue_depth] gauge. Two shedding mechanisms bound tail
+    latency under overload, both answering the [shed] failure class:
+    requests whose queue age exceeds their deadline ([deadline_ms]
+    request field, or [config.default_deadline_ms]) are rejected by the
+    handling worker without compiling, and with [shed_grace_ms >= 0]
+    the coordinator itself rejects new requests at admission once the
+    queue has been full past the grace window ([scale/pool/shed]
+    counts these).
+
     On completion the per-worker registries are folded into one fresh
-    registry with {!Tc_obs.Metrics.merge}; counters add and histograms
-    merge elementwise, so the serve telemetry invariant — the per-op
-    [serve/latency] counts summing exactly to [serve/requests] — holds
-    in the merged view whenever it holds per worker.
+    registry with {!Tc_obs.Metrics.merge} along with the pool registry;
+    counters add and histograms merge elementwise, so the serve
+    telemetry invariant — the per-op [serve/latency] counts summing
+    exactly to [serve/requests] — holds in the merged view whenever it
+    holds per worker, synthetic responses included.
 
     Pooled-mode deviations from the sequential loop, by design:
 
     - [config.snapshot_every] is ignored (spontaneous snapshot lines
       would interleave with re-sequenced responses);
     - in-band [stats]/[metrics] requests report the handling worker's
-      view, not the pool-wide aggregate (the merged view exists only at
-      summary time);
+      view (plus the shared pool/cache registries via the
+      [extra_metrics] composition), not the pool-wide aggregate (the
+      merged view exists only at summary time);
     - a live [config.base_opts.trace] sink is unsupported (sinks are not
       domain-safe).
 
@@ -34,23 +67,36 @@
 module Serve = Typeclasses.Serve
 
 type summary = {
-  stats : Serve.stats;       (** all workers' stats, summed *)
+  stats : Serve.stats;
+      (** all workers' stats summed — including crashed incarnations'
+          partial counts and the coordinator's admission sheds *)
   metrics : Tc_obs.Metrics.t;
-      (** all workers' registries merged into one fresh registry *)
-  workers : int;             (** domains that handled requests *)
+      (** all workers' registries plus the pool registry
+          ([scale/pool/restarts], [scale/pool/queue_depth],
+          [scale/pool/shed]) merged into one fresh registry *)
+  workers : int;  (** domains initially spawned to handle requests *)
+  restarts : int; (** worker domains respawned after a crash *)
 }
 
 val run :
   ?workers:int ->
   ?config:Serve.config ->
   ?queue_depth:int ->
+  ?max_restarts:int ->
+  ?restart_backoff_ms:float ->
+  ?shed_grace_ms:float ->
   ?stop:(unit -> bool) ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->
   unit ->
   summary
-(** [workers] defaults to 1 (sequential); [queue_depth] (default 64)
-    bounds how far the coordinator reads ahead of the slowest worker,
-    so an input firehose cannot buffer unboundedly. [stop] is checked
-    between reads. Blocks until input is exhausted, every response is
-    emitted, and all workers have joined. *)
+(** [workers] defaults to 1 (sequential); [queue_depth] (default 64,
+    clamped to at least [workers]) bounds how far the coordinator reads
+    ahead of the slowest worker, so an input firehose cannot buffer
+    unboundedly. [max_restarts] (default 8) bounds worker respawns per
+    pool lifetime; [restart_backoff_ms] (default 1) is the base respawn
+    delay, doubling per restart up to 64x. [shed_grace_ms] (default -1:
+    disabled) enables admission shedding once the queue has been full
+    that long. [stop] is checked between reads. Blocks until input is
+    exhausted, every response is emitted, and all worker domains have
+    joined. *)

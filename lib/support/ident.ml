@@ -49,6 +49,49 @@ let gensym base =
   let stamp = locked fresh_stamp in
   { id = stamp; text = Printf.sprintf "%s_%d" base stamp }
 
+(* ---- persistence support ---- *)
+
+(* Marshaled artifacts (the scale layer's disk cache) embed identifiers,
+   and identifier equality is stamp equality — so bytes written by one
+   process are only meaningful to a process whose intern table agrees on
+   every shared spelling. [snapshot] captures the table; [adopt] replays
+   a saved snapshot into a compatible process (typically at cold start,
+   before any compile has interned request-specific names). *)
+
+let snapshot () : (string * int) list * int =
+  locked @@ fun () ->
+  let pairs = Hashtbl.fold (fun text id acc -> (text, id.id) :: acc) table [] in
+  (List.sort compare pairs, !counter)
+
+(** [adopt (pairs, ceiling)] merges a saved snapshot into the live table.
+    Compatible iff every saved spelling either already interns to the
+    same stamp here, or is new with a stamp above the current counter
+    (so it cannot collide with any stamp already minted). On success the
+    new spellings are installed and the counter is raised past the
+    snapshot's ceiling, so future [gensym]/[intern] stamps stay unique;
+    on failure the table is left untouched and the caller must treat the
+    persisted bytes as unusable. *)
+let adopt ((pairs, ceiling) : (string * int) list * int) : bool =
+  locked @@ fun () ->
+  let c0 = !counter in
+  let compatible =
+    List.for_all
+      (fun (text, stamp) ->
+        match Hashtbl.find_opt table text with
+        | Some id -> id.id = stamp
+        | None -> stamp > c0)
+      pairs
+  in
+  if compatible then begin
+    List.iter
+      (fun (text, stamp) ->
+        if not (Hashtbl.mem table text) then
+          Hashtbl.add table text { id = stamp; text })
+      pairs;
+    counter := max !counter ceiling
+  end;
+  compatible
+
 let text t = t.text
 let stamp t = t.id
 let equal a b = a.id = b.id

@@ -17,6 +17,19 @@ val intern : string -> t
     with a spelling derived from [base]. *)
 val gensym : string -> t
 
+(** [snapshot ()] captures the intern table (spelling, stamp pairs,
+    sorted) and the stamp counter. Persisted next to marshaled artifacts
+    so a later process can {!adopt} the stamps those artifacts embed. *)
+val snapshot : unit -> (string * int) list * int
+
+(** [adopt snap] merges a saved {!snapshot} into the live table: every
+    saved spelling must either already intern to the same stamp, or be
+    new with a stamp above the current counter. Returns [false] (table
+    untouched) when the snapshot is incompatible — persisted artifacts
+    from that snapshot must then be discarded. On success the counter is
+    raised past the snapshot's ceiling. *)
+val adopt : (string * int) list * int -> bool
+
 val text : t -> string
 val stamp : t -> int
 val equal : t -> t -> bool

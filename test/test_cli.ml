@@ -432,5 +432,56 @@ let tests =
                 Alcotest.(check bool) "run value" true
                   (Helpers.contains ~needle:"\"value\":\"2\""
                      (List.nth lines 1))));
+        case "serve --cache-dir survives a real process restart warm"
+          (fun () ->
+            with_program demo (fun path ->
+                let dir = Filename.temp_file "mhc_cachedir" "" in
+                Sys.remove dir;
+                Sys.mkdir dir 0o755;
+                let mfile = Filename.temp_file "mhc_cachedir" ".json" in
+                let cleanup () =
+                  Array.iter
+                    (fun f ->
+                      try Sys.remove (Filename.concat dir f)
+                      with Sys_error _ -> ())
+                    (try Sys.readdir dir with Sys_error _ -> [||]);
+                  (try Sys.rmdir dir with Sys_error _ -> ());
+                  try Sys.remove mfile with Sys_error _ -> ()
+                in
+                Fun.protect ~finally:cleanup @@ fun () ->
+                let serve extra =
+                  Sys.command
+                    (Printf.sprintf
+                       "printf '%s\\n' | %s serve --cache-dir %s %s \
+                        >/dev/null 2>&1"
+                       "{\"op\":\"run\",\"src\":\"main = 1 + 1\"}"
+                       (Filename.quote mhc) (Filename.quote dir) extra)
+                in
+                Alcotest.(check int) "first server exits clean" 0 (serve "");
+                (* a different process, same directory: starts warm *)
+                Alcotest.(check int) "second server exits clean" 0
+                  (serve (Printf.sprintf "--metrics %s"
+                            (Filename.quote mfile)));
+                let metrics =
+                  let ic = open_in_bin mfile in
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () ->
+                      really_input_string ic (in_channel_length ic))
+                in
+                Alcotest.(check bool) "restart hit the disk tier" true
+                  (Helpers.contains
+                     ~needle:"\"scale/cache/persist/hits\": 1" metrics);
+                (* stats --json surfaces the directory summary *)
+                let code, out =
+                  run_mhc
+                    [ "stats"; "--json"; "--stable"; "--cache-dir"; dir;
+                      path ]
+                in
+                Alcotest.(check int) "stats exit" 0 code;
+                Alcotest.(check bool) "one valid entry reported" true
+                  (Helpers.contains ~needle:"\"entries\": 1" out);
+                Alcotest.(check bool) "nothing corrupt" true
+                  (Helpers.contains ~needle:"\"corrupt\": 0" out)));
       ] );
   ]

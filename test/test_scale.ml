@@ -208,7 +208,7 @@ let pool_requests n =
              ("src", Json.Str (Printf.sprintf "main = %d + %d" i i));
            ]))
 
-let run_pool ~workers lines =
+let run_pool ?config ?max_restarts ?shed_grace_ms ~workers lines =
   let i = ref 0 in
   let next () =
     if !i >= Array.length lines then None
@@ -219,9 +219,15 @@ let run_pool ~workers lines =
     end
   in
   let out = ref [] in
-  let config = { Serve.default_config with Serve.sleep = (fun _ -> ()) } in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Serve.default_config with Serve.sleep = (fun _ -> ()) }
+  in
   let summary =
-    Pool.run ~workers ~config ~next ~emit:(fun l -> out := l :: !out) ()
+    Pool.run ~workers ~config ?max_restarts ?shed_grace_ms ~next
+      ~emit:(fun l -> out := l :: !out)
+      ()
   in
   (summary, List.rev !out)
 
@@ -229,6 +235,16 @@ let response_id line =
   match Json.parse line with
   | Ok r -> Option.bind (Json.member "id" r) Json.to_int
   | Error _ -> None
+
+let response_class line =
+  match Json.parse line with
+  | Ok r ->
+      Option.bind (Json.member "error" r) (fun e ->
+          Option.bind (Json.member "class" e) Json.to_str)
+  | Error _ -> None
+
+let class_count (s : Serve.stats) cls =
+  match List.assoc_opt cls s.Serve.by_class with Some n -> n | None -> 0
 
 let pool_cases =
   [
@@ -259,6 +275,314 @@ let pool_cases =
           (List.filter_map response_id out);
         Alcotest.(check bool) "invariant" true
           (Loadgen.invariant_holds summary.Pool.metrics));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: crashed workers, restart budgets, shedding.            *)
+(* ------------------------------------------------------------------ *)
+
+module Inject = Tc_resilience.Inject
+
+let with_inject plan f =
+  Inject.arm plan;
+  Fun.protect ~finally:Inject.disarm f
+
+let supervision_cases =
+  [
+    case "a crashed worker answers worker-crash and the pool recovers"
+      (fun () ->
+        (* rate 1 + max_faults 3: exactly the first three dequeues crash
+           their worker domain, deterministically *)
+        let n = 12 in
+        let summary, out =
+          with_inject
+            (Inject.plan ~rate:1.0 ~points:[ Inject.Worker_crash ]
+               ~max_faults:3 ())
+            (fun () -> run_pool ~workers:4 (pool_requests n))
+        in
+        Alcotest.(check int) "every request answered" n (List.length out);
+        Alcotest.(check (list int)) "in request order"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        let crashed =
+          List.filter (fun l -> response_class l = Some "worker-crash") out
+        in
+        Alcotest.(check int) "three requests died with their workers" 3
+          (List.length crashed);
+        Alcotest.(check int) "three respawns" 3 summary.Pool.restarts;
+        Alcotest.(check int) "restarts exported as a counter" 3
+          (counter_of summary.Pool.metrics "scale/pool/restarts");
+        (* the dead incarnations' accounting still reaches the totals *)
+        Alcotest.(check int) "crashes tallied by class" 3
+          (class_count summary.Pool.stats "worker-crash");
+        Alcotest.(check int) "stats count every request" n
+          summary.Pool.stats.Serve.requests;
+        Alcotest.(check int) "the rest succeeded" (n - 3)
+          summary.Pool.stats.Serve.ok;
+        Alcotest.(check int) "merged request counter" n
+          (counter_of summary.Pool.metrics "serve/requests");
+        Alcotest.(check bool)
+          "telemetry invariant holds with synthetic responses" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+    case "an exhausted restart budget degrades to a lame-duck drainer"
+      (fun () ->
+        (* every dequeue crashes; with a budget of 1 the pool shrinks to
+           nothing and the last dying worker must still drain the rest *)
+        let n = 8 in
+        let summary, out =
+          with_inject
+            (Inject.plan ~rate:1.0 ~points:[ Inject.Worker_crash ] ())
+            (fun () -> run_pool ~workers:2 ~max_restarts:1 (pool_requests n))
+        in
+        Alcotest.(check int) "no request lost" n (List.length out);
+        Alcotest.(check (list int)) "order survives total worker loss"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        Alcotest.(check bool) "every response is worker-crash" true
+          (List.for_all (fun l -> response_class l = Some "worker-crash") out);
+        Alcotest.(check int) "budget respected" 1 summary.Pool.restarts;
+        Alcotest.(check bool) "invariant still holds" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+    case "queue age past the deadline sheds instead of compiling"
+      (fun () ->
+        (* a fake clock advancing 50ms per reading makes every request's
+           measured queue age exceed a 10ms deadline, deterministically *)
+        let m = Mutex.create () in
+        let now = ref 0. in
+        let clock () =
+          Mutex.protect m (fun () ->
+              now := !now +. 0.05;
+              !now)
+        in
+        let config =
+          {
+            Serve.default_config with
+            Serve.sleep = (fun _ -> ());
+            clock;
+            default_deadline_ms = 10;
+          }
+        in
+        let n = 6 in
+        let summary, out = run_pool ~config ~workers:2 (pool_requests n) in
+        Alcotest.(check int) "every request answered" n (List.length out);
+        Alcotest.(check (list int)) "in order"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        Alcotest.(check bool) "every response shed" true
+          (List.for_all (fun l -> response_class l = Some "shed") out);
+        Alcotest.(check int) "shed tallied by class" n
+          (class_count summary.Pool.stats "shed");
+        Alcotest.(check bool) "shed responses keep the invariant" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+    case "a request's own deadline_ms field overrides the default"
+      (fun () ->
+        let t = Serve.create ~config:Serve.default_config () in
+        let req deadline =
+          Json.to_line
+            (Json.Obj
+               [
+                 ("op", Json.Str "ping");
+                 ("id", Json.Int 1);
+                 ("deadline_ms", Json.Int deadline);
+               ])
+        in
+        (* 50ms in queue vs a 10ms per-request deadline: shed *)
+        Alcotest.(check (option string)) "aged out" (Some "shed")
+          (response_class (Serve.handle_line ~queued_us:50_000 t (req 10)));
+        (* deadline 0 disables shedding for that request *)
+        Alcotest.(check bool) "no deadline, no shed" true
+          (Helpers.contains ~needle:"\"ok\":true"
+             (Serve.handle_line ~queued_us:50_000 t (req 0)));
+        Alcotest.(check bool) "shed responses are counted" true
+          (Loadgen.invariant_holds (Serve.metrics t)));
+    case "admission shedding accounts every shed exactly once" (fun () ->
+        (* shed_grace_ms = 0: any wake-up while the queue is still full
+           sheds at admission. Whether that race fires depends on
+           scheduling, so assert the accounting identities rather than a
+           specific shed count. *)
+        let n = 16 in
+        let summary, out =
+          run_pool ~workers:2 ~shed_grace_ms:0. (pool_requests n)
+        in
+        Alcotest.(check int) "every request answered" n (List.length out);
+        Alcotest.(check (list int)) "in order"
+          (List.init n Fun.id)
+          (List.filter_map response_id out);
+        let shed_responses =
+          List.length
+            (List.filter (fun l -> response_class l = Some "shed") out)
+        in
+        Alcotest.(check int) "stats agree with responses" shed_responses
+          (class_count summary.Pool.stats "shed");
+        Alcotest.(check int) "pool counter agrees" shed_responses
+          (counter_of summary.Pool.metrics "scale/pool/shed");
+        Alcotest.(check bool) "invariant holds" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
+    case "in-band metrics requests see the pool registry" (fun () ->
+        let lines =
+          Array.append (pool_requests 3)
+            [| Json.to_line (Json.Obj [ ("op", Json.Str "metrics") ]) |]
+        in
+        let _, out = run_pool ~workers:2 lines in
+        Alcotest.(check int) "four responses" 4 (List.length out);
+        Alcotest.(check bool) "pool gauges visible in-band" true
+          (List.exists
+             (fun l -> Helpers.contains ~needle:"scale/pool/" l)
+             out));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The persistent cache tier.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tmpdir () =
+  let d = Filename.temp_file "mhc_persist" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> String.starts_with ~prefix:"entry-" f)
+
+let persist_cases =
+  [
+    case "a warm restart serves from disk with the front end skipped"
+      (fun () ->
+        let dir = tmpdir () in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let a = Cache.create ~dir () in
+        ignore (Cache.compile_run a ~opts:default_opts ~passes:[] ~src:demo);
+        Alcotest.(check int) "written through" 1
+          (cache_counter a "persist/writes");
+        Cache.close a;
+        (* a fresh cache over the same directory: the restarted server *)
+        let b = Cache.create ~dir () in
+        let config =
+          {
+            Serve.default_config with
+            Serve.sleep = (fun _ -> ());
+            hooks =
+              {
+                Serve.no_hooks with
+                Serve.compile =
+                  Some
+                    (fun ~opts ~passes ~src ->
+                      Cache.compile_run b ~opts ~passes ~src);
+              };
+          }
+        in
+        let t = Serve.create ~config () in
+        let req =
+          Json.to_line
+            (Json.Obj [ ("op", Json.Str "run"); ("src", Json.Str demo) ])
+        in
+        let resp = Serve.handle_line t req in
+        Alcotest.(check bool) "served ok from disk" true
+          (Helpers.contains ~needle:"\"ok\":true" resp);
+        Alcotest.(check int) "disk hit" 1 (cache_counter b "persist/hits");
+        Alcotest.(check int)
+          "no compile span at all: the front end never ran" 0
+          (List.length
+             (List.filter
+                (fun (s : Metrics.span_stat) -> s.Metrics.sp_name = "compile")
+                (Metrics.spans (Serve.metrics t)))));
+    case "a corrupt entry is healed on read, never an exception" (fun () ->
+        let dir = tmpdir () in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let a = Cache.create ~dir () in
+        ignore (Cache.compile_run a ~opts:default_opts ~passes:[] ~src:demo);
+        Cache.close a;
+        (* tear the entry in half, as a crashed non-atomic writer would *)
+        (match entry_files dir with
+        | [ f ] ->
+            let path = Filename.concat dir f in
+            let bytes = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub bytes 0 (String.length bytes / 2)))
+        | l -> Alcotest.failf "expected one entry file, found %d"
+                 (List.length l));
+        let _, _, corrupt = Tc_scale.Persist.scan ~dir in
+        Alcotest.(check int) "scan flags the torn entry" 1 corrupt;
+        let b = Cache.create ~dir () in
+        let art =
+          Cache.compile_run b ~opts:default_opts ~passes:[] ~src:demo
+        in
+        Alcotest.(check int) "detected and dropped" 1
+          (cache_counter b "persist/corrupt");
+        Alcotest.(check int) "recompiled fresh" 1 (cache_counter b "misses");
+        let exec =
+          (Pipeline.exec ~budget:(Pipeline.Budget.fuel 1_000_000) art)
+            .Pipeline.rendered
+        in
+        Alcotest.(check string) "fresh compile answers" "42" exec;
+        Cache.close b;
+        (* the heal rewrote the entry: a third start hits clean *)
+        let c = Cache.create ~dir () in
+        ignore (Cache.compile_run c ~opts:default_opts ~passes:[] ~src:demo);
+        Alcotest.(check int) "healed entry hits" 1
+          (cache_counter c "persist/hits");
+        Alcotest.(check int) "nothing corrupt remains" 0
+          (cache_counter c "persist/corrupt");
+        Cache.close c);
+    case "an injected torn write is a miss on restart, then healed"
+      (fun () ->
+        let dir = tmpdir () in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let a = Cache.create ~dir () in
+        with_inject
+          (Inject.plan ~rate:1.0 ~points:[ Inject.Cache_write ] ())
+          (fun () ->
+            ignore
+              (Cache.compile_run a ~opts:default_opts ~passes:[] ~src:demo));
+        Cache.close a;
+        (* the torn bytes are on disk but can never validate *)
+        let _, _, corrupt = Tc_scale.Persist.scan ~dir in
+        Alcotest.(check int) "torn entry present, invalid" 1 corrupt;
+        let b = Cache.create ~dir () in
+        ignore (Cache.compile_run b ~opts:default_opts ~passes:[] ~src:demo);
+        Alcotest.(check int) "torn entry dropped on read" 1
+          (cache_counter b "persist/corrupt");
+        Alcotest.(check int) "compiled fresh and rewrote" 1
+          (cache_counter b "persist/writes");
+        Cache.close b);
+    case "an injected read fault heals like real corruption" (fun () ->
+        let dir = tmpdir () in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let a = Cache.create ~dir () in
+        ignore (Cache.compile_run a ~opts:default_opts ~passes:[] ~src:demo);
+        Cache.close a;
+        let b = Cache.create ~dir () in
+        with_inject
+          (Inject.plan ~rate:1.0 ~points:[ Inject.Cache_read ] ())
+          (fun () ->
+            ignore
+              (Cache.compile_run b ~opts:default_opts ~passes:[] ~src:demo));
+        Alcotest.(check int) "read fault counted as corruption" 1
+          (cache_counter b "persist/corrupt");
+        Alcotest.(check int) "request still served by recompiling" 1
+          (cache_counter b "misses");
+        Cache.close b);
+    case "the Ident intern snapshot adopts into a compatible process"
+      (fun () ->
+        let module Ident = Tc_support.Ident in
+        (* our own snapshot is trivially compatible *)
+        Alcotest.(check bool) "self-adopt" true
+          (Ident.adopt (Ident.snapshot ()));
+        (* a snapshot claiming an existing spelling at a clashing stamp
+           must be rejected, or persisted artifacts would lie *)
+        let x = Ident.intern "persist_adopt_probe" in
+        let _, ceiling = Ident.snapshot () in
+        Alcotest.(check bool) "clashing stamp rejected" false
+          (Ident.adopt
+             ([ (Ident.text x, Ident.stamp x + 1) ], ceiling + 1)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -352,7 +676,12 @@ let loadgen_cases =
         match Json.parse rows with
         | Error m -> Alcotest.failf "BENCH_SERVE.json unparseable: %s" m
         | Ok (Json.List items) ->
-            Alcotest.(check int) "seven rows" 7 (List.length items);
+            Alcotest.(check int) "nine rows" 9 (List.length items);
+            Alcotest.(check bool) "shed row present for --slo bounds" true
+              (List.exists
+                 (fun row ->
+                   Json.member "metric" row = Some (Json.Str "shed"))
+                 items);
             Alcotest.(check bool) "hot_speedup row present" true
               (List.exists
                  (fun row ->
@@ -365,6 +694,8 @@ let tests =
   [
     ("scale cache", cache_cases);
     ("scale pool", pool_cases);
+    ("scale supervision", supervision_cases);
+    ("scale persist", persist_cases);
     ("scale oversize", oversize_cases);
     ("scale loadgen", loadgen_cases);
   ]
