@@ -877,18 +877,35 @@ let deadline_arg =
            ($(b,0) disables; a request's own $(b,deadline_ms) field \
            overrides the default).")
 
+(* --listen HOST:PORT. A bare ":8080" listens on all interfaces' local
+   loopback default; the port is mandatory ("0" asks the kernel for an
+   ephemeral one). *)
+let parse_listen s =
+  match String.rindex_opt s ':' with
+  | None -> Error "expected HOST:PORT"
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+      | _ -> Error "invalid port")
+
 let serve_cmd =
   let doc =
     "Serve newline-delimited JSON requests ($(b,check), $(b,compile), \
-     $(b,run), $(b,stats), $(b,ping)) over stdin/stdout, one response line \
-     per request line, in order. Each request is isolated — fresh compile, \
-     its own resource budget, full error containment — so no request (bad \
-     JSON, type errors, divergence, injected faults, even simulated OOM) \
-     can kill the process. Transient faults retry with exponential \
-     backoff; with $(b,--workers) > 1 even a crashed worker domain is \
-     survived — its request answered $(b,worker-crash), the domain \
-     respawned under $(b,--max-restarts). EOF or SIGINT drains \
-     gracefully and prints a summary to stderr."
+     $(b,run), $(b,stats), $(b,ping), $(b,health), $(b,ready)) over \
+     stdin/stdout — or over TCP with $(b,--listen HOST:PORT) — one \
+     response line per request line, in order (per connection). Each \
+     request is isolated — fresh compile, its own resource budget, full \
+     error containment — so no request (bad JSON, type errors, \
+     divergence, injected faults, even simulated OOM) can kill the \
+     process. Transient faults retry with exponential backoff; with \
+     $(b,--workers) > 1 even a crashed worker domain is survived — its \
+     request answered $(b,worker-crash), the domain respawned under \
+     $(b,--max-restarts). EOF, SIGINT or SIGTERM drains gracefully \
+     (networked: stop accepting, finish the requests already read, \
+     bounded by $(b,--drain-timeout)) and prints a summary to stderr."
   in
   let retries_arg =
     Arg.(
@@ -940,16 +957,57 @@ let serve_cmd =
              for $(docv) milliseconds, answer new requests $(b,shed) at \
              admission instead of queueing them (negative disables).")
   in
+  let listen_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve over TCP instead of stdin/stdout: accept concurrent \
+             connections on $(docv) (port $(b,0) picks an ephemeral \
+             one), each speaking the same NDJSON protocol, multiplexed \
+             onto one shared worker pool. Exits 2 if the address is \
+             already bound.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Admission limit for $(b,--listen): past $(docv) concurrent \
+             connections, new arrivals are answered with one \
+             $(b,overloaded) line and closed.")
+  in
+  let conn_read_timeout_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "conn-read-timeout" ] ~docv:"MS"
+          ~doc:
+            "Reap a connection stuck mid-request-line longer than \
+             $(docv) (slowloris defense; $(b,0) disables).")
+  in
+  let conn_idle_timeout_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "conn-idle-timeout" ] ~docv:"MS"
+          ~doc:
+            "Reap a connection quiet between requests longer than \
+             $(docv) ($(b,0) disables).")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt int 5_000
+      & info [ "drain-timeout" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT, bound the graceful drain: if the \
+             in-flight tail outlives $(docv), emit the final snapshot, \
+             shed the rest and still exit 0.")
+  in
   let run strategy no_prelude mono timeout retries backoff_ms inject mfile
       every workers cache_mb cache_verify max_line spec_profile deadline_ms
-      cache_dir max_restarts shed_grace =
+      cache_dir max_restarts shed_grace listen max_conns conn_read_timeout
+      conn_idle_timeout drain_timeout =
     handle_errors @@ fun () ->
     arm_inject inject;
-    let stopped = ref false in
-    (try
-       Sys.set_signal Sys.sigint
-         (Sys.Signal_handle (fun _ -> stopped := true))
-     with Invalid_argument _ | Sys_error _ -> ());
     let cache =
       if cache_mb <= 0 && cache_dir = None then None
       else
@@ -1013,38 +1071,96 @@ let serve_cmd =
         hooks;
       }
     in
-    let next = Serve.bounded_next ~max_bytes:max_line stdin in
-    let next () =
-      (* a signal can interrupt the blocking read; treat it as EOF and
-         let the drain path run *)
-      try next () with Sys_error _ -> None
+    (* Shared postlude: fold the cache registry into the summary's,
+       write the metrics file, print the stderr recap. *)
+    let finish (summary : Tc_scale.Pool.summary) =
+      Option.iter Tc_scale.Cache.close cache;
+      let merged = summary.Tc_scale.Pool.metrics in
+      Option.iter
+        (fun c -> Metrics.merge ~into:merged (Tc_scale.Cache.metrics c))
+        cache;
+      write_metrics mfile merged;
+      let s = summary.Tc_scale.Pool.stats in
+      Fmt.epr
+        "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s, %d \
+         restart%s)@."
+        s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
+        summary.Tc_scale.Pool.workers
+        (if summary.Tc_scale.Pool.workers = 1 then "" else "s")
+        summary.Tc_scale.Pool.restarts
+        (if summary.Tc_scale.Pool.restarts = 1 then "" else "s")
     in
-    let emit line =
-      print_string line;
-      print_newline ();
-      flush stdout
+    let set_signals handler =
+      try
+        Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ()
     in
-    let summary =
-      Tc_scale.Pool.run ~workers ~config ~max_restarts
-        ~shed_grace_ms:shed_grace
-        ~stop:(fun () -> !stopped)
-        ~next ~emit ()
-    in
-    Option.iter Tc_scale.Cache.close cache;
-    let merged = summary.Tc_scale.Pool.metrics in
-    Option.iter
-      (fun c -> Metrics.merge ~into:merged (Tc_scale.Cache.metrics c))
-      cache;
-    write_metrics mfile merged;
-    let s = summary.Tc_scale.Pool.stats in
-    Fmt.epr
-      "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s, %d \
-       restart%s)@."
-      s.Serve.requests s.Serve.ok s.Serve.failed s.Serve.retried
-      summary.Tc_scale.Pool.workers
-      (if summary.Tc_scale.Pool.workers = 1 then "" else "s")
-      summary.Tc_scale.Pool.restarts
-      (if summary.Tc_scale.Pool.restarts = 1 then "" else "s")
+    match listen with
+    | None ->
+        (* stdio: SIGINT and SIGTERM request the same graceful drain —
+           stop reading, let the pool finish what it holds *)
+        let stopped = ref false in
+        set_signals (fun _ -> stopped := true);
+        let next = Serve.bounded_next ~max_bytes:max_line stdin in
+        let next () =
+          (* a signal can interrupt the blocking read; treat it as EOF
+             and let the drain path run *)
+          try next () with Sys_error _ -> None
+        in
+        let emit line =
+          print_string line;
+          print_newline ();
+          flush stdout
+        in
+        finish
+          (Tc_scale.Pool.run ~workers ~config ~max_restarts
+             ~shed_grace_ms:shed_grace
+             ~stop:(fun () -> !stopped)
+             ~next ~emit ())
+    | Some spec -> (
+        let host, port =
+          match parse_listen spec with
+          | Ok hp -> hp
+          | Error m ->
+              Fmt.epr "mhc serve: bad --listen %S: %s@." spec m;
+              exit 2
+        in
+        let server_ref = ref None in
+        let on_drain_deadline () =
+          (* The in-flight tail outlived --drain-timeout: a bounded exit
+             was promised, so emit what the listener knows and exit 0.
+             (The pool summary never materialized; its workers are shed
+             with the process.) *)
+          (match !server_ref with
+          | None -> ()
+          | Some srv ->
+              let m = Tc_net.Net.metrics_view srv in
+              Option.iter
+                (fun c ->
+                  Metrics.merge ~into:m (Tc_scale.Cache.metrics_view c))
+                cache;
+              write_metrics mfile m);
+          Fmt.epr "serve: drain timeout reached; remaining work shed@.";
+          exit 0
+        in
+        match
+          Tc_net.Net.create ~max_conns ~read_timeout_ms:conn_read_timeout
+            ~idle_timeout_ms:conn_idle_timeout ~drain_timeout_ms:drain_timeout
+            ~on_drain_deadline ~host ~port ()
+        with
+        | exception Tc_net.Net.Bind_error m ->
+            Fmt.epr "mhc serve: %s@." m;
+            exit 2
+        | server ->
+            server_ref := Some server;
+            set_signals (fun _ -> Tc_net.Net.drain server);
+            Fmt.epr "serve: listening on %s:%d (%d worker%s)@." host
+              (Tc_net.Net.port server) workers
+              (if workers = 1 then "" else "s");
+            finish
+              (Tc_net.Net.run server ~workers ~max_restarts
+                 ~shed_grace_ms:shed_grace ~config ()))
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
@@ -1052,7 +1168,8 @@ let serve_cmd =
       $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
       $ metrics_every_arg $ workers_arg $ cache_mb_arg $ cache_verify_arg
       $ max_line_arg $ spec_profile_arg $ deadline_arg $ cache_dir_arg
-      $ max_restarts_arg $ shed_grace_arg)
+      $ max_restarts_arg $ shed_grace_arg $ listen_arg $ max_conns_arg
+      $ conn_read_timeout_arg $ conn_idle_timeout_arg $ drain_timeout_arg)
 
 (* ---- bench ---- *)
 
@@ -1065,7 +1182,11 @@ let bench_serve_cmd =
      $(b,mhc serve) uses. Prints a JSON report with throughput, p50/p99 \
      latency, the hot/cold speedup, cache hit/miss totals, and whether \
      the telemetry invariant held in the merged multi-worker registry; \
-     $(b,--out) also writes the BENCH_SERVE.json trajectory rows."
+     $(b,--out) also writes the BENCH_SERVE.json trajectory rows. With \
+     $(b,--connect HOST:PORT) the same experiment runs over TCP against \
+     an already-running $(b,mhc serve --listen) server instead: one \
+     connection per client thread, client-side wall-time latencies, and \
+     the invariant checked from an in-band $(b,metrics) snapshot."
   in
   let clients_arg =
     Arg.(
@@ -1089,11 +1210,30 @@ let bench_serve_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Directory to write BENCH_SERVE.json trajectory rows into.")
   in
-  let run clients requests workers cache_mb cache_verify op out deadline_ms =
+  let connect_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run the experiment over TCP against a running $(b,mhc serve \
+             --listen) server at $(docv) instead of in-process.")
+  in
+  let run clients requests workers cache_mb cache_verify op out deadline_ms
+      connect =
     handle_errors @@ fun () ->
     let report =
-      Tc_scale.Loadgen.run ~clients ~requests ~workers ~op ~cache_mb
-        ~verify_every:cache_verify ~deadline_ms ()
+      match connect with
+      | None ->
+          Tc_scale.Loadgen.run ~clients ~requests ~workers ~op ~cache_mb
+            ~verify_every:cache_verify ~deadline_ms ()
+      | Some spec -> (
+          match parse_listen spec with
+          | Error m ->
+              Fmt.epr "mhc bench serve: bad --connect %S: %s@." spec m;
+              exit 2
+          | Ok (host, port) ->
+              Tc_scale.Loadgen.run_socket ~clients ~requests ~op ~host ~port
+                ())
     in
     print_string (Json.to_line (Tc_scale.Loadgen.report_json report));
     print_newline ();
@@ -1112,7 +1252,7 @@ let bench_serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ clients_arg $ requests_arg $ workers_arg $ cache_mb_arg
-      $ cache_verify_arg $ op_arg $ out_arg $ deadline_arg)
+      $ cache_verify_arg $ op_arg $ out_arg $ deadline_arg $ connect_arg)
 
 let bench_cmd =
   let doc = "Scaling benchmarks (load generation against the serve loop)." in

@@ -36,6 +36,7 @@ type config = {
   max_line_bytes : int;
   default_deadline_ms : int;
   extra_metrics : (unit -> Metrics.t) option;
+  ready : unit -> bool;
   hooks : hooks;
 }
 
@@ -45,12 +46,13 @@ let default_config =
     retries = 3;
     backoff_ms = 10.;
     sleep = Unix.sleepf;
-    clock = Unix.gettimeofday;
+    clock = Tc_support.Mono.now_s;
     snapshot_every = 0;
     base_opts = Pipeline.default_options;
     max_line_bytes = 1 lsl 20;
     default_deadline_ms = 0;
     extra_metrics = None;
+    ready = (fun () -> true);
     hooks = no_hooks;
   }
 
@@ -454,6 +456,22 @@ let handle_line ?(queued_us = 0) t line =
            if !Inject.live then Inject.hit Inject.Serve_transient;
            match op with
            | "ping" -> ok_response t ~id ~op:"ping" []
+           (* Liveness: the loop is handling requests at all. Always ok
+              while the process answers — a monitor that can't get this
+              line should restart the process. *)
+           | "health" ->
+               ok_response t ~id ~op:"health"
+                 [
+                   ("status", Json.Str "ok");
+                   ("uptime_ms", Json.Int (uptime_ms t));
+                 ]
+           (* Readiness: whether new work should be routed here. Still
+              [ok:true] — not being ready is a reported state, not a
+              failure — with the verdict in the [ready] field. Flips
+              false during drain and pool lame-duck. *)
+           | "ready" ->
+               ok_response t ~id ~op:"ready"
+                 [ ("ready", Json.Bool (t.config.ready ())) ]
            | "stats" -> do_stats t ~id
            | "metrics" -> do_metrics t ~id req
            | "check" | "compile" -> do_check t ~id ~op req
@@ -509,10 +527,26 @@ let snapshot_line t =
    [max_bytes + 1] bytes of memory. *)
 let bounded_next ?(max_bytes = default_config.max_line_bytes) ic () =
   let buf = Buffer.create 256 in
+  (* Tolerate CRLF line endings (netcat on Windows, telnet, HTTP-ish
+     clients poking the socket): a trailing '\r' is part of the line
+     terminator, not the request. Only the final byte is stripped —
+     embedded '\r' still reaches the parser and fails as bad JSON. *)
+  let finish () =
+    let n = Buffer.length buf in
+    (* never strip from a truncated (over-cap) line: that last byte is
+       retained garbage, not a terminator, and removing it would demote
+       the request from oversized to merely invalid *)
+    if
+      n > 0
+      && (max_bytes = 0 || n <= max_bytes)
+      && Buffer.nth buf (n - 1) = '\r'
+    then Buffer.sub buf 0 (n - 1)
+    else Buffer.contents buf
+  in
   let rec go seen_any =
     match In_channel.input_char ic with
-    | None -> if seen_any then Some (Buffer.contents buf) else None
-    | Some '\n' -> Some (Buffer.contents buf)
+    | None -> if seen_any then Some (finish ()) else None
+    | Some '\n' -> Some (finish ())
     | Some c ->
         if max_bytes = 0 || Buffer.length buf <= max_bytes then
           Buffer.add_char buf c;

@@ -25,9 +25,16 @@
     [snapshot_every] > 0 the loop also emits a spontaneous
     [{"event": "metrics-snapshot", ...}] line every N requests.
 
+    Probes: the [health] op answers liveness (status + uptime) whenever
+    the loop is handling requests at all; the [ready] op answers whether
+    new work should be routed here ([ready:false] during drain or pool
+    lame-duck — still [ok:true], because not being ready is a reported
+    state, not a failure).
+
     Request schema (one JSON object per line):
     {v
-      {"op": "ping" | "check" | "compile" | "run" | "stats" | "metrics",
+      {"op": "ping" | "health" | "ready" | "check" | "compile" | "run"
+           | "stats" | "metrics",
        "id": <any>,            -- echoed back verbatim (optional)
        "src": "...",           -- program text (check/compile/run)
        "strategy": "dict" | "dict-flat" | "tags",
@@ -88,7 +95,8 @@ type config = {
       (** backoff implementation, in seconds (injectable for tests) *)
   clock : unit -> float;
       (** time source, in seconds (injectable for deterministic latency
-          and uptime in tests); [Unix.gettimeofday] by default *)
+          and uptime in tests); the monotonic [Tc_support.Mono.now_s] by
+          default, so latencies survive system-clock steps *)
   snapshot_every : int;
       (** emit a spontaneous metrics-snapshot line every N requests;
           [0] (default) disables *)
@@ -110,12 +118,16 @@ type config = {
           must return a registry safe to read on this domain; it must
           not contain [serve/*] instruments or the snapshot's
           requests-vs-latency invariant breaks *)
+  ready : unit -> bool;
+      (** the [ready] op's verdict — whether new work should be routed
+          to this server. The network front end wires this to "not
+          draining and not lame-duck"; [fun () -> true] by default *)
   hooks : hooks;  (** external seams; {!no_hooks} by default *)
 }
 
 (** Ten-second deadline, 3 retries from 10ms, [Unix.sleepf],
-    [Unix.gettimeofday], no periodic snapshots, 1 MiB line cap, no
-    request deadline, no extra metrics, {!no_hooks}. *)
+    [Tc_support.Mono.now_s], no periodic snapshots, 1 MiB line cap, no
+    request deadline, no extra metrics, always ready, {!no_hooks}. *)
 val default_config : config
 
 (** Cumulative server statistics, also exposed as the [stats] op. *)
@@ -175,7 +187,9 @@ val bounded_next : ?max_bytes:int -> in_channel -> unit -> string option
     bounded buffering: bytes past [max_bytes] (default
     [default_config.max_line_bytes]; [0] = unlimited) are discarded as
     they stream in, retaining one extra byte so {!handle_line} still
-    classifies the request as oversized. *)
+    classifies the request as oversized. CRLF-terminated lines have the
+    trailing ['\r'] stripped (except on truncated over-cap lines, where
+    the retained byte is garbage, not a terminator). *)
 
 (** Drive the loop: read lines from [next] until it returns [None] (or
     [stop] returns [true] — checked between requests, for signal-driven

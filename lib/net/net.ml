@@ -1,0 +1,501 @@
+(** TCP front end (see the interface for the contract).
+
+    Thread layout: one accept thread (also the drain-flag poller), one
+    reader thread per connection, and the caller's thread driving
+    {!Pool.run} as coordinator. Workers are the pool's domains and
+    never touch a socket. Locks, in nesting order: [t.lock] (connection
+    set, ingest queue, drain state) may be held while taking
+    [t.reg_lock] (the registry is not domain-safe); a connection's
+    [wlock] (serializing writes to its fd) nests inside neither.
+
+    Response routing needs no map: the pool contract says [emit] calls
+    mirror [next] pops one-to-one in order, so a FIFO of connection
+    references pushed at [next] and popped at [emit] suffices. [next]
+    runs on the pool coordinator and [emit] on the pool's emitter
+    thread, so the FIFO carries its own small lock.
+
+    Never [Unix.close] a socket that may still be written: a closed
+    descriptor number is immediately reusable by [accept], so a late
+    write could land on a {e different} client's connection. Teardown
+    therefore uses [shutdown]; [close] happens exactly once, when the
+    reader has exited {e and} no responses are owed. *)
+
+module Serve = Typeclasses.Serve
+module Pool = Tc_scale.Pool
+module Metrics = Tc_obs.Metrics
+module Json = Tc_obs.Json
+module Inject = Tc_resilience.Inject
+module Mono = Tc_support.Mono
+
+exception Bind_error of string
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;               (* serializes writes to [fd] *)
+  opened_at : float;             (* Mono.now_s at accept *)
+  mutable last_activity : float; (* Mono.now_s of the last byte read *)
+  mutable alive : bool;          (* false once shut down: stop writing *)
+  mutable owing : int;           (* requests read, responses not yet written *)
+  mutable reader_done : bool;
+  mutable released : bool;       (* fd closed, gauges settled *)
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  max_conns : int;
+  read_timeout_ms : int;
+  idle_timeout_ms : int;
+  drain_timeout_ms : int;
+  on_drain_deadline : unit -> unit;
+  reg : Metrics.t;
+  reg_lock : Mutex.t;
+  lock : Mutex.t;
+  ingest_nonempty : Condition.t;
+  ingest_room : Condition.t;
+  ingest : (conn * string) Queue.t;
+  mutable ingest_cap : int;
+  mutable conns : int;
+  mutable readers : int;          (* live reader threads *)
+  mutable drain_flag : bool;      (* set by signal handlers; polled *)
+  mutable draining : bool;        (* the acted-upon state *)
+  mutable lame : bool;            (* pool entered lame-duck *)
+  mutable finished : bool;        (* run returned; disarms the watchdog *)
+}
+
+(* ---- registry (always through reg_lock; t.lock -> reg_lock nesting
+   is permitted, never the reverse) ---- *)
+
+let with_lock lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let bump t name =
+  with_lock t.reg_lock @@ fun () ->
+  Metrics.incr (Metrics.counter t.reg ("net/" ^ name))
+
+(* Caller holds [t.lock]; [t.conns] is current. *)
+let set_conns_gauges t =
+  with_lock t.reg_lock @@ fun () ->
+  Metrics.set (Metrics.gauge t.reg "net/conns") t.conns;
+  let peak = Metrics.gauge t.reg "net/conns_peak" in
+  if t.conns > Metrics.gauge_value peak then Metrics.set peak t.conns
+
+let observe_lifetime t ms =
+  with_lock t.reg_lock @@ fun () ->
+  Metrics.observe (Metrics.histogram t.reg "net/conn_lifetime_ms") ms
+
+let metrics_view t =
+  with_lock t.reg_lock @@ fun () ->
+  let m = Metrics.create () in
+  Metrics.merge ~into:m t.reg;
+  m
+
+(* ---- lifecycle ---- *)
+
+let addr_of ~host ~port =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with _ ->
+        raise
+          (Bind_error (Printf.sprintf "cannot resolve listen host %S" host)))
+  in
+  Unix.ADDR_INET (inet, port)
+
+let create ?(backlog = 64) ?(max_conns = 256) ?(read_timeout_ms = 10_000)
+    ?(idle_timeout_ms = 60_000) ?(drain_timeout_ms = 5_000)
+    ?(on_drain_deadline = fun () -> ()) ~host ~port () =
+  (* A vanished client must surface as EPIPE on its own write, never as
+     a process-killing signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (match Unix.bind fd (addr_of ~host ~port) with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      (try Unix.close fd with _ -> ());
+      raise
+        (Bind_error
+           (Printf.sprintf
+              "%s:%d is already in use (is another mhc serve running?)" host
+              port))
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      raise
+        (Bind_error
+           (Printf.sprintf "cannot bind %s:%d: %s" host port
+              (Unix.error_message e))));
+  Unix.listen fd backlog;
+  (* Accept never blocks: the accept thread selects first, but a
+     connection can vanish between select and accept (RST), and a
+     blocking accept there would stall drain polling. *)
+  Unix.set_nonblock fd;
+  {
+    listen_fd = fd;
+    max_conns;
+    read_timeout_ms;
+    idle_timeout_ms;
+    drain_timeout_ms;
+    on_drain_deadline;
+    reg = Metrics.create ();
+    reg_lock = Mutex.create ();
+    lock = Mutex.create ();
+    ingest_nonempty = Condition.create ();
+    ingest_room = Condition.create ();
+    ingest = Queue.create ();
+    ingest_cap = 64;
+    conns = 0;
+    readers = 0;
+    drain_flag = false;
+    draining = false;
+    lame = false;
+    finished = false;
+  }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+
+(* Async-signal-safe: one unlocked bool store. The accept thread polls
+   it every select tick and performs the actual (lock-taking) drain. *)
+let drain t = t.drain_flag <- true
+let draining t = t.draining || t.drain_flag
+
+(* Close the fd exactly once, when nothing will touch it again. Caller
+   holds [t.lock]. *)
+let maybe_release t conn =
+  if conn.reader_done && conn.owing = 0 && not conn.released then begin
+    conn.released <- true;
+    t.conns <- t.conns - 1;
+    set_conns_gauges t;
+    observe_lifetime t
+      (int_of_float ((Mono.now_s () -. conn.opened_at) *. 1000.));
+    try Unix.close conn.fd with _ -> ()
+  end
+
+(* Stop both directions now (reap, drop, write failure). The fd itself
+   stays open until [maybe_release]. *)
+let shutdown_conn conn =
+  conn.alive <- false;
+  try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ()
+
+let write_all conn s =
+  with_lock conn.wlock @@ fun () ->
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write conn.fd b !off (len - !off)
+  done
+
+(* ---- per-connection reader ---- *)
+
+exception Conn_dropped  (* injected Conn_drop *)
+exception Conn_stalled  (* injected Slow_read: jump to the reap path *)
+
+let reader t ~max_bytes conn =
+  let chunk = Bytes.create 4096 in
+  let line = Buffer.create 256 in
+  (* Same cap semantics as [Serve.bounded_next]: keep at most
+     [max_bytes + 1] bytes so the oversized classification still fires;
+     strip a terminating CR only off untruncated lines. *)
+  let finish_line () =
+    let n = Buffer.length line in
+    let s =
+      if
+        n > 0
+        && (max_bytes = 0 || n <= max_bytes)
+        && Buffer.nth line (n - 1) = '\r'
+      then Buffer.sub line 0 (n - 1)
+      else Buffer.contents line
+    in
+    Buffer.clear line;
+    s
+  in
+  let enqueue l =
+    Mutex.lock t.lock;
+    (* Backpressure: a firehose connection blocks here (its socket then
+       fills and the client blocks), bounding server-side buffering.
+       Drain lifts the bound so exiting readers can never wedge. *)
+    while Queue.length t.ingest >= t.ingest_cap && not t.draining do
+      Condition.wait t.ingest_room t.lock
+    done;
+    conn.owing <- conn.owing + 1;
+    Queue.push (conn, l) t.ingest;
+    Condition.signal t.ingest_nonempty;
+    Mutex.unlock t.lock
+  in
+  let scan n =
+    for i = 0 to n - 1 do
+      match Bytes.get chunk i with
+      | '\n' -> enqueue (finish_line ())
+      | c ->
+          if max_bytes = 0 || Buffer.length line <= max_bytes then
+            Buffer.add_char line c
+    done
+  in
+  let outcome =
+    try
+      let rec loop () =
+        if t.draining || t.drain_flag || not conn.alive then `Drained
+        else begin
+          let age_ms = (Mono.now_s () -. conn.last_activity) *. 1000. in
+          (* mid-line, the (tight) read deadline applies — a slowloris
+             trickles bytes forever; between requests, the (loose) idle
+             deadline — parked keep-alive connections are fine for a
+             while, not forever *)
+          let limit =
+            if Buffer.length line > 0 then t.read_timeout_ms
+            else t.idle_timeout_ms
+          in
+          if limit > 0 && age_ms > float_of_int limit then `Deadline
+          else
+            match Unix.select [ conn.fd ] [] [] 0.1 with
+            | [], _, _ -> loop ()
+            | _ -> (
+                match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+                | 0 -> `Eof
+                | n ->
+                    conn.last_activity <- Mono.now_s ();
+                    if !Inject.live then begin
+                      (try Inject.hit ~detail:"net conn" Inject.Conn_drop
+                       with Inject.Fault _ -> raise Conn_dropped);
+                      try Inject.hit ~detail:"net conn" Inject.Slow_read
+                      with Inject.Fault _ -> raise Conn_stalled
+                    end;
+                    scan n;
+                    loop ())
+        end
+      in
+      loop ()
+    with
+    | Conn_dropped -> `Dropped
+    | Conn_stalled -> `Deadline
+    | Unix.Unix_error
+        ( ( Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.ENOTCONN
+          | Unix.EINTR ),
+          _,
+          _ ) ->
+        `Eof
+    | _ -> `Eof
+  in
+  (match outcome with
+  | `Deadline ->
+      bump t "reaped";
+      shutdown_conn conn
+  | `Dropped ->
+      bump t "dropped";
+      shutdown_conn conn
+  | `Eof | `Drained ->
+      (* normal teardown: stop reading, but responses already owed are
+         still written before the fd closes *)
+      ());
+  Mutex.lock t.lock;
+  conn.reader_done <- true;
+  t.readers <- t.readers - 1;
+  maybe_release t conn;
+  (* the coordinator may be waiting for "no readers left" at drain *)
+  Condition.broadcast t.ingest_nonempty;
+  Mutex.unlock t.lock
+
+(* ---- accept loop (and drain poller) ---- *)
+
+let overloaded_line t =
+  Json.to_line
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("class", Json.Str "overloaded");
+               ( "message",
+                 Json.Str
+                   (Printf.sprintf
+                      "connection limit %d reached; retry later" t.max_conns)
+               );
+             ] );
+       ])
+
+let do_drain t =
+  Mutex.lock t.lock;
+  if t.draining then Mutex.unlock t.lock
+  else begin
+    t.draining <- true;
+    Condition.broadcast t.ingest_nonempty;
+    Condition.broadcast t.ingest_room;
+    Mutex.unlock t.lock;
+    (* Drain watchdog: a bounded exit is part of the contract — if the
+       in-flight tail outlives the timeout (a wedged compile, a worker
+       crash-loop), the deadline callback takes over (the CLI emits its
+       final snapshot and exits 0 there). *)
+    ignore
+      (Thread.create
+         (fun () ->
+           Thread.delay (float_of_int t.drain_timeout_ms /. 1000.);
+           if not t.finished then t.on_drain_deadline ())
+         ())
+  end
+
+let handle_accept t ~max_bytes fd =
+  (* A non-reading client must not wedge the coordinator mid-[emit]:
+     bound blocking writes, then treat the timeout as a vanished peer. *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with _ -> ());
+  Mutex.lock t.lock;
+  if t.conns >= t.max_conns || t.draining then begin
+    Mutex.unlock t.lock;
+    bump t "rejected";
+    (try
+       let s = overloaded_line t ^ "\n" in
+       ignore (Unix.write_substring fd s 0 (String.length s))
+     with _ -> ());
+    try Unix.close fd with _ -> ()
+  end
+  else begin
+    let now = Mono.now_s () in
+    let conn =
+      {
+        fd;
+        wlock = Mutex.create ();
+        opened_at = now;
+        last_activity = now;
+        alive = true;
+        owing = 0;
+        reader_done = false;
+        released = false;
+      }
+    in
+    t.conns <- t.conns + 1;
+    t.readers <- t.readers + 1;
+    set_conns_gauges t;
+    Mutex.unlock t.lock;
+    bump t "accepted";
+    ignore (Thread.create (reader t ~max_bytes) conn)
+  end
+
+let accept_loop t ~max_bytes () =
+  let rec loop () =
+    if t.drain_flag && not t.draining then do_drain t;
+    if t.draining then (try Unix.close t.listen_fd with _ -> ())
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ -> (
+          match
+            if !Inject.live then
+              Inject.hit ~detail:"accept" Inject.Accept_fail;
+            Unix.accept t.listen_fd
+          with
+          | fd, _ -> handle_accept t ~max_bytes fd
+          | exception Inject.Fault _ ->
+              bump t "accept_fails";
+              Thread.delay 0.01
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ()));
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- the pool bridge ---- *)
+
+let run t ?(workers = 1) ?(queue_depth = 64) ?max_restarts
+    ?restart_backoff_ms ?shed_grace_ms ?(config = Serve.default_config) () =
+  t.ingest_cap <- max 16 queue_depth;
+  let max_bytes = config.Serve.max_line_bytes in
+  (* Compose, don't replace, the caller's probe and metrics view. *)
+  let caller_view = config.Serve.extra_metrics in
+  let net_view () =
+    let m = metrics_view t in
+    (match caller_view with
+    | None -> ()
+    | Some view -> Metrics.merge ~into:m (view ()));
+    m
+  in
+  let caller_ready = config.Serve.ready in
+  let config =
+    {
+      config with
+      Serve.extra_metrics = Some net_view;
+      (* unsynchronized cross-domain bool reads: stale by at most a
+         beat, never torn — fine for a probe *)
+      ready =
+        (fun () ->
+          caller_ready () && (not (draining t)) && not t.lame);
+    }
+  in
+  let accept_thr = Thread.create (accept_loop t ~max_bytes) () in
+  (* Response routing (see the header comment): pushed by the pool
+     coordinator at [next], popped by the pool's emitter thread at
+     [emit] — one-to-one in order, but from two threads, hence the
+     lock. *)
+  let pending : conn Queue.t = Queue.create () in
+  let pending_lock = Mutex.create () in
+  let next () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      if not (Queue.is_empty t.ingest) then begin
+        let conn, line = Queue.pop t.ingest in
+        Condition.signal t.ingest_room;
+        Mutex.unlock t.lock;
+        with_lock pending_lock (fun () -> Queue.push conn pending);
+        Some line
+      end
+      else if t.draining && t.readers = 0 then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.ingest_nonempty t.lock;
+        wait ()
+      end
+    in
+    wait ()
+  in
+  let emit resp =
+    let conn = with_lock pending_lock (fun () -> Queue.pop pending) in
+    (if conn.alive then
+       try write_all conn (resp ^ "\n")
+       with
+       | Unix.Unix_error
+           ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN
+             | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT ),
+             _,
+             _ )
+       | Sys_error _
+       ->
+         (* this client is gone (or too slow to keep): its remaining
+            responses drop, its neighbors and the pool's accounting
+            don't notice *)
+         bump t "write_drops";
+         shutdown_conn conn);
+    Mutex.lock t.lock;
+    conn.owing <- conn.owing - 1;
+    maybe_release t conn;
+    Mutex.unlock t.lock
+  in
+  let summary =
+    Pool.run ~workers ~config ~queue_depth ?max_restarts ?restart_backoff_ms
+      ?shed_grace_ms
+      ~on_lame_duck:(fun () -> t.lame <- true)
+      ~next ~emit ()
+  in
+  t.finished <- true;
+  Thread.join accept_thr;
+  with_lock t.reg_lock (fun () ->
+      Metrics.merge ~into:summary.Pool.metrics t.reg);
+  summary

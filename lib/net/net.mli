@@ -1,0 +1,126 @@
+(** [mhc serve --listen] — the TCP front end.
+
+    A listener multiplexing many concurrent client connections onto one
+    supervised {!Tc_scale.Pool}: each connection speaks the same NDJSON
+    request/response protocol as stdio serve (same ops, same failure
+    classes, same {!Typeclasses.Serve.bounded_next} line-cap semantics,
+    CRLF tolerated), and every request is answered on the connection
+    that sent it, in that connection's send order.
+
+    {2 Connection lifecycle}
+
+    A connection moves through [accepted -> reading -> draining-out ->
+    closed]. One reader thread per connection scans its bytes into
+    request lines (bounded buffering: bytes past the line cap are
+    discarded as they stream, retaining one byte so the request still
+    answers [bad-request]/oversized) and pushes them onto a bounded
+    ingest queue — the backpressure seam between sockets and the pool.
+    The pool coordinator alone pops the queue ([next]) and the pool's
+    emitter thread alone writes responses ([emit]); since the pool
+    emits exactly one response per request in pop order, a FIFO of
+    per-request connection references is enough to route every response
+    to the right socket — no response can ever be delivered to the
+    wrong connection. A connection's socket is never closed while
+    responses are still owed to it: teardown shuts the file descriptor
+    down and defers [close] until the owed count reaches zero, so a
+    freshly-accepted connection can never reuse the descriptor early.
+
+    {2 Robustness}
+
+    - {b Admission}: past [max_conns] concurrent connections, a new
+      arrival is answered with a single [{"class":"overloaded"}] line
+      and closed ([net/rejected]).
+    - {b Deadlines}: a connection mid-line longer than
+      [read_timeout_ms] (a slowloris trickling bytes), or quiet between
+      requests longer than [idle_timeout_ms], is reaped ([net/reaped])
+      without affecting its neighbors.
+    - {b Fault isolation}: a client that vanishes (EPIPE on write,
+      ECONNRESET on read) loses only its own in-flight responses
+      ([net/write_drops]); the pool's one-response-per-request
+      accounting and every other connection are untouched.
+    - {b Graceful drain}: {!drain} (async-signal-safe — the CLI calls
+      it from SIGTERM/SIGINT handlers) stops accepting, closes the
+      listener, stops reading from every connection, and lets the pool
+      finish the requests already read. If the drain outlives
+      [drain_timeout_ms], [on_drain_deadline] fires (the CLI emits its
+      final stats snapshot and exits 0 there). The [ready] probe flips
+      false the moment drain begins, and also when the pool enters
+      lame-duck ({!Tc_scale.Pool}'s restart budget spent).
+
+    {2 Telemetry}
+
+    The listener's own registry (merged into the pool summary and into
+    in-band [stats]/[metrics] views): counters [net/accepted],
+    [net/rejected], [net/reaped], [net/dropped] (injected connection
+    drops), [net/accept_fails], [net/write_drops]; gauges [net/conns]
+    (current) and [net/conns_peak] (high-water); histogram
+    [net/conn_lifetime_ms]. None of it is [serve/*], so the serve
+    invariant — per-op latency counts summing exactly to
+    [serve/requests] — keeps holding in every merged snapshot.
+
+    Fault injection: {!Tc_resilience.Inject.Accept_fail} (accept loop
+    counts and continues), [Conn_drop] (abrupt connection teardown
+    mid-read), [Slow_read] (simulated stall, reaped through the
+    deadline path). *)
+
+module Serve = Typeclasses.Serve
+module Pool = Tc_scale.Pool
+
+(** Raised by {!create} when the address cannot be bound (port already
+    in use, unresolvable host). The message is the CLI diagnostic. *)
+exception Bind_error of string
+
+type t
+
+val create :
+  ?backlog:int ->
+  ?max_conns:int ->
+  ?read_timeout_ms:int ->
+  ?idle_timeout_ms:int ->
+  ?drain_timeout_ms:int ->
+  ?on_drain_deadline:(unit -> unit) ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** Bind and listen (raising {!Bind_error} on failure — [port = 0]
+    binds an ephemeral port, see {!port}). Defaults: backlog 64,
+    [max_conns] 256, [read_timeout_ms] 10000, [idle_timeout_ms] 60000
+    ([0] disables either deadline), [drain_timeout_ms] 5000,
+    [on_drain_deadline] no-op. Also ignores SIGPIPE process-wide: a
+    vanished client must surface as an EPIPE error on its own
+    connection, never kill the server. *)
+
+val port : t -> int
+(** The bound port — the kernel's choice when [create] was given
+    [port = 0]. *)
+
+val drain : t -> unit
+(** Request a graceful drain. Async-signal-safe (sets a flag the accept
+    loop polls within ~100ms; no locks). Idempotent. *)
+
+val draining : t -> bool
+
+val metrics_view : t -> Tc_obs.Metrics.t
+(** A point-in-time copy of the listener registry, safe to merge from
+    any domain. *)
+
+val run :
+  t ->
+  ?workers:int ->
+  ?queue_depth:int ->
+  ?max_restarts:int ->
+  ?restart_backoff_ms:float ->
+  ?shed_grace_ms:float ->
+  ?config:Serve.config ->
+  unit ->
+  Pool.summary
+(** Serve until drained: accept connections, pump their requests
+    through a {!Pool.run} with the given knobs (same defaults), and
+    block until the drain completes — every request read before the
+    drain has its response written (or counted [net/write_drops]) and
+    all connections are closed. The given [config]'s [ready] and
+    [extra_metrics] are composed with (not replaced by) the listener's
+    own: readiness additionally requires "not draining, not lame-duck",
+    and the listener registry joins the reported metrics view. The
+    returned summary's registry includes the [net/*] instruments. *)

@@ -18,7 +18,9 @@
     quick stat — cheap enough to read at every span boundary, precise
     enough to rank phases. *)
 
-let now_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic: a system-clock step mid-span must not produce a negative
+   (or wildly inflated) phase duration. *)
+let now_ns () : int = Tc_support.Mono.now_ns ()
 
 (** Run [f] under a span named [name]. The observation is recorded even
     when [f] raises (the exception is re-raised), so a failing compile

@@ -41,9 +41,14 @@ let message_of_exn = function
   | Exhausted { resource; spent; limit } -> Some (message resource ~spent ~limit)
   | _ -> None
 
-(* The deadline is enforced to within this many steps; gettimeofday on
+(* The deadline is enforced to within this many steps; a clock read on
    every step would dominate the interpreter loop. *)
 let clock_interval = 4096
+
+(* Wall deadlines measure against the monotonic clock: an NTP step
+   forward must not expire every in-flight budget at once, and a step
+   backward must not let a divergent program outlive its deadline. *)
+let now = Tc_support.Mono.now_s
 
 type meter = {
   lim : t;
@@ -65,7 +70,7 @@ let meter (lim : t) : meter =
     depth = 0;
     frame_lim = (if lim.frames > 0 then lim.frames else max_int);
     deadline_at =
-      (if lim.wall_ms > 0. then Unix.gettimeofday () +. (lim.wall_ms /. 1000.)
+      (if lim.wall_ms > 0. then now () +. (lim.wall_ms /. 1000.)
        else infinity);
     clock_in = clock_interval;
   }
@@ -75,7 +80,7 @@ let steps_spent m = m.spent
 
 let check_clock m =
   m.clock_in <- clock_interval;
-  if Unix.gettimeofday () > m.deadline_at then
+  if now () > m.deadline_at then
     exhausted Wall_clock ~spent:m.spent
       ~limit:(int_of_float m.lim.wall_ms)
 

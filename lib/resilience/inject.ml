@@ -15,6 +15,9 @@ type point =
   | Worker_crash
   | Cache_write
   | Cache_read
+  | Accept_fail
+  | Conn_drop
+  | Slow_read
 
 let point_name = function
   | Lex -> "lex"
@@ -31,10 +34,14 @@ let point_name = function
   | Worker_crash -> "worker-crash"
   | Cache_write -> "cache-write"
   | Cache_read -> "cache-read"
+  | Accept_fail -> "accept-fail"
+  | Conn_drop -> "conn-drop"
+  | Slow_read -> "slow-read"
 
 let all_points =
   [ Lex; Parse; Static; Infer; Translate; Optimize; Eval_step; Vm_step;
-    Render; Oom; Serve_transient; Worker_crash; Cache_write; Cache_read ]
+    Render; Oom; Serve_transient; Worker_crash; Cache_write; Cache_read;
+    Accept_fail; Conn_drop; Slow_read ]
 
 let point_of_name s =
   List.find_opt (fun p -> point_name p = s) all_points
@@ -68,13 +75,22 @@ let plan ?(seed = 0) ?(rate = 1.0) ?(points = []) ?(max_faults = 0) () =
 let parse_spec s =
   match String.split_on_char ':' s with
   | [] -> Error "empty --inject spec"
-  | name :: rest -> (
-      match point_of_name name with
-      | None ->
+  | names :: rest -> (
+      (* The point field is a comma-separated list so one armed plan can
+         cover several points at once (a chaos run wanting worker crashes
+         AND connection drops shares one rate and seed across both). *)
+      let resolved =
+        List.map
+          (fun name -> (name, point_of_name name))
+          (String.split_on_char ',' names)
+      in
+      match List.find_opt (fun (_, p) -> p = None) resolved with
+      | Some (name, _) ->
           Error
             (Printf.sprintf "unknown injection point %S (one of: %s)" name
                (String.concat ", " (List.map point_name all_points)))
-      | Some p -> (
+      | None -> (
+          let points = List.filter_map snd resolved in
           let rate, seed =
             match rest with
             | [] -> (Some 1.0, Some 0)
@@ -83,12 +99,14 @@ let parse_spec s =
             | _ -> (None, None)
           in
           match (rate, seed) with
-          | Some rate, Some seed when rate >= 0. && rate <= 1. ->
-              Ok { seed; rate; points = [ p ]; max_faults = 0 }
+          | Some rate, Some seed when rate >= 0. && rate <= 1. && points <> []
+            ->
+              Ok { seed; rate; points; max_faults = 0 }
           | _ ->
               Error
                 (Printf.sprintf
-                   "bad --inject spec %S (expected point[:rate[:seed]])" s)))
+                   "bad --inject spec %S (expected point[,point...][:rate[:seed]])"
+                   s)))
 
 (* ------------------------------------------------------------------ *)
 (* Global injector state.                                              *)

@@ -39,6 +39,19 @@ type point =
       (** while reading a persisted compile-cache entry; the disk tier
           treats the fault as on-disk corruption (entry dropped and
           healed, never an escaped exception) *)
+  | Accept_fail
+      (** in the TCP listener's accept loop; the listener counts the
+          failure, backs off briefly and keeps accepting — existing
+          connections are unaffected *)
+  | Conn_drop
+      (** per connection read: the server abruptly shuts the socket
+          down, simulating a client that vanished mid-request; any
+          in-flight response for that connection is dropped on write
+          (EPIPE) without disturbing its neighbors *)
+  | Slow_read
+      (** per connection read: the reader stalls past the connection
+          read deadline, simulating a slowloris client; the reaper must
+          close it without affecting other connections *)
 
 val point_name : point -> string
 val point_of_name : string -> point option
@@ -61,8 +74,9 @@ type plan = {
 val plan : ?seed:int -> ?rate:float -> ?points:point list ->
   ?max_faults:int -> unit -> plan
 
-(** [parse_spec "point[:rate[:seed]]"] — the CLI's [--inject] argument.
-    Examples: ["infer"], ["vm-step:0.001"], ["oom:1:42"]. *)
+(** [parse_spec "point[,point...][:rate[:seed]]"] — the CLI's
+    [--inject] argument. Examples: ["infer"], ["vm-step:0.001"],
+    ["oom:1:42"], ["worker-crash,conn-drop:0.1:11"]. *)
 val parse_spec : string -> (plan, string) result
 
 val arm : plan -> unit

@@ -1,10 +1,27 @@
 (** Content-addressed compile cache (see the interface for semantics).
 
-    Layout: one mutex guards the entry table, the LRU clock and the
-    telemetry registry. Compiles always run {e outside} the lock — a
-    slow compile must not stall other workers' hits — so two workers
-    racing on the same missing key may both compile; the second insert
-    is dropped (first-writer-wins) and only one copy is retained. *)
+    Layout: the entry table is striped — [n_stripes] independent
+    (table, mutex, LRU clock, byte count) shards, a key's stripe chosen
+    by its hash — so hits on distinct keys from different workers
+    contend only when they land on the same stripe, not on one global
+    mutex. The telemetry registry has its own lock (counter bumps from
+    any stripe serialize there, but those are single increments, not
+    table scans). Lock order: a stripe lock may be held while taking
+    the registry lock, never the reverse, and no two stripe locks are
+    ever held together — occupancy gauges read the other stripes'
+    fields unlocked (a benign race: an int field read can be stale but
+    never torn, and gauges are advisory).
+
+    The byte budget divides evenly across stripes, so eviction is a
+    stripe-local LRU scan: a global LRU would need every stripe's lock
+    at once. The split can evict a key the global LRU would have kept
+    (its stripe is hot while another is cold), which only costs a
+    recompile, never correctness.
+
+    Compiles always run {e outside} any lock — a slow compile must not
+    stall other workers' hits — so two workers racing on the same
+    missing key may both compile; the second insert is dropped
+    (first-writer-wins) and only one copy is retained. *)
 
 module Pipeline = Typeclasses.Pipeline
 module Metrics = Tc_obs.Metrics
@@ -23,30 +40,46 @@ type entry = {
   mutable e_hits : int;   (* per-entry, drives sampled verification *)
 }
 
-type t = {
+type stripe = {
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
-  max_bytes : int;
-  verify_every : int;
-  reg : Metrics.t;
-  persist : Persist.t option;  (* the [--cache-dir] disk tier *)
-  mutable tick : int;
+  mutable tick : int;         (* stripe-local LRU clock *)
   mutable total_bytes : int;
 }
 
-let locked t f =
-  Mutex.lock t.lock;
+(* Power of two so the stripe index is a mask, not a division. 16 covers
+   the realistic worker counts (the pool caps out around core count)
+   with low collision probability. *)
+let n_stripes = 16
+
+type t = {
+  stripes : stripe array;
+  stripe_max_bytes : int;  (* byte budget per stripe; 0 = unbounded *)
+  verify_every : int;
+  reg : Metrics.t;
+  reg_lock : Mutex.t;
+  persist : Persist.t option;  (* the [--cache-dir] disk tier *)
+}
+
+let locked lock f =
+  Mutex.lock lock;
   match f () with
   | v ->
-      Mutex.unlock t.lock;
+      Mutex.unlock lock;
       v
   | exception e ->
-      Mutex.unlock t.lock;
+      Mutex.unlock lock;
       raise e
 
-(* Counter/gauge bumps happen under the lock: the registry itself is not
-   domain-safe, and the cache is shared across workers. *)
-let count t name = Metrics.incr (Metrics.counter t.reg ("scale/cache/" ^ name))
+let stripe_of t k = t.stripes.(Hashtbl.hash k land (n_stripes - 1))
+
+(* Counter/gauge bumps serialize on the registry's own lock: the
+   registry is not domain-safe, and the cache is shared across workers.
+   Safe to call with a stripe lock held (stripe -> reg is the one
+   permitted nesting). *)
+let count t name =
+  locked t.reg_lock @@ fun () ->
+  Metrics.incr (Metrics.counter t.reg ("scale/cache/" ^ name))
 
 let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) ?dir () =
   let persist, report =
@@ -58,14 +91,20 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) ?dir () =
   in
   let t =
     {
-      table = Hashtbl.create 64;
-      lock = Mutex.create ();
-      max_bytes;
+      stripes =
+        Array.init n_stripes (fun _ ->
+            {
+              table = Hashtbl.create 16;
+              lock = Mutex.create ();
+              tick = 0;
+              total_bytes = 0;
+            });
+      stripe_max_bytes =
+        (if max_bytes > 0 then max 1 (max_bytes / n_stripes) else 0);
       verify_every;
       reg = Metrics.create ();
+      reg_lock = Mutex.create ();
       persist;
-      tick = 0;
-      total_bytes = 0;
     }
   in
   (match report with
@@ -73,19 +112,20 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(verify_every = 0) ?dir () =
   | Some r ->
       if not r.Persist.exclusive then count t "persist/locked_out";
       if r.Persist.wiped then count t "persist/wiped";
-      Metrics.set
-        (Metrics.gauge t.reg "scale/cache/persist/adopted_idents")
-        r.Persist.adopted);
+      locked t.reg_lock (fun () ->
+          Metrics.set
+            (Metrics.gauge t.reg "scale/cache/persist/adopted_idents")
+            r.Persist.adopted));
   t
 
 let metrics t = t.reg
 
 (* A point-in-time copy of the registry, safe to merge on any domain:
-   the live registry is guarded by the cache lock, so handing it out
+   the live registry is guarded by [reg_lock], so handing it out
    directly (e.g. into a serve [extra_metrics] view read by workers)
    would race with insert-path bumps. *)
 let metrics_view t =
-  locked t @@ fun () ->
+  locked t.reg_lock @@ fun () ->
   let m = Metrics.create () in
   Metrics.merge ~into:m t.reg;
   m
@@ -93,13 +133,25 @@ let metrics_view t =
 let close t =
   match t.persist with None -> () | Some p -> Persist.close p
 
-let set_occupancy t =
-  Metrics.set (Metrics.gauge t.reg "scale/cache/entries")
-    (Hashtbl.length t.table);
-  Metrics.set (Metrics.gauge t.reg "scale/cache/bytes") t.total_bytes
+(* Occupancy across all stripes. The other stripes' fields are read
+   without their locks — int reads never tear, so the worst case is a
+   momentarily stale gauge, which a concurrent insert would invalidate
+   a moment later anyway. Must be called with NO stripe lock held
+   (gauge writes take [reg_lock]; holding a stripe lock here would be
+   fine for ordering but the callers don't need to). *)
+let occupancy t =
+  Array.fold_left
+    (fun (n, b) s -> (n + Hashtbl.length s.table, b + s.total_bytes))
+    (0, 0) t.stripes
 
-let entries t = locked t @@ fun () -> Hashtbl.length t.table
-let bytes t = locked t @@ fun () -> t.total_bytes
+let set_occupancy t =
+  let n, b = occupancy t in
+  locked t.reg_lock @@ fun () ->
+  Metrics.set (Metrics.gauge t.reg "scale/cache/entries") n;
+  Metrics.set (Metrics.gauge t.reg "scale/cache/bytes") b
+
+let entries t = fst (occupancy t)
+let bytes t = snd (occupancy t)
 
 (* ---- key derivation ---- *)
 
@@ -213,24 +265,24 @@ let persist_read t k : value option =
   | Some p -> (
       match Persist.read p ~key:k with
       | `Miss ->
-          locked t (fun () -> count t "persist/misses");
+          count t "persist/misses";
           None
       | `Corrupt ->
           (* torn/corrupt bytes: already unlinked (self-healed); the
              caller recompiles and rewrites *)
-          locked t (fun () -> count t "persist/corrupt");
+          count t "persist/corrupt";
           None
       | `Hit payload -> (
           match (Marshal.from_string payload 0 : value) with
           | v ->
-              locked t (fun () -> count t "persist/hits");
+              count t "persist/hits";
               Some v
           | exception _ ->
               (* checksummed but unreadable (should be impossible given
                  the executable digest in the header; never crash on bad
                  bytes regardless) *)
               Persist.remove p ~key:k;
-              locked t (fun () -> count t "persist/corrupt");
+              count t "persist/corrupt";
               None))
 
 let persist_write t k (v : value) =
@@ -243,9 +295,9 @@ let persist_write t k (v : value) =
           | `Written | `Torn ->
               (* a [`Torn] write (injected crash-mid-write) still counts:
                  the next read detects and heals it *)
-              locked t (fun () -> count t "persist/writes")
-          | `Skipped -> locked t (fun () -> count t "persist/errors"))
-      | exception _ -> locked t (fun () -> count t "persist/errors"))
+              count t "persist/writes"
+          | `Skipped -> count t "persist/errors")
+      | exception _ -> count t "persist/errors")
 
 let persist_remove t k =
   match t.persist with None -> () | Some p -> Persist.remove p ~key:k
@@ -296,39 +348,41 @@ let fingerprint_value = function
 let size_of (v : value) : int =
   Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
 
-(* Evict least-recently-used entries until the byte budget holds. Linear
-   scan for the minimum tick: the table is small (tens to thousands of
-   entries) and eviction is off the hit path. *)
-let evict_over_budget t =
-  if t.max_bytes > 0 then
-    while t.total_bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+(* Evict this stripe's least-recently-used entries until its share of
+   the byte budget holds. Linear scan for the minimum tick: stripes are
+   small (tens to hundreds of entries) and eviction is off the hit
+   path. Caller holds the stripe lock. *)
+let evict_over_budget t (s : stripe) =
+  if t.stripe_max_bytes > 0 then
+    while s.total_bytes > t.stripe_max_bytes && Hashtbl.length s.table > 0 do
       let victim =
         Hashtbl.fold
           (fun k e acc ->
             match acc with
             | Some (_, oldest) when oldest.e_tick <= e.e_tick -> acc
             | _ -> Some (k, e))
-          t.table None
+          s.table None
       in
       match victim with
       | None -> ()
       | Some (k, e) ->
-          Hashtbl.remove t.table k;
-          t.total_bytes <- t.total_bytes - e.e_bytes;
+          Hashtbl.remove s.table k;
+          s.total_bytes <- s.total_bytes - e.e_bytes;
           count t "evictions"
     done
 
-(* A hit under the lock: returns the entry plus whether this touch is a
-   verification sample. *)
+(* A hit under the key's stripe lock: returns the entry plus whether
+   this touch is a verification sample. *)
 let lookup t k =
-  locked t @@ fun () ->
-  match Hashtbl.find_opt t.table k with
+  let s = stripe_of t k in
+  locked s.lock @@ fun () ->
+  match Hashtbl.find_opt s.table k with
   | None ->
       count t "misses";
       None
   | Some e ->
-      t.tick <- t.tick + 1;
-      e.e_tick <- t.tick;
+      s.tick <- s.tick + 1;
+      e.e_tick <- s.tick;
       e.e_hits <- e.e_hits + 1;
       count t "hits";
       let verify = t.verify_every > 0 && e.e_hits mod t.verify_every = 0 in
@@ -339,24 +393,26 @@ let lookup t k =
 let insert t k v =
   let v = strip_value v in
   let sz = size_of v in
-  locked t @@ fun () ->
-  (if not (Hashtbl.mem t.table k) then begin
-     t.tick <- t.tick + 1;
-     Hashtbl.add t.table k { e_value = v; e_bytes = sz; e_tick = t.tick;
-                             e_hits = 0 };
-     t.total_bytes <- t.total_bytes + sz;
-     count t "inserts";
-     evict_over_budget t
-   end);
+  let s = stripe_of t k in
+  locked s.lock (fun () ->
+      if not (Hashtbl.mem s.table k) then begin
+        s.tick <- s.tick + 1;
+        Hashtbl.add s.table k
+          { e_value = v; e_bytes = sz; e_tick = s.tick; e_hits = 0 };
+        s.total_bytes <- s.total_bytes + sz;
+        count t "inserts";
+        evict_over_budget t s
+      end);
   set_occupancy t
 
 let drop t k =
-  locked t @@ fun () ->
-  (match Hashtbl.find_opt t.table k with
-  | None -> ()
-  | Some e ->
-      Hashtbl.remove t.table k;
-      t.total_bytes <- t.total_bytes - e.e_bytes);
+  let s = stripe_of t k in
+  locked s.lock (fun () ->
+      match Hashtbl.find_opt s.table k with
+      | None -> ()
+      | Some e ->
+          Hashtbl.remove s.table k;
+          s.total_bytes <- s.total_bytes - e.e_bytes);
   set_occupancy t
 
 (* The common shape of both paths: [compile ()] must produce the same
@@ -385,11 +441,11 @@ let memo t ~k ~opts ~(compile : unit -> value) : value =
            tiers), answer with (and re-cache) the fresh compile. *)
         let fresh = compile () in
         if String.equal (fingerprint_value fresh) (fingerprint_value v) then begin
-          locked t (fun () -> count t "verified");
+          count t "verified";
           splice_value opts v
         end
         else begin
-          locked t (fun () -> count t "verify_fail");
+          count t "verify_fail";
           drop t k;
           persist_remove t k;
           insert t k fresh;

@@ -40,15 +40,21 @@
       a fresh compile.
     - Bounded LRU: entries are evicted least-recently-used-first once
       the byte budget (estimated reachable size of stored artifacts) is
-      exceeded.
+      exceeded. The budget divides evenly across the stripes (below),
+      and eviction is stripe-local — a hot stripe can evict an entry a
+      global LRU would have kept, costing a recompile, never
+      correctness.
     - Verification mode: with [verify_every = n > 0], every [n]-th hit
       on an entry recompiles from source and compares a
       gensym-invariant fingerprint (sorted user schemes, core
       bind/group counts, diagnostic tallies) against the cached
       artifact. A mismatch drops the entry, counts
       [scale/cache/verify_fail], and answers with the fresh compile.
-    - Thread-safe: lookups, inserts and counter bumps are mutex-guarded
-      (compiles themselves run outside the lock), so one cache can be
+    - Thread-safe and striped: the entry table is sharded into 16
+      independently-locked stripes (a key's stripe chosen by its hash),
+      so workers hitting distinct keys contend only on hash collisions,
+      not on one global mutex; the telemetry registry has its own lock.
+      Compiles themselves run outside every lock. One cache can be
       shared by every worker in a {!Pool}.
 
     {2 The persistent tier}
@@ -89,8 +95,8 @@ val create : ?max_bytes:int -> ?verify_every:int -> ?dir:string -> unit -> t
 val metrics : t -> Tc_obs.Metrics.t
 (** The cache's own registry (see the counter/gauge list above). Merge
     it into a server-wide view with {!Tc_obs.Metrics.merge}. Guarded by
-    the cache lock — read it through {!metrics_view} from other
-    domains. *)
+    the cache's registry lock — read it through {!metrics_view} from
+    other domains. *)
 
 val metrics_view : t -> Tc_obs.Metrics.t
 (** A point-in-time copy of {!metrics}, taken under the cache lock —

@@ -20,6 +20,7 @@ type report = {
   requests : int;
   workers : int;
   op : string;
+  mode : string;  (* "inproc" (direct Pool.run) or "socket" (TCP) *)
   cold : phase;
   hot : phase;
   speedup : float;
@@ -102,7 +103,7 @@ let run_phase ~label ~workers ~config ~clock (lines : string array) =
 
 let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     ?(cache_mb = 64) ?(verify_every = 0) ?(deadline_ms = 0)
-    ?(clock = Unix.gettimeofday) () =
+    ?(clock = Tc_support.Mono.now_s) () =
   let clients = max 1 clients in
   let requests = max clients requests in
   let op_name = match op with `Run -> "run" | `Check -> "check" in
@@ -160,6 +161,7 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     requests;
     workers;
     op = op_name;
+    mode = "inproc";
     cold;
     hot;
     speedup = (if cold.ph_rps > 0. then hot.ph_rps /. cold.ph_rps else 0.);
@@ -169,6 +171,187 @@ let run ?(clients = 4) ?(requests = 64) ?(workers = 1) ?(op = `Run)
     shed = by_class "shed";
     worker_crashes = by_class "worker-crash";
     restarts = cold_summary.Pool.restarts + hot_summary.Pool.restarts;
+  }
+
+(* ---- socket mode ---- *)
+
+(* The same cold/hot experiment, but measured end-to-end through a
+   running [mhc serve --listen] — socket transit, reader threads and
+   ingest queueing included. Each client thread owns one connection and
+   runs a closed loop (send, await response, repeat); latencies are
+   client-side wall time. Threads write disjoint slots of the shared
+   result arrays, so no locking. *)
+
+let connect ~host ~port =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (inet, port));
+  fd
+
+let quantile_us (lat : int array) p =
+  let xs = Array.of_list (List.filter (fun v -> v >= 0) (Array.to_list lat)) in
+  let n = Array.length xs in
+  if n = 0 then 0
+  else begin
+    Array.sort compare xs;
+    xs.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  end
+
+(* One request over an open connection: send the line, read the
+   response line. Returns the raw response. *)
+let roundtrip fd ic line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done;
+  In_channel.input_line ic
+
+let socket_phase ~label ~clients ~requests ~op ~clock ~host ~port ~variant_of
+    () =
+  let lat = Array.make requests (-1) in
+  let cls = Array.make requests "" in  (* failure class, "" = ok *)
+  let client c () =
+    try
+      let fd = connect ~host ~port in
+      let ic = Unix.in_channel_of_descr fd in
+      for i = 0 to requests - 1 do
+        if i mod clients = c then begin
+          let t0 = clock () in
+          match roundtrip fd ic (request ~op ~variant:(variant_of i)) with
+          | None -> cls.(i) <- "connection-lost"
+          | Some resp ->
+              lat.(i) <- int_of_float ((clock () -. t0) *. 1e6);
+              cls.(i) <-
+                (match Json.parse resp with
+                | Ok r when Json.member "ok" r = Some (Json.Bool true) -> ""
+                | Ok r -> (
+                    match
+                      Option.bind (Json.member "error" r)
+                        (fun e ->
+                          Option.bind (Json.member "class" e) Json.to_str)
+                    with
+                    | Some c -> c
+                    | None -> "unknown")
+                | Error _ -> "unparseable")
+        end
+      done;
+      Unix.close fd
+    with _ ->
+      (* connection refused / reset: every remaining slot of this client
+         counts as a failure, latencies stay unrecorded *)
+      for i = 0 to requests - 1 do
+        if i mod clients = c && lat.(i) < 0 && cls.(i) = "" then
+          cls.(i) <- "connection-lost"
+      done
+  in
+  let t0 = clock () in
+  let threads = List.init clients (fun c -> Thread.create (client c) ()) in
+  List.iter Thread.join threads;
+  let dt = clock () -. t0 in
+  let ok = Array.fold_left (fun n c -> if c = "" then n + 1 else n) 0 cls in
+  ( {
+      ph_label = label;
+      ph_requests = requests;
+      ph_elapsed_s = dt;
+      ph_rps = (if dt > 0. then float_of_int requests /. dt else 0.);
+      ph_p50_us = quantile_us lat 0.5;
+      ph_p99_us = quantile_us lat 0.99;
+      ph_ok = ok;
+      ph_failed = requests - ok;
+    },
+    cls )
+
+(* Pull the server-side registry through the in-band [metrics] op and
+   check the serve invariant on the snapshot JSON: the per-op latency
+   counts must sum exactly to [serve/requests]. In pooled mode this is
+   the handling worker's view (plus the shared pool/net/cache
+   registries) — the invariant holds per worker, so it must hold
+   here. *)
+let snapshot_probe ~host ~port =
+  match
+    let fd = connect ~host ~port in
+    let ic = Unix.in_channel_of_descr fd in
+    let r = roundtrip fd ic (Json.to_line (Json.Obj [ ("op", Json.Str "metrics") ])) in
+    Unix.close fd;
+    r
+  with
+  | None | (exception _) -> None
+  | Some resp -> (
+      match Json.parse resp with
+      | Error _ -> None
+      | Ok r -> Json.member "metrics" r)
+
+let snapshot_counter snap name =
+  match
+    Option.bind snap (fun s ->
+        Option.bind (Json.member "counters" s) (Json.member name))
+  with
+  | Some (Json.Int n) -> n
+  | _ -> 0
+
+let snapshot_invariant_ok snap =
+  match snap with
+  | None -> false
+  | Some s -> (
+      let requests = snapshot_counter snap "serve/requests" in
+      match Json.member "histograms" s with
+      | Some (Json.Obj hs) ->
+          let latency =
+            List.fold_left
+              (fun acc (name, h) ->
+                if String.starts_with ~prefix:latency_prefix name then
+                  acc
+                  + (match Json.member "count" h with
+                    | Some (Json.Int n) -> n
+                    | _ -> 0)
+                else acc)
+              0 hs
+          in
+          latency = requests
+      | _ -> false)
+
+let run_socket ?(clients = 4) ?(requests = 64) ?(op = `Run)
+    ?(clock = Tc_support.Mono.now_s) ~host ~port () =
+  let clients = max 1 clients in
+  let requests = max clients requests in
+  let op_name = match op with `Run -> "run" | `Check -> "check" in
+  let cold, cold_cls =
+    socket_phase ~label:"cold" ~clients ~requests ~op:op_name ~clock ~host
+      ~port ~variant_of:Fun.id ()
+  in
+  let hot, hot_cls =
+    socket_phase ~label:"hot" ~clients ~requests ~op:op_name ~clock ~host
+      ~port
+      ~variant_of:(fun i -> requests + (i mod clients))
+      ()
+  in
+  let by_class c =
+    let count cls =
+      Array.fold_left (fun n x -> if x = c then n + 1 else n) 0 cls
+    in
+    count cold_cls + count hot_cls
+  in
+  let snap = snapshot_probe ~host ~port in
+  {
+    clients;
+    requests;
+    workers = 0;  (* the server's business, not the client's *)
+    op = op_name;
+    mode = "socket";
+    cold;
+    hot;
+    speedup = (if cold.ph_rps > 0. then hot.ph_rps /. cold.ph_rps else 0.);
+    invariant_ok = snapshot_invariant_ok snap;
+    cache_hits = snapshot_counter snap "scale/cache/hits";
+    cache_misses = snapshot_counter snap "scale/cache/misses";
+    shed = by_class "shed";
+    worker_crashes = by_class "worker-crash";
+    restarts = snapshot_counter snap "scale/pool/restarts";
   }
 
 (* ---- rendering ---- *)
@@ -193,6 +376,7 @@ let report_json r =
       ("requests", Json.Int r.requests);
       ("workers", Json.Int r.workers);
       ("op", Json.Str r.op);
+      ("mode", Json.Str r.mode);
       ("cold", phase_json r.cold);
       ("hot", phase_json r.hot);
       ("hot_speedup_x100", Json.Int (int_of_float (r.speedup *. 100.)));
@@ -206,13 +390,24 @@ let report_json r =
 
 (* The trajectory rows, in the same record shape the bechamel harness
    writes (bench/bench_util.ml), so scripts/bench_gate.py can compare a
-   fresh run against the committed BENCH_SERVE.json baseline. *)
+   fresh run against the committed BENCH_SERVE.json baseline.
+
+   Read-merge-write keyed by (backend, metric): the in-process and
+   socket benches run as separate invocations but share one file, so
+   each overwrites only its own backend's rows and preserves the
+   other's. Socket rows use backend ["socket"] with the {e same} metric
+   names, so a per-metric SLO bound (the gate applies each bound to
+   every backend recording that metric) covers both transports with one
+   flag. *)
 let write_bench_rows ~dir r =
   let num v =
     if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
     else Printf.sprintf "%.6g" v
   in
-  let backend = Printf.sprintf "workers=%d" r.workers in
+  let backend =
+    if r.mode = "socket" then "socket"
+    else Printf.sprintf "workers=%d" r.workers
+  in
   let rows =
     [
       ("cold_rps", r.cold.ph_rps);
@@ -228,18 +423,38 @@ let write_bench_rows ~dir r =
       ("worker_crashes", float_of_int r.worker_crashes);
     ]
   in
+  let path = Filename.concat dir "BENCH_SERVE.json" in
+  (* rows from a previous invocation under a different backend *)
+  let kept =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception _ -> []
+    | contents -> (
+        match Json.parse contents with
+        | Ok (Json.List olds) ->
+            List.filter_map
+              (fun row ->
+                match
+                  ( Option.bind (Json.member "backend" row) Json.to_str,
+                    Option.bind (Json.member "metric" row) Json.to_str,
+                    Option.bind (Json.member "value" row) Json.to_float )
+                with
+                | Some b, Some m, Some v when b <> backend -> Some (b, m, v)
+                | _ -> None)
+              olds
+        | _ -> [])
+  in
+  let all = kept @ List.map (fun (m, v) -> (backend, m, v)) rows in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "[\n";
   List.iteri
-    (fun i (m, v) ->
+    (fun i (b, m, v) ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
         (Printf.sprintf
            {|  {"experiment": "serve", "backend": %S, "metric": %S, "value": %s}|}
-           backend m (num v)))
-    rows;
+           b m (num v)))
+    all;
   Buffer.add_string buf "\n]\n";
-  let path = Filename.concat dir "BENCH_SERVE.json" in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
   path

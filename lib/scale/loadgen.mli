@@ -16,7 +16,14 @@
     are the same numbers the serve telemetry exports), the hot/cold
     speedup, cache hit/miss totals, and whether the telemetry
     invariant — per-op latency counts summing exactly to
-    [serve/requests] — held in the merged multi-worker registry. *)
+    [serve/requests] — held in the merged multi-worker registry.
+
+    {!run_socket} runs the same experiment end-to-end against a running
+    [mhc serve --listen] server: client threads each own one TCP
+    connection and run a closed loop, so the numbers additionally
+    include socket transit, the reader threads and ingest queueing, and
+    latencies are client-side wall time. The invariant and the
+    cache/pool tallies come from an in-band [metrics] snapshot probe. *)
 
 type phase = {
   ph_label : string;    (** ["cold"] or ["hot"] *)
@@ -32,8 +39,9 @@ type phase = {
 type report = {
   clients : int;
   requests : int;
-  workers : int;
+  workers : int;     (** [0] in socket mode: the server's knob, not ours *)
   op : string;           (** ["run"] or ["check"] *)
+  mode : string;         (** ["inproc"] or ["socket"] *)
   cold : phase;
   hot : phase;
   speedup : float;       (** hot rps / cold rps *)
@@ -65,7 +73,21 @@ val run :
     64 MiB cache, no verification, no deadline ([deadline_ms = 0]; a
     positive value sheds requests older than that when dequeued, and the
     report's [shed] count lets the bench gate bound the shed rate under
-    overload), [Unix.gettimeofday]. *)
+    overload), the monotonic [Tc_support.Mono.now_s]. *)
+
+val run_socket :
+  ?clients:int ->
+  ?requests:int ->
+  ?op:[ `Run | `Check ] ->
+  ?clock:(unit -> float) ->
+  host:string ->
+  port:int ->
+  unit ->
+  report
+(** The socket-mode experiment against an already-running
+    [mhc serve --listen host:port]. Same defaults as {!run} where
+    shared. Failed connections count their requests as failures rather
+    than raising. *)
 
 val report_json : report -> Tc_obs.Json.t
 (** The full report as one JSON object (the CI artifact). *)
@@ -73,4 +95,8 @@ val report_json : report -> Tc_obs.Json.t
 val write_bench_rows : dir:string -> report -> string
 (** Write the [BENCH_SERVE.json] trajectory rows (experiment ["serve"],
     the same record shape the bechamel benchmarks emit) under [dir];
-    returns the path written. *)
+    returns the path written. Read-merge-write keyed by
+    [(backend, metric)] — in-process rows (backend ["workers=N"]) and
+    socket rows (backend ["socket"], same metric names) share the file
+    without clobbering each other, and one per-metric SLO bound covers
+    both transports. *)

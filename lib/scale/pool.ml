@@ -68,7 +68,7 @@ let sequential ~config ?stop ~next ~emit () =
   { stats; metrics = merged; workers = 1; restarts = 0 }
 
 let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
-    ~shed_grace_ms ~stop ~next ~emit () =
+    ~shed_grace_ms ~on_lame_duck ~stop ~next ~emit () =
   let lock = Mutex.create () in
   let nonempty = Condition.create () in
   let progress = Condition.create () in
@@ -122,7 +122,9 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   let post seq resp =
     Mutex.lock lock;
     Hashtbl.add ready seq resp;
-    Condition.signal progress;
+    (* both the emitter and a backpressure-blocked coordinator wait on
+       [progress]; a single signal could wake the wrong one *)
+    Condition.broadcast progress;
     Mutex.unlock lock
   in
 
@@ -151,7 +153,7 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
               `Done
           | Some (seq, line, enqueued) ->
               (* Queue room opened: the coordinator may be blocked. *)
-              Condition.signal progress;
+              Condition.broadcast progress;
               Mutex.unlock lock;
               inflight := Some (seq, line);
               let queued_us =
@@ -224,14 +226,17 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
     (* Restart budget exhausted and no live worker remains: become a
        lame-duck drainer so liveness survives total worker loss. Every
        queued (and still-arriving) request is answered with a synthetic
-       worker-crash failure until EOF. *)
+       worker-crash failure until EOF. The caller is told ([on_lame_duck])
+       so it can flip its readiness probe off — a load balancer should
+       stop routing here once every answer is a synthetic failure. *)
+    on_lame_duck ();
     let server = Serve.create ~config () in
     let rec loop () =
       Mutex.lock lock;
       match take () with
       | None -> Mutex.unlock lock
       | Some (seq, line, _) ->
-          Condition.signal progress;
+          Condition.broadcast progress;
           Mutex.unlock lock;
           post seq
             (Serve.synthetic_failure server ~cls:"worker-crash"
@@ -251,23 +256,44 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
      for requests it sheds before they ever reach a worker. *)
   let ctl = Serve.create ~config () in
 
-  (* Emit every response that is next in sequence. Collects under the
-     lock, emits outside it. *)
-  let drain_ready () =
-    Mutex.lock lock;
-    let batch = ref [] in
-    let rec collect () =
-      match Hashtbl.find_opt ready !next_emit with
-      | None -> ()
-      | Some resp ->
-          Hashtbl.remove ready !next_emit;
-          incr next_emit;
-          batch := resp :: !batch;
-          collect ()
-    in
-    collect ();
-    Mutex.unlock lock;
-    List.iter emit (List.rev !batch)
+  (* Emit every response as soon as it is next in sequence, from a
+     dedicated thread. The coordinator cannot do this between [next]
+     calls: a closed-loop client (the TCP front end's normal case)
+     sends its next request only after reading its response, so a
+     coordinator blocked in [next] while the response sat in [ready]
+     would deadlock the connection. [emit] is still called from exactly
+     one thread, in sequence order. Collects under the lock, emits
+     outside it; exits when the coordinator has seen EOF and every
+     sequenced response is out. *)
+  let emitter =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          Mutex.lock lock;
+          while
+            (not (Hashtbl.mem ready !next_emit))
+            && not (!eof && !next_emit >= !next_seq)
+          do
+            Condition.wait progress lock
+          done;
+          let batch = ref [] in
+          let rec collect () =
+            match Hashtbl.find_opt ready !next_emit with
+            | None -> ()
+            | Some resp ->
+                Hashtbl.remove ready !next_emit;
+                incr next_emit;
+                batch := resp :: !batch;
+                collect ()
+          in
+          collect ();
+          let finished = !eof && !next_emit >= !next_seq in
+          Mutex.unlock lock;
+          List.iter emit (List.rev !batch);
+          if not finished then loop ()
+        in
+        loop ())
+      ()
   in
 
   let rec feed () =
@@ -318,7 +344,6 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
             Condition.signal nonempty;
             Mutex.unlock lock
           end;
-          drain_ready ();
           feed ()
   in
   feed ();
@@ -326,19 +351,13 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   Mutex.lock lock;
   eof := true;
   Condition.broadcast nonempty;
+  (* the emitter's exit condition just became decidable *)
+  Condition.broadcast progress;
   Mutex.unlock lock;
 
-  (* Input exhausted: wait out the in-flight tail, emitting in order. *)
-  while !next_emit < !next_seq do
-    Mutex.lock lock;
-    while
-      !next_emit < !next_seq && not (Hashtbl.mem ready !next_emit)
-    do
-      Condition.wait progress lock
-    done;
-    Mutex.unlock lock;
-    drain_ready ()
-  done;
+  (* Input exhausted: the emitter writes out the in-flight tail, in
+     order, then exits. *)
+  Thread.join emitter;
 
   List.iter Domain.join domains;
   (* Replacement domains spawned by crashing workers: joining one may
@@ -366,11 +385,12 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
 
 let run ?(workers = 1) ?(config = Serve.default_config) ?(queue_depth = 64)
     ?(max_restarts = 8) ?(restart_backoff_ms = 1.) ?(shed_grace_ms = -1.)
-    ?(stop = fun () -> false) ~next ~emit () =
+    ?(on_lame_duck = fun () -> ()) ?(stop = fun () -> false) ~next ~emit () =
   if workers <= 1 then sequential ~config ~stop ~next ~emit ()
   else
     (* a queue shallower than the pool would idle workers by
        construction, so the depth is clamped to at least [workers] *)
     parallel ~workers ~config
       ~queue_depth:(max workers (max 1 queue_depth))
-      ~max_restarts ~restart_backoff_ms ~shed_grace_ms ~stop ~next ~emit ()
+      ~max_restarts ~restart_backoff_ms ~shed_grace_ms ~on_lame_duck ~stop
+      ~next ~emit ()

@@ -3,7 +3,11 @@
     [run] drives the same NDJSON request/response contract as
     {!Typeclasses.Serve.run}, but fans request handling out over OCaml 5
     domains. The coordinator (calling domain) is the only reader of
-    [next] and the only writer to [emit]; each worker owns a private
+    [next], and a dedicated emitter thread is the only writer to [emit]
+    — responses go out the moment they are next in sequence, even while
+    the coordinator is blocked in [next], so a closed-loop client (one
+    that awaits each response before sending the next request, the TCP
+    front end's normal case) never deadlocks; each worker owns a private
     {!Typeclasses.Serve.t} — its own stats, latency registry and
     evaluator state — so request handling needs no locking beyond the
     bounded work queue, and per-request isolation and budget enforcement
@@ -85,6 +89,7 @@ val run :
   ?max_restarts:int ->
   ?restart_backoff_ms:float ->
   ?shed_grace_ms:float ->
+  ?on_lame_duck:(unit -> unit) ->
   ?stop:(unit -> bool) ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->
@@ -97,6 +102,8 @@ val run :
     pool lifetime; [restart_backoff_ms] (default 1) is the base respawn
     delay, doubling per restart up to 64x. [shed_grace_ms] (default -1:
     disabled) enables admission shedding once the queue has been full
-    that long. [stop] is checked between reads. Blocks until input is
-    exhausted, every response is emitted, and all worker domains have
-    joined. *)
+    that long. [on_lame_duck] (default no-op) fires once, from the dying
+    worker's domain, when the pool enters the lame-duck drain — the
+    network front end flips its readiness probe off here. [stop] is
+    checked between reads. Blocks until input is exhausted, every
+    response is emitted, and all worker domains have joined. *)

@@ -1,0 +1,5 @@
+(** Monotonic clock (see the interface). *)
+
+external now_ns : unit -> int = "mhc_monotonic_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) /. 1e9

@@ -1,0 +1,21 @@
+(** A monotonic clock.
+
+    Wall-clock time ([Unix.gettimeofday]) steps when NTP or an operator
+    adjusts the system clock; a deadline armed against it can expire
+    every in-flight budget at once (a forward step) or never (a backward
+    step), and latencies measured across a step come out negative. Every
+    duration in this codebase — budget deadlines, span timings, serve
+    latencies, queue ages — therefore measures against this clock
+    instead: [CLOCK_MONOTONIC], which only ever advances, at ~1 Hz per
+    second, regardless of what the system clock does.
+
+    The origin is arbitrary (boot time on Linux): values are only
+    meaningful as differences. Use wall-clock time only for timestamps
+    shown to humans. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin; never decreases. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds — a drop-in for [Unix.gettimeofday] callers
+    that only ever subtract two readings. *)
