@@ -877,19 +877,25 @@ let deadline_arg =
            ($(b,0) disables; a request's own $(b,deadline_ms) field \
            overrides the default).")
 
-(* --listen HOST:PORT. A bare ":8080" listens on all interfaces' local
-   loopback default; the port is mandatory ("0" asks the kernel for an
-   ephemeral one). *)
+(* --listen HOST:PORT. An empty host (":8080") defaults to 127.0.0.1;
+   the port is mandatory ("0" asks the kernel for an ephemeral one).
+   The listener socket is PF_INET, so IPv6 literals — bracketed or not
+   — are rejected here with a clear message instead of failing later
+   as an unresolvable host. *)
 let parse_listen s =
   match String.rindex_opt s ':' with
   | None -> Error "expected HOST:PORT"
   | Some i -> (
       let host = String.sub s 0 i in
-      let host = if host = "" then "127.0.0.1" else host in
-      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
-      with
-      | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
-      | _ -> Error "invalid port")
+      if String.contains host ':' || String.contains host '[' then
+        Error "IPv6 hosts are not supported (the listener is IPv4-only)"
+      else
+        let host = if host = "" then "127.0.0.1" else host in
+        match
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+        | _ -> Error "invalid port")
 
 let serve_cmd =
   let doc =
@@ -925,7 +931,9 @@ let serve_cmd =
       & info [ "metrics-every" ] ~docv:"N"
           ~doc:
             "Emit a spontaneous $(b,metrics-snapshot) line every $(docv) \
-             requests ($(b,0) disables; ignored with $(b,--workers) > 1).")
+             requests ($(b,0) disables; ignored with $(b,--workers) > 1 \
+             and with $(b,--listen), where responses are strictly \
+             one-per-request).")
   in
   let cache_dir_arg =
     Arg.(

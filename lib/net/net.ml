@@ -188,12 +188,22 @@ let shutdown_conn conn =
   conn.alive <- false;
   try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ()
 
+(* SO_SNDTIMEO bounds each individual [Unix.write], but a client that
+   drains a byte every few seconds keeps every write making partial
+   progress, so the per-write timeout alone never fires — a write-side
+   slowloris wedging the emitter thread (and with it every other
+   connection's responses). Bound the whole response too. *)
+let write_deadline_s = 5.0
+
 let write_all conn s =
   with_lock conn.wlock @@ fun () ->
+  let deadline = Mono.now_s () +. write_deadline_s in
   let b = Bytes.of_string s in
   let len = Bytes.length b in
   let off = ref 0 in
   while !off < len do
+    if Mono.now_s () > deadline then
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""));
     off := !off + Unix.write conn.fd b !off (len - !off)
   done
 
@@ -431,6 +441,11 @@ let run t ?(workers = 1) ?(queue_depth = 64) ?max_restarts
     {
       config with
       Serve.extra_metrics = Some net_view;
+      (* Response routing pairs every [emit] with a preceding [next]
+         pop; a spontaneous snapshot line is an emit with no request
+         behind it, so it would pop an empty (or, worse, someone
+         else's) FIFO slot. Snapshots stay a stdio-serve feature. *)
+      snapshot_every = 0;
       (* unsynchronized cross-domain bool reads: stale by at most a
          beat, never torn — fine for a probe *)
       ready =

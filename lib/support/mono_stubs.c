@@ -4,11 +4,20 @@
    gettimeofday — a fallback that reintroduces wall-clock steps, but
    only on platforms without a monotonic clock at all. The value is
    returned as an immediate OCaml int (nanoseconds since an arbitrary
-   origin): 63 bits hold ~292 years of uptime, so no boxing. */
+   origin): 63 bits hold ~292 years of uptime, so no boxing. That
+   representation requires a 64-bit OCaml — a 31-bit int wraps roughly
+   every second, silently corrupting every deadline and latency — so
+   32-bit builds are rejected below rather than miscounting time. */
 
 #include <caml/mlvalues.h>
 #include <time.h>
 #include <sys/time.h>
+
+#ifndef ARCH_SIXTYFOUR
+#error "Tc_support.Mono packs nanoseconds into an immediate OCaml int, \
+which needs a 64-bit OCaml (a 31-bit int wraps ~every second). Port \
+mhc_monotonic_ns to Int64 before building on a 32-bit target."
+#endif
 
 CAMLprim value mhc_monotonic_ns(value unit)
 {

@@ -483,5 +483,14 @@ let tests =
                   (Helpers.contains ~needle:"\"entries\": 1" out);
                 Alcotest.(check bool) "nothing corrupt" true
                   (Helpers.contains ~needle:"\"corrupt\": 0" out)));
+        case "serve --listen rejects IPv6 literals with a clear diagnostic"
+          (fun () ->
+            List.iter
+              (fun addr ->
+                let code, out = run_mhc [ "serve"; "--listen"; addr ] in
+                Alcotest.(check int) (addr ^ " exits 2") 2 code;
+                Alcotest.(check bool) (addr ^ " says IPv4-only") true
+                  (Helpers.contains ~needle:"IPv4-only" out))
+              [ "[::1]:8080"; "::1:8080" ]);
       ] );
   ]

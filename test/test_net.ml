@@ -230,6 +230,34 @@ let e2e_cases =
           (contains ~needle:"\"id\":5" after);
         Alcotest.(check bool) "invariant counts the oversized request" true
           (Loadgen.invariant_holds summary.Pool.metrics));
+    case "snapshot_every is disarmed over TCP: responses stay paired with \
+          requests"
+      (fun () ->
+        (* A spontaneous metrics-snapshot line would be an [emit] with
+           no [next] pop behind it — it once crashed the routing FIFO
+           (Queue.Empty) on the Nth request. [Net.run] must force it
+           off regardless of the caller's config. *)
+        let config = { (fast_config ()) with Serve.snapshot_every = 1 } in
+        let replies, summary =
+          with_server ~config @@ fun _srv port ->
+          let fd, ic = connect port in
+          Fun.protect ~finally:(fun () -> close_client fd) @@ fun () ->
+          List.map (fun i ->
+              send fd (ping ~id:i ());
+              got (recv ic))
+            [ 1; 2; 3 ]
+        in
+        List.iteri
+          (fun i reply ->
+            Alcotest.(check bool) "response routed to its request" true
+              (contains ~needle:(Printf.sprintf "\"id\":%d" (i + 1)) reply);
+            Alcotest.(check bool) "no snapshot line interleaved" false
+              (contains ~needle:"metrics-snapshot" reply))
+          replies;
+        Alcotest.(check int) "three requests" 3
+          summary.Pool.stats.Serve.requests;
+        Alcotest.(check bool) "invariant holds" true
+          (Loadgen.invariant_holds summary.Pool.metrics));
   ]
 
 (* ------------------------------------------------------------------ *)
