@@ -25,8 +25,10 @@ open Cmdliner
 module Pipeline = Typeclasses.Pipeline
 module Serve = Typeclasses.Serve
 module Trace = Tc_obs.Trace
+module Rtrace = Tc_obs.Rtrace
 module Profile = Tc_obs.Profile
 module Metrics = Tc_obs.Metrics
+module Mono = Tc_support.Mono
 module Json = Tc_obs.Json
 module Diag = Tc_obs.Diag
 module Diagnostic = Tc_support.Diagnostic
@@ -174,9 +176,52 @@ let write_metrics dest (m : Metrics.t) =
           Out_channel.output_string oc
             (Json.to_string (Metrics.snapshot m) ^ "\n"))
 
+(* --trace-out FILE: attach a live flight recorder for the command's
+   duration and write its Chrome trace-event dump at the end. *)
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-request flight recorder's window as Chrome \
+           trace-event JSON — loadable in Perfetto or chrome://tracing, \
+           digestible with $(b,mhc stats --trace-in) — to $(docv) \
+           ($(b,-) for stdout) when the command finishes (and, for \
+           $(b,serve), whenever the process receives SIGUSR1).")
+
+let rtrace_for = function
+  | None -> Rtrace.disabled
+  | Some _ -> Rtrace.create ()
+
+let write_rtrace dest (rt : Rtrace.t) =
+  match dest with
+  | None -> ()
+  | Some "-" -> Fmt.pr "%s@." (Rtrace.dump_string rt)
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Rtrace.dump_string rt ^ "\n"))
+
+(* Batch commands have no serve ingress: mint the trace ID here and
+   record a [request/<op>] root spanning the work, so a batch dump
+   feeds [mhc stats --top-slow] exactly like a serve dump does. *)
+let traced_root rt ~op f =
+  if not (Rtrace.is_on rt) then f ()
+  else begin
+    let id = Rtrace.mint rt in
+    Rtrace.set_current rt id;
+    let t0 = Mono.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Rtrace.clear_current rt;
+        Rtrace.record_as rt ~trace:id ~name:("request/" ^ op) ~ts_ns:t0
+          ~dur_ns:(Mono.now_ns () - t0) ~words:0)
+      f
+  end
+
 let build_opts ?(trace = Trace.none) ?(metrics = Metrics.disabled)
-    ?(specialise = Pipeline.default_spec) strategy no_prelude mono_lits :
-    Pipeline.options =
+    ?(rtrace = Rtrace.disabled) ?(specialise = Pipeline.default_spec) strategy
+    no_prelude mono_lits : Pipeline.options =
   {
     Pipeline.default_options with
     strategy;
@@ -185,6 +230,7 @@ let build_opts ?(trace = Trace.none) ?(metrics = Metrics.disabled)
     specialise;
     trace;
     metrics;
+    rtrace;
   }
 
 (* ---- spec profiles (the profile -> optimize loop) ---- *)
@@ -325,13 +371,18 @@ let check_cmd =
             "Record at most $(docv) errors per file before giving up on it \
              ($(b,0) or negative means unlimited).")
   in
-  let run strategy no_prelude mono json max_errors inject mfile files =
+  let run strategy no_prelude mono json max_errors inject mfile tfile files =
     handle_errors @@ fun () ->
     arm_inject inject;
-    let metrics = metrics_for mfile in
+    (* phase spans only record under a live registry, so --trace-out
+       forces one even without --metrics *)
+    let metrics =
+      if tfile <> None then Metrics.create () else metrics_for mfile
+    in
+    let rtrace = rtrace_for tfile in
     let opts =
       {
-        (build_opts ~metrics strategy no_prelude mono) with
+        (build_opts ~metrics ~rtrace strategy no_prelude mono) with
         Pipeline.max_errors;
       }
     in
@@ -347,7 +398,8 @@ let check_cmd =
               (file, [ d ], None)
           | src ->
               let { Pipeline.diagnostics; artifact } =
-                Pipeline.compile_collect ~opts ~file src
+                traced_root rtrace ~op:"check" (fun () ->
+                    Pipeline.compile_collect ~opts ~file src)
               in
               (file, Diagnostic.sort diagnostics, artifact))
         files
@@ -372,6 +424,7 @@ let check_cmd =
           | None -> ())
         results;
     write_metrics mfile metrics;
+    write_rtrace tfile rtrace;
     let all = List.concat_map (fun (_, ds, _) -> ds) results in
     if
       List.exists
@@ -383,7 +436,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
-      $ max_errors_arg $ inject_arg $ metrics_arg $ files_arg)
+      $ max_errors_arg $ inject_arg $ metrics_arg $ trace_out_arg $ files_arg)
 
 let core_cmd =
   let doc = "Print the dictionary-converted (or tag-dispatching) core program." in
@@ -437,19 +490,33 @@ let run_cmd =
              optimization.")
   in
   let run strategy no_prelude mono passes mode backend fuel timeout inject
-      mfile spec_profile spec_report file =
+      mfile tfile spec_profile spec_report file =
     handle_errors @@ fun () ->
     arm_inject inject;
-    let metrics = metrics_for mfile in
+    (* phase spans only record under a live registry, so --trace-out
+       forces one even without --metrics *)
+    let metrics =
+      if tfile <> None then Metrics.create () else metrics_for mfile
+    in
+    let rtrace = rtrace_for tfile in
     let specialise = spec_options_of_profile spec_profile in
     let passes = spec_default_passes ~spec_profile passes in
-    let c =
-      compile (build_opts ~metrics ~specialise strategy no_prelude mono) file
+    let c, r =
+      traced_root rtrace ~op:"run" (fun () ->
+          let c =
+            compile
+              (build_opts ~metrics ~rtrace ~specialise strategy no_prelude
+                 mono)
+              file
+          in
+          let c = Pipeline.optimize passes c in
+          print_warnings c;
+          ( c,
+            Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c
+          ))
     in
-    let c = Pipeline.optimize passes c in
-    print_warnings c;
-    let r = Pipeline.exec ~backend ~mode ~budget:(budget_of ~fuel ~timeout) c in
     write_metrics mfile metrics;
+    write_rtrace tfile rtrace;
     write_spec_report spec_report ~file c;
     Fmt.pr "%s@." r.Pipeline.rendered
   in
@@ -457,7 +524,8 @@ let run_cmd =
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ opt_arg
       $ mode_arg $ backend_arg $ fuel_arg $ timeout_arg $ inject_arg
-      $ metrics_arg $ spec_profile_arg $ spec_report_arg $ file_arg)
+      $ metrics_arg $ trace_out_arg $ spec_profile_arg $ spec_report_arg
+      $ file_arg)
 
 let counters_cmd =
   let doc = "Evaluate $(b,main) and report run-time operation counters." in
@@ -609,7 +677,9 @@ let stats_cmd =
     "Type check and report checker instrumentation (unifications, context \
      reductions, placeholders). With $(b,--json), also report the phase \
      spans of the compile — per-stage wall-clock and allocation — from \
-     the metrics registry."
+     the metrics registry. With $(b,--trace-in), digest a flight-recorder \
+     dump instead: rank the slowest requests by latency with their \
+     dominant phase ($(b,--top-slow))."
   in
   let stable_arg =
     Arg.(
@@ -630,8 +700,76 @@ let stats_cmd =
              cache rooted at $(docv) — valid entries, their payload \
              bytes, and files failing validation (torn or corrupt).")
   in
-  let run strategy no_prelude mono json stable cache_dir file =
+  let trace_in_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "trace-in" ] ~docv:"FILE"
+          ~doc:
+            "Digest a flight-recorder dump (written by $(b,--trace-out), \
+             the serve $(b,trace) op, or SIGUSR1) instead of checking a \
+             source file: report the slowest requests in the window — \
+             see $(b,--top-slow).")
+  in
+  let top_slow_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top-slow" ] ~docv:"N"
+          ~doc:
+            "With $(b,--trace-in): rank the $(docv) slowest complete \
+             requests — trace ID, op, latency, dominant phase \
+             ($(b,--json) for machine-readable digests).")
+  in
+  let digest_trace ~json ~top_slow path =
+    let fail m =
+      raise
+        (Diagnostic.Error
+           (Diagnostic.make ~severity:Diagnostic.Error ~loc:Tc_support.Loc.none
+              (Printf.sprintf "%s: %s" path m)))
+    in
+    let doc =
+      match Json.parse (read_file path) with
+      | Error m -> fail ("not valid JSON: " ^ m)
+      | Ok j -> j
+    in
+    match Rtrace.top_slow ~n:top_slow doc with
+    | Error m -> fail m
+    | Ok digests ->
+        if json then
+          Fmt.pr "%s@."
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("file", Json.Str path);
+                    ("top_slow", Rtrace.digest_json digests);
+                  ]))
+        else if digests = [] then
+          Fmt.pr "no complete requests in %s@." path
+        else begin
+          Fmt.pr "slowest requests in %s:@." path;
+          List.iter
+            (fun (d : Rtrace.digest) ->
+              let ms ns = float_of_int ns /. 1e6 in
+              Fmt.pr "  trace %-6d %-8s %9.3f ms  %s@." d.Rtrace.dg_trace
+                d.Rtrace.dg_op
+                (ms d.Rtrace.dg_latency_ns)
+                (if d.Rtrace.dg_phase = "" then "-"
+                 else
+                   Printf.sprintf "%s (%.3f ms)" d.Rtrace.dg_phase
+                     (ms d.Rtrace.dg_phase_ns)))
+            digests
+        end
+  in
+  let run strategy no_prelude mono json stable cache_dir trace_in top_slow
+      file =
     handle_errors @@ fun () ->
+    match (trace_in, file) with
+    | Some path, _ -> digest_trace ~json ~top_slow path
+    | None, None ->
+        Fmt.epr
+          "mhc stats: a FILE.mhs argument is required unless --trace-in is \
+           given@.";
+        exit 1
+    | None, Some file ->
     let metrics = if json then Metrics.create () else Metrics.disabled in
     let c = compile (build_opts ~metrics strategy no_prelude mono) file in
     if json then begin
@@ -670,7 +808,8 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg $ json_arg
-      $ stable_arg $ cache_dir_arg $ file_arg)
+      $ stable_arg $ cache_dir_arg $ trace_in_arg $ top_slow_arg
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.mhs"))
 
 (* ---- the REPL ---- *)
 
@@ -900,7 +1039,8 @@ let parse_listen s =
 let serve_cmd =
   let doc =
     "Serve newline-delimited JSON requests ($(b,check), $(b,compile), \
-     $(b,run), $(b,stats), $(b,ping), $(b,health), $(b,ready)) over \
+     $(b,run), $(b,stats), $(b,metrics), $(b,trace), $(b,ping), \
+     $(b,health), $(b,ready)) over \
      stdin/stdout — or over TCP with $(b,--listen HOST:PORT) — one \
      response line per request line, in order (per connection). Each \
      request is isolated — fresh compile, its own resource budget, full \
@@ -931,9 +1071,23 @@ let serve_cmd =
       & info [ "metrics-every" ] ~docv:"N"
           ~doc:
             "Emit a spontaneous $(b,metrics-snapshot) line every $(docv) \
-             requests ($(b,0) disables; ignored with $(b,--workers) > 1 \
-             and with $(b,--listen), where responses are strictly \
-             one-per-request).")
+             requests ($(b,0) disables). Snapshot lines are out-of-band: \
+             with $(b,--workers) > 1 they ride the emitter thread \
+             (reporting the pool and cache registries), and with \
+             $(b,--listen) each one is broadcast to every connected \
+             client — responses stay strictly one-per-request.")
+  in
+  let trace_sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Record one request in $(docv) into the flight recorder \
+             (trace IDs are still minted for every request, so every \
+             response carries its $(b,trace) field). $(b,0) (default) \
+             records every request when $(b,--trace-out) is given and \
+             disables the recorder otherwise. Dump with \
+             $(b,--trace-out), the $(b,trace) op, or SIGUSR1.")
   in
   let cache_dir_arg =
     Arg.(
@@ -1011,11 +1165,16 @@ let serve_cmd =
              shed the rest and still exit 0.")
   in
   let run strategy no_prelude mono timeout retries backoff_ms inject mfile
-      every workers cache_mb cache_verify max_line spec_profile deadline_ms
-      cache_dir max_restarts shed_grace listen max_conns conn_read_timeout
-      conn_idle_timeout drain_timeout =
+      tfile trace_sample every workers cache_mb cache_verify max_line
+      spec_profile deadline_ms cache_dir max_restarts shed_grace listen
+      max_conns conn_read_timeout conn_idle_timeout drain_timeout =
     handle_errors @@ fun () ->
     arm_inject inject;
+    let rtrace =
+      if tfile <> None || trace_sample > 0 then
+        Rtrace.create ~sample:(max 1 trace_sample) ()
+      else Rtrace.disabled
+    in
     let cache =
       if cache_mb <= 0 && cache_dir = None then None
       else
@@ -1076,6 +1235,7 @@ let serve_cmd =
           Option.map
             (fun c () -> Tc_scale.Cache.metrics_view c)
             cache;
+        rtrace;
         hooks;
       }
     in
@@ -1088,6 +1248,7 @@ let serve_cmd =
         (fun c -> Metrics.merge ~into:merged (Tc_scale.Cache.metrics c))
         cache;
       write_metrics mfile merged;
+      write_rtrace tfile rtrace;
       let s = summary.Tc_scale.Pool.stats in
       Fmt.epr
         "serve: %d requests, %d ok, %d failed, %d retried (%d worker%s, %d \
@@ -1104,6 +1265,19 @@ let serve_cmd =
         Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
       with Invalid_argument _ | Sys_error _ -> ()
     in
+    (* SIGUSR1 dumps the flight recorder without disturbing the loop:
+       to --trace-out if given, else one line to stderr. [Rtrace.dump]
+       takes no lock, so firing mid-request cannot deadlock. *)
+    if Rtrace.is_on rtrace then begin
+      let dump _ =
+        match tfile with
+        | Some dest when dest <> "-" ->
+            (try write_rtrace (Some dest) rtrace with Sys_error _ -> ())
+        | _ -> Fmt.epr "%s@." (Rtrace.dump_string rtrace)
+      in
+      try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle dump)
+      with Invalid_argument _ | Sys_error _ -> ()
+    end;
     match listen with
     | None ->
         (* stdio: SIGINT and SIGTERM request the same graceful drain —
@@ -1149,6 +1323,7 @@ let serve_cmd =
                   Metrics.merge ~into:m (Tc_scale.Cache.metrics_view c))
                 cache;
               write_metrics mfile m);
+          (try write_rtrace tfile rtrace with Sys_error _ -> ());
           Fmt.epr "serve: drain timeout reached; remaining work shed@.";
           exit 0
         in
@@ -1174,10 +1349,11 @@ let serve_cmd =
     Term.(
       const run $ strategy_arg $ no_prelude_arg $ mono_literals_arg
       $ timeout_arg $ retries_arg $ backoff_arg $ inject_arg $ metrics_arg
-      $ metrics_every_arg $ workers_arg $ cache_mb_arg $ cache_verify_arg
-      $ max_line_arg $ spec_profile_arg $ deadline_arg $ cache_dir_arg
-      $ max_restarts_arg $ shed_grace_arg $ listen_arg $ max_conns_arg
-      $ conn_read_timeout_arg $ conn_idle_timeout_arg $ drain_timeout_arg)
+      $ trace_out_arg $ trace_sample_arg $ metrics_every_arg $ workers_arg
+      $ cache_mb_arg $ cache_verify_arg $ max_line_arg $ spec_profile_arg
+      $ deadline_arg $ cache_dir_arg $ max_restarts_arg $ shed_grace_arg
+      $ listen_arg $ max_conns_arg $ conn_read_timeout_arg
+      $ conn_idle_timeout_arg $ drain_timeout_arg)
 
 (* ---- bench ---- *)
 

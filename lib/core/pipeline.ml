@@ -33,6 +33,7 @@ module Construct = Tc_dicts.Construct
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
 module Trace = Tc_obs.Trace
+module Rtrace = Tc_obs.Rtrace
 module Profile = Tc_obs.Profile
 module Metrics = Tc_obs.Metrics
 module Span = Tc_obs.Span
@@ -85,6 +86,7 @@ type options = {
   specialise : spec_options;   (* drives the Specialise optimizer pass *)
   trace : Trace.t;             (* compile-time event sink; off by default *)
   metrics : Metrics.t;         (* phase spans + counters; off by default *)
+  rtrace : Rtrace.t;           (* per-request flight recorder; off by default *)
 }
 
 let default_options =
@@ -98,6 +100,7 @@ let default_options =
     specialise = default_spec;
     trace = Trace.none;
     metrics = Metrics.disabled;
+    rtrace = Rtrace.disabled;
   }
 
 (* The artifact-relevant rendering of the spec options, for compile-cache
@@ -238,17 +241,18 @@ let top_decl_loc : Ast.top_decl -> Loc.t = function
     parser resynchronizes at the next top-level declaration, fixity
     resolution and static analysis skip the offending declaration, and
     desugaring degrades to an empty program. *)
-let front ?sink ?(metrics = Metrics.disabled) ~include_prelude ~file src :
+let front ?sink ?(metrics = Metrics.disabled) ?(rt = Rtrace.disabled)
+    ~include_prelude ~file src :
     Class_env.t * Kernel.group list * Fixity.env =
   Inject.hit Inject.Lex;
   let toks =
-    Span.wrap metrics "lex" (fun () -> Tc_syntax.Lexer.tokenize ~file src)
+    Span.wrap_rt rt metrics "lex" (fun () -> Tc_syntax.Lexer.tokenize ~file src)
   in
   let toks =
-    Span.wrap metrics "layout" (fun () -> Tc_syntax.Layout.layout toks)
+    Span.wrap_rt rt metrics "layout" (fun () -> Tc_syntax.Layout.layout toks)
   in
   let user_prog =
-    Span.wrap metrics "parse" (fun () ->
+    Span.wrap_rt rt metrics "parse" (fun () ->
         match sink with
         | None -> Parser.parse_program_tokens toks
         | Some sink ->
@@ -258,13 +262,13 @@ let front ?sink ?(metrics = Metrics.disabled) ~include_prelude ~file src :
   Inject.hit Inject.Parse;
   let prog =
     if include_prelude then
-      Span.wrap metrics "prelude" (fun () ->
+      Span.wrap_rt rt metrics "prelude" (fun () ->
           parse_source ~file:"<prelude>" Tc_prelude.Prelude.source)
       @ user_prog
     else user_prog
   in
   let prog, fixities =
-    Span.wrap metrics "fixity" (fun () ->
+    Span.wrap_rt rt metrics "fixity" (fun () ->
         match sink with
         | None -> Fixity.resolve_program prog
         | Some sink ->
@@ -289,11 +293,11 @@ let front ?sink ?(metrics = Metrics.disabled) ~include_prelude ~file src :
   in
   Inject.hit Inject.Static;
   let { Static.env; value_decls } =
-    Span.wrap metrics "static" (fun () ->
+    Span.wrap_rt rt metrics "static" (fun () ->
         Static.process ~env ~fail_fast:(Option.is_none sink) prog)
   in
   let groups =
-    Span.wrap metrics "desugar" (fun () ->
+    Span.wrap_rt rt metrics "desugar" (fun () ->
         match sink with
         | None -> Desugar.top_decls env value_decls
         | Some sink ->
@@ -311,10 +315,11 @@ let front ?sink ?(metrics = Metrics.disabled) ~include_prelude ~file src :
 let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
   Stats.reset ();
   let metrics = opts.metrics in
-  Span.wrap metrics "compile" @@ fun () ->
+  let rt = opts.rtrace in
+  Span.wrap_rt rt metrics "compile" @@ fun () ->
   let iopts = infer_options opts in
   let env, groups, fixities =
-    front ?sink ~metrics ~include_prelude:opts.include_prelude ~file src
+    front ?sink ~metrics ~rt ~include_prelude:opts.include_prelude ~file src
   in
   env.Class_env.trace <- opts.trace;
   let st = Infer.create_state ~opts:iopts env in
@@ -363,7 +368,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
     (venv', cg :: gs, ss')
   in
   let venv, user_groups_rev, schemes_rev =
-    Span.wrap metrics "infer" @@ fun () ->
+    Span.wrap_rt rt metrics "infer" @@ fun () ->
     List.fold_left
       (fun ((venv, gs, ss) as acc) g ->
         let binds = Kernel.binds_of_group g in
@@ -392,7 +397,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
       (venv0, [], []) groups
   in
   let default_binds, missing_default_binds, impl_binds =
-    Span.wrap metrics "methods" @@ fun () ->
+    Span.wrap_rt rt metrics "methods" @@ fun () ->
   (* default methods *)
   let default_binds =
     List.concat_map
@@ -480,12 +485,12 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
   (* dictionary bindings (mechanical, §4) *)
   Inject.hit Inject.Translate;
   let dict_binds =
-    Span.wrap metrics "dicts" (fun () ->
+    Span.wrap_rt rt metrics "dicts" (fun () ->
         guarded ~stage:"dictionary construction" ~loc:Loc.none
           ~recover:(fun () -> [])
           (fun () -> Construct.all_dict_bindings env iopts.strategy))
   in
-  Span.wrap metrics "resolve" (fun () ->
+  Span.wrap_rt rt metrics "resolve" (fun () ->
       match sink with
       | None -> Infer.final_resolve st
       | Some _ -> Infer.final_resolve ~isolate:true st);
@@ -500,7 +505,7 @@ let compile_dicts ?sink ~(opts : options) ~file (src : string) : compiled =
          skip the mechanical back half rather than run it over stubs *)
       { p_binds = []; p_main = None }
     else
-      Span.wrap metrics "normalize" @@ fun () ->
+      Span.wrap_rt rt metrics "normalize" @@ fun () ->
       guarded ~stage:"core normalization" ~loc:Loc.none
         ~recover:(fun () -> { Core.p_binds = []; p_main = None })
         (fun () ->
@@ -559,10 +564,10 @@ let compile ?(opts = default_options) ?(file = "<input>") (src : string) :
          part of the point of §3.) *)
       let checked = compile_dicts ~opts ~file src in
       (* 2. independent tag-dispatch translation of the same source *)
-      Span.wrap opts.metrics "tags" @@ fun () ->
+      Span.wrap_rt opts.rtrace opts.metrics "tags" @@ fun () ->
       let env, groups, _ =
-        front ~metrics:opts.metrics ~include_prelude:opts.include_prelude
-          ~file src
+        front ~metrics:opts.metrics ~rt:opts.rtrace
+          ~include_prelude:opts.include_prelude ~file src
       in
       let core = Tc_tagdispatch.Tagdispatch.translate_program env groups in
       if opts.lint then Lint.check_program ~primitives:Prims.names core;
@@ -603,7 +608,7 @@ let compile_collect ?(opts = default_options) ?(file = "<input>")
               ~recover:(fun () -> checked)
               (fun () ->
                 let env, groups, _ =
-                  front ~metrics:opts.metrics
+                  front ~metrics:opts.metrics ~rt:opts.rtrace
                     ~include_prelude:opts.include_prelude ~file src
                 in
                 let core =
@@ -663,25 +668,26 @@ let bytecode ?(mode = `Lazy) (c : compiled) : Tc_vm.Bytecode.program =
 let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
     ?entry ?(profile = false) (c : compiled) : result =
   let metrics = c.options.metrics in
-  Span.wrap metrics "exec" @@ fun () ->
+  let rt = c.options.rtrace in
+  Span.wrap_rt rt metrics "exec" @@ fun () ->
   let cons = Eval.con_table_of_env c.env in
-  let rt = if profile then Some (Profile.create_rt ()) else None in
+  let prt = if profile then Some (Profile.create_rt ()) else None in
   let finish ~meter ~rendered ~counters ~value =
     Budget.check_output meter (String.length rendered);
     let report =
       Option.map
-        (fun rt -> Profile.make ~sites:(Profile.site_table c.core) rt)
-        rt
+        (fun prt -> Profile.make ~sites:(Profile.site_table c.core) prt)
+        prt
     in
     { rendered; counters; value; profile = report }
   in
   match backend with
   | `Tree -> (
-      let st = Eval.create_state ~mode ~budget ?profile:rt cons in
+      let st = Eval.create_state ~mode ~budget ?profile:prt cons in
       try
-        let v = Span.wrap metrics "eval" (fun () -> Eval.run ?entry st c.core) in
+        let v = Span.wrap_rt rt metrics "eval" (fun () -> Eval.run ?entry st c.core) in
         Inject.hit Inject.Render;
-        let rendered = Span.wrap metrics "render" (fun () -> Eval.render st v) in
+        let rendered = Span.wrap_rt rt metrics "render" (fun () -> Eval.render st v) in
         finish ~meter:st.Eval.budget ~rendered ~counters:st.Eval.counters
           ~value:(Some v)
       with Stack_overflow ->
@@ -690,13 +696,13 @@ let exec ?(backend = `Tree) ?(mode = `Lazy) ?(budget = Budget.unlimited)
         Budget.exhausted Budget.Frames ~spent:0 ~limit:0)
   | `Vm ->
       let prog =
-        Span.wrap metrics "lower" (fun () ->
+        Span.wrap_rt rt metrics "lower" (fun () ->
             Tc_vm.Compile.program ~mode ~cons c.core)
       in
-      let st = Tc_vm.Vm.create_state ~budget ?profile:rt cons in
-      let v = Span.wrap metrics "eval" (fun () -> Tc_vm.Vm.run ?entry st prog) in
+      let st = Tc_vm.Vm.create_state ~budget ?profile:prt cons in
+      let v = Span.wrap_rt rt metrics "eval" (fun () -> Tc_vm.Vm.run ?entry st prog) in
       Inject.hit Inject.Render;
-      let rendered = Span.wrap metrics "render" (fun () -> Tc_vm.Vm.render st v) in
+      let rendered = Span.wrap_rt rt metrics "render" (fun () -> Tc_vm.Vm.render st v) in
       finish ~meter:(Tc_vm.Vm.meter st) ~rendered
         ~counters:(Tc_vm.Vm.counters st) ~value:None
 
@@ -731,7 +737,8 @@ let expression_type (c : compiled) (src : string) : string =
 let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
   let tr = c.options.trace in
   let metrics = c.options.metrics in
-  Span.wrap metrics "optimize" @@ fun () ->
+  let rt = c.options.rtrace in
+  Span.wrap_rt rt metrics "optimize" @@ fun () ->
   let spec_report = ref c.spec_report in
   (* the policy is rebuilt against the current core: profiled counts are
      remapped (descriptor-first, id fallback) onto the sites that survived
@@ -778,7 +785,7 @@ let optimize (passes : Tc_opt.Opt.pass list) (c : compiled) : compiled =
           })
   in
   let run_pass pass core =
-    Span.wrap metrics (Tc_opt.Opt.pass_name pass) (fun () ->
+    Span.wrap_rt rt metrics (Tc_opt.Opt.pass_name pass) (fun () ->
         match (pass : Tc_opt.Opt.pass) with
         | Tc_opt.Opt.Specialise ->
             let core', rep =

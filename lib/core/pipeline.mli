@@ -76,6 +76,13 @@ type options = {
           wall-clock nanoseconds and allocated words under nested paths
           like ["compile/infer"]; {!Tc_obs.Metrics.disabled} (off, and
           allocation-free) by default *)
+  rtrace : Tc_obs.Rtrace.t;
+      (** per-request flight recorder: every span observation is also
+          appended as a trace-ID-tagged event when this is live and a
+          sampled trace is current on the domain (see
+          {!Tc_obs.Rtrace}); requires a live [metrics] registry to emit
+          anything; {!Tc_obs.Rtrace.disabled} (off, and allocation-free)
+          by default *)
 }
 
 val default_options : options

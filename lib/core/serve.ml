@@ -3,6 +3,8 @@ module Inject = Tc_resilience.Inject
 module Json = Tc_obs.Json
 module Diag = Tc_obs.Diag
 module Metrics = Tc_obs.Metrics
+module Rtrace = Tc_obs.Rtrace
+module Mono = Tc_support.Mono
 module Diagnostic = Tc_support.Diagnostic
 module Eval = Tc_eval.Eval
 module Counters = Tc_eval.Counters
@@ -37,6 +39,7 @@ type config = {
   default_deadline_ms : int;
   extra_metrics : (unit -> Metrics.t) option;
   ready : unit -> bool;
+  rtrace : Tc_obs.Rtrace.t;
   hooks : hooks;
 }
 
@@ -53,6 +56,7 @@ let default_config =
     default_deadline_ms = 0;
     extra_metrics = None;
     ready = (fun () -> true);
+    rtrace = Rtrace.disabled;
     hooks = no_hooks;
   }
 
@@ -72,6 +76,9 @@ type t = {
   totals : Counters.t;
   metrics : Metrics.t;  (* always live: latency histograms + pipeline spans *)
   started : float;      (* config.clock at creation, for uptime *)
+  mutable cur_trace : int;
+      (* trace ID of the request being handled, 0 between requests;
+         every response built during handling is tagged with it *)
 }
 
 let create ?(config = default_config) () =
@@ -90,6 +97,7 @@ let create ?(config = default_config) () =
     totals = Counters.create ();
     metrics = Metrics.create ();
     started = config.clock ();
+    cur_trace = 0;
   }
 
 let stats t = t.stats
@@ -171,6 +179,7 @@ let response t ~id ~op fields =
   let base =
     (match id with Some v -> [ ("id", v) ] | None -> [])
     @ [ ("op", Json.Str op) ]
+    @ (if t.cur_trace <> 0 then [ ("trace", Json.Int t.cur_trace) ] else [])
   in
   t.stats.responses <- t.stats.responses + 1;
   Json.to_line (Json.Obj (base @ fields))
@@ -217,7 +226,12 @@ let classify = function
    accumulate across requests and show up in the [metrics] op. *)
 let opts_for t req =
   let base = t.config.base_opts in
-  { base with Pipeline.strategy = strategy_of req base; metrics = t.metrics }
+  {
+    base with
+    Pipeline.strategy = strategy_of req base;
+    metrics = t.metrics;
+    rtrace = t.config.rtrace;
+  }
 
 let diagnostics_fields (ds : Diagnostic.t list) =
   let count sev =
@@ -371,6 +385,15 @@ let do_metrics t ~id req =
   ok_response t ~id ~op:"metrics"
     [ ("metrics", Metrics.snapshot ~stable (reported_metrics t)) ]
 
+(* trace: the flight recorder's current window as a Chrome trace-event
+   document. With the recorder disabled this still answers ok (an empty
+   window) so clients can probe whether tracing is armed via
+   [recording]. *)
+let do_trace t ~id =
+  let rt = t.config.rtrace in
+  ok_response t ~id ~op:"trace"
+    [ ("recording", Json.Bool (Rtrace.is_on rt)); ("dump", Rtrace.dump rt) ]
+
 (* ---- the request boundary ---- *)
 
 (* Run [f] retrying transient faults with exponential backoff. Only the
@@ -388,14 +411,26 @@ let with_retries t f =
   in
   go 0 t.config.backoff_ms
 
-let handle_line ?(queued_us = 0) t line =
+let handle_line ?(queued_us = 0) ?trace_id t line =
   let t0 = t.config.clock () in
+  let rt = t.config.rtrace in
+  (* The trace ID is minted here (stdio ingress) unless the pool already
+     minted it when the line was read off the socket/queue. Every
+     response built during handling carries it; span events record under
+     it while it is the domain's current trace. *)
+  let trace = match trace_id with Some tr -> tr | None -> Rtrace.mint rt in
+  t.cur_trace <- trace;
+  let traced = Rtrace.sampled rt trace in
+  let ts0 = if traced then Mono.now_ns () else 0 in
+  if traced then Rtrace.set_current rt trace;
   (* One bookkeeping point per request, after the response is built: the
      [serve/requests] counter and the op latency histogram are bumped
      together, so in any registry snapshot — including one taken by a
      [metrics] request mid-stream — the per-op latency counts sum exactly
      to the request counter. Failures additionally observe their latency
-     under the failure class. *)
+     under the failure class. The request's root trace event
+     ([request/<op>]) is recorded here too, after the phase events it
+     encloses. *)
   let finish ~op ~cls resp =
     let us = int_of_float ((t.config.clock () -. t0) *. 1e6) in
     Metrics.incr (Metrics.counter t.metrics "serve/requests");
@@ -406,6 +441,12 @@ let handle_line ?(queued_us = 0) t line =
          Metrics.observe
            (Metrics.histogram t.metrics ("serve/failures/" ^ cls))
            us);
+    if traced then begin
+      Rtrace.clear_current rt;
+      Rtrace.record_as rt ~trace ~name:("request/" ^ op) ~ts_ns:ts0
+        ~dur_ns:(Mono.now_ns () - ts0) ~words:0
+    end;
+    t.cur_trace <- 0;
     resp
   in
   t.stats.requests <- t.stats.requests + 1;
@@ -474,6 +515,7 @@ let handle_line ?(queued_us = 0) t line =
                  [ ("ready", Json.Bool (t.config.ready ())) ]
            | "stats" -> do_stats t ~id
            | "metrics" -> do_metrics t ~id req
+           | "trace" -> do_trace t ~id
            | "check" | "compile" -> do_check t ~id ~op req
            | "run" -> do_run t ~id req
            | "missing" -> bad "missing string field \"op\""
@@ -493,7 +535,7 @@ let handle_line ?(queued_us = 0) t line =
    merged-registry invariant (per-op latency counts summing exactly to
    [serve/requests]) keeps holding when synthetic responses are
    counted. *)
-let synthetic_failure t ~cls ~message line =
+let synthetic_failure ?trace_id t ~cls ~message line =
   let id, op =
     match Json.parse line with
     | Error _ -> (None, "invalid")
@@ -501,24 +543,38 @@ let synthetic_failure t ~cls ~message line =
         ( Json.member "id" req,
           match str_field req "op" with Some s -> s | None -> "missing" ))
   in
+  let rt = t.config.rtrace in
+  let trace = match trace_id with Some tr -> tr | None -> Rtrace.mint rt in
+  t.cur_trace <- trace;
   t.stats.requests <- t.stats.requests + 1;
   t.stats.by_op <- bump t.stats.by_op op;
   let resp = fail_response t ~id ~op ~cls message in
   Metrics.incr (Metrics.counter t.metrics "serve/requests");
   Metrics.observe (Metrics.histogram t.metrics (latency_prefix ^ op)) 0;
   Metrics.observe (Metrics.histogram t.metrics ("serve/failures/" ^ cls)) 0;
+  (* a zero-duration root event, so shed/crashed requests still show up
+     (with their op) in the dump and the slowest-N digest's input *)
+  if Rtrace.sampled rt trace then
+    Rtrace.record_as rt ~trace ~name:("request/" ^ op)
+      ~ts_ns:(Mono.now_ns ()) ~dur_ns:0 ~words:0;
+  t.cur_trace <- 0;
   resp
 
 (* A spontaneous (not request/response) snapshot line, emitted every
-   [snapshot_every] requests; distinguished by its ["event"] field. *)
-let snapshot_line t =
+   [snapshot_every] requests; distinguished by its ["event"] field. The
+   shared rendering is exposed so the pool coordinator can frame its own
+   out-of-band snapshots identically. *)
+let snapshot_event_line ~after_requests m =
   Json.to_line
     (Json.Obj
        [
          ("event", Json.Str "metrics-snapshot");
-         ("after_requests", Json.Int t.stats.requests);
-         ("metrics", Metrics.snapshot t.metrics);
+         ("after_requests", Json.Int after_requests);
+         ("metrics", Metrics.snapshot m);
        ])
+
+let snapshot_line t =
+  snapshot_event_line ~after_requests:t.stats.requests t.metrics
 
 (* A line reader with bounded buffering: bytes past [max_bytes] are
    discarded as they stream in, keeping exactly one extra byte so
@@ -554,10 +610,15 @@ let bounded_next ?(max_bytes = default_config.max_line_bytes) ic () =
   in
   go false
 
-let run ?(config = default_config) ?server ?(stop = fun () -> false) ~next
-    ~emit () =
+let run ?(config = default_config) ?server ?(stop = fun () -> false)
+    ?emit_oob ~next ~emit () =
   let t = match server with Some t -> t | None -> create ~config () in
   let every = t.config.snapshot_every in
+  (* Spontaneous lines go out-of-band: on stdio that is the same channel
+     as responses, but a front end that routes responses to their
+     requesting connection (the TCP emitter) supplies its own broadcast
+     here so a snapshot never consumes a response's routing slot. *)
+  let emit_oob = match emit_oob with Some f -> f | None -> emit in
   let rec loop () =
     if not (stop ()) then
       match next () with
@@ -565,7 +626,7 @@ let run ?(config = default_config) ?server ?(stop = fun () -> false) ~next
       | Some line ->
           emit (handle_line t line);
           if every > 0 && t.stats.requests mod every = 0 then
-            emit (snapshot_line t);
+            emit_oob (snapshot_line t);
           loop ()
   in
   loop ();

@@ -31,10 +31,18 @@
     lame-duck — still [ok:true], because not being ready is a reported
     state, not a failure).
 
+    Tracing: with a live [config.rtrace] recorder, each request is
+    minted a trace ID at ingress (or inherits the one the pool minted),
+    every response carries it as a [trace] field, and — for sampled
+    requests — every pipeline phase span plus a [request/<op>] root
+    event is appended to the flight recorder under that ID. The [trace]
+    op dumps the recorder's current window as a Chrome trace-event
+    document.
+
     Request schema (one JSON object per line):
     {v
       {"op": "ping" | "health" | "ready" | "check" | "compile" | "run"
-           | "stats" | "metrics",
+           | "stats" | "metrics" | "trace",
        "id": <any>,            -- echoed back verbatim (optional)
        "src": "...",           -- program text (check/compile/run)
        "strategy": "dict" | "dict-flat" | "tags",
@@ -122,6 +130,11 @@ type config = {
       (** the [ready] op's verdict — whether new work should be routed
           to this server. The network front end wires this to "not
           draining and not lame-duck"; [fun () -> true] by default *)
+  rtrace : Tc_obs.Rtrace.t;
+      (** the per-request flight recorder; {!Tc_obs.Rtrace.disabled}
+          (off, allocation-free) by default. The same recorder must be
+          shared by every worker of a pool so one dump merges all
+          domains' rings *)
   hooks : hooks;  (** external seams; {!no_hooks} by default *)
 }
 
@@ -162,8 +175,10 @@ val stats_json : t -> Json.t
     before handling began — the worker pool passes its queue age — and
     drives deadline shedding: if it exceeds the request's [deadline_ms]
     (or [config.default_deadline_ms]), the response is a cheap [shed]
-    failure with no compile work. *)
-val handle_line : ?queued_us:int -> t -> string -> string
+    failure with no compile work. [trace_id] is the ID minted for this
+    request at an earlier ingress point (the pool coordinator); absent,
+    one is minted here. *)
+val handle_line : ?queued_us:int -> ?trace_id:int -> t -> string -> string
 
 (** Classify an exception the way the request boundary would:
     [(class, message)]. Exposed for the pool supervisor, which labels a
@@ -179,8 +194,11 @@ val classify : exn -> string * string
     Bookkeeping mirrors {!handle_line} — stats and the
     requests/latency/failure instruments all bump, with latency 0 — so
     the per-op latency counts still sum exactly to [serve/requests] in
-    any (merged) snapshot counting synthetic responses. *)
-val synthetic_failure : t -> cls:string -> message:string -> string -> string
+    any (merged) snapshot counting synthetic responses. [trace_id] as in
+    {!handle_line}; sampled synthetic requests record a zero-duration
+    root event. *)
+val synthetic_failure :
+  ?trace_id:int -> t -> cls:string -> message:string -> string -> string
 
 val bounded_next : ?max_bytes:int -> in_channel -> unit -> string option
 (** A [next] source reading newline-delimited lines from a channel with
@@ -191,17 +209,27 @@ val bounded_next : ?max_bytes:int -> in_channel -> unit -> string option
     trailing ['\r'] stripped (except on truncated over-cap lines, where
     the retained byte is garbage, not a terminator). *)
 
+val snapshot_event_line : after_requests:int -> Tc_obs.Metrics.t -> string
+(** The spontaneous metrics-snapshot framing
+    ([{"event":"metrics-snapshot", "after_requests":N, "metrics":...}])
+    rendered to one line — shared with the pool coordinator so
+    out-of-band snapshots look the same from every mode. *)
+
 (** Drive the loop: read lines from [next] until it returns [None] (or
     [stop] returns [true] — checked between requests, for signal-driven
     drain), passing each response line to [emit]. Returns the final
     statistics. Never raises. [server] reuses a caller-created server
     (whose config then governs the loop) so the caller can read its
     {!metrics} after the loop drains; by default a fresh one is created
-    from [config]. *)
+    from [config]. Spontaneous snapshot lines ([snapshot_every] > 0) go
+    to [emit_oob] (default: [emit]) — a response-routing front end
+    supplies a broadcast there so snapshots never consume a response's
+    routing slot. *)
 val run :
   ?config:config ->
   ?server:t ->
   ?stop:(unit -> bool) ->
+  ?emit_oob:(string -> unit) ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->
   unit ->

@@ -54,6 +54,7 @@ type t = {
   ingest_room : Condition.t;
   ingest : (conn * string) Queue.t;
   mutable ingest_cap : int;
+  mutable peers : conn list;      (* live connections, for OOB broadcast *)
   mutable conns : int;
   mutable readers : int;          (* live reader threads *)
   mutable drain_flag : bool;      (* set by signal handlers; polled *)
@@ -152,6 +153,7 @@ let create ?(backlog = 64) ?(max_conns = 256) ?(read_timeout_ms = 10_000)
     ingest_room = Condition.create ();
     ingest = Queue.create ();
     ingest_cap = 64;
+    peers = [];
     conns = 0;
     readers = 0;
     drain_flag = false;
@@ -176,6 +178,7 @@ let maybe_release t conn =
   if conn.reader_done && conn.owing = 0 && not conn.released then begin
     conn.released <- true;
     t.conns <- t.conns - 1;
+    t.peers <- List.filter (fun c -> c != conn) t.peers;
     set_conns_gauges t;
     observe_lifetime t
       (int_of_float ((Mono.now_s () -. conn.opened_at) *. 1000.));
@@ -386,6 +389,7 @@ let handle_accept t ~max_bytes fd =
     in
     t.conns <- t.conns + 1;
     t.readers <- t.readers + 1;
+    t.peers <- conn :: t.peers;
     set_conns_gauges t;
     Mutex.unlock t.lock;
     bump t "accepted";
@@ -441,11 +445,6 @@ let run t ?(workers = 1) ?(queue_depth = 64) ?max_restarts
     {
       config with
       Serve.extra_metrics = Some net_view;
-      (* Response routing pairs every [emit] with a preceding [next]
-         pop; a spontaneous snapshot line is an emit with no request
-         behind it, so it would pop an empty (or, worse, someone
-         else's) FIFO slot. Snapshots stay a stdio-serve feature. *)
-      snapshot_every = 0;
       (* unsynchronized cross-domain bool reads: stale by at most a
          beat, never torn — fine for a probe *)
       ready =
@@ -503,11 +502,48 @@ let run t ?(workers = 1) ?(queue_depth = 64) ?max_restarts
     maybe_release t conn;
     Mutex.unlock t.lock
   in
+  (* Out-of-band lines (spontaneous metrics snapshots) never pop the
+     routing FIFO — they broadcast to every live connection instead,
+     under the same owing/release discipline as [emit] so a connection's
+     fd cannot be closed (and its descriptor number reused by a new
+     accept) while a broadcast write to it is still in flight. Both run
+     on the pool's emitter thread, so responses and broadcasts never
+     interleave mid-line. *)
+  let emit_oob line =
+    let targets =
+      with_lock t.lock (fun () ->
+          let live =
+            List.filter (fun c -> c.alive && not c.released) t.peers
+          in
+          List.iter (fun c -> c.owing <- c.owing + 1) live;
+          live)
+    in
+    if targets <> [] then bump t "oob_broadcasts";
+    List.iter
+      (fun conn ->
+        (if conn.alive then
+           try write_all conn (line ^ "\n")
+           with
+           | Unix.Unix_error
+               ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN
+                 | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT ),
+                 _,
+                 _ )
+           | Sys_error _
+           ->
+             bump t "write_drops";
+             shutdown_conn conn);
+        Mutex.lock t.lock;
+        conn.owing <- conn.owing - 1;
+        maybe_release t conn;
+        Mutex.unlock t.lock)
+      targets
+  in
   let summary =
     Pool.run ~workers ~config ~queue_depth ?max_restarts ?restart_backoff_ms
       ?shed_grace_ms
       ~on_lame_duck:(fun () -> t.lame <- true)
-      ~next ~emit ()
+      ~emit_oob ~next ~emit ()
   in
   t.finished <- true;
   Thread.join accept_thr;

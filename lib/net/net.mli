@@ -52,11 +52,25 @@
     The listener's own registry (merged into the pool summary and into
     in-band [stats]/[metrics] views): counters [net/accepted],
     [net/rejected], [net/reaped], [net/dropped] (injected connection
-    drops), [net/accept_fails], [net/write_drops]; gauges [net/conns]
+    drops), [net/accept_fails], [net/write_drops], [net/oob_broadcasts]
+    (spontaneous snapshot lines fanned out); gauges [net/conns]
     (current) and [net/conns_peak] (high-water); histogram
     [net/conn_lifetime_ms]. None of it is [serve/*], so the serve
     invariant — per-op latency counts summing exactly to
     [serve/requests] — keeps holding in every merged snapshot.
+
+    {2 Out-of-band lines}
+
+    Spontaneous metrics snapshots ([config.snapshot_every] > 0) work
+    over TCP: the pool routes them through its emitter thread as
+    out-of-band lines, and the front end {e broadcasts} each one to
+    every live connection instead of popping the response-routing FIFO
+    — responses stay strictly paired with requests (the PR 9
+    [Queue.Empty] regression stays fixed with snapshots {e on}).
+    Broadcast writes follow the same bounded-write/owing discipline as
+    responses: a slow or vanished client only loses its own lines.
+    In-band [trace] requests dump the shared flight recorder (see
+    {!Tc_obs.Rtrace}) like any other op.
 
     Fault injection: {!Tc_resilience.Inject.Accept_fail} (accept loop
     counts and continues), [Conn_drop] (abrupt connection teardown

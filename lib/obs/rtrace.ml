@@ -1,0 +1,279 @@
+(* A sampled per-request flight recorder. One bounded ring of events
+   per domain, registered lazily through [Domain.DLS]; the disabled
+   recorder is [None] so every operation is a single match and zero
+   allocation. [dump] never takes the lock — the mutex guards only
+   ring registration, so a SIGUSR1 handler can dump while workers are
+   mid-record (it reads a slightly stale window, never deadlocks). *)
+
+type event = {
+  ev_trace : int;
+  ev_name : string;
+  ev_ts : int;
+  ev_dur : int;
+  ev_words : int;
+  ev_dom : int;
+}
+
+type ring = {
+  slots : event option array;
+  mutable written : int;  (* total ever recorded, for the drop count *)
+  mutable cur : int;
+  mutable cur_trace : int;  (* ambient trace ID, 0 = none *)
+  dom : int;
+}
+
+type recorder = {
+  cap : int;
+  sample : int;
+  next_id : int Atomic.t;
+  lock : Mutex.t;
+  rings : ring list ref;
+  key : ring Domain.DLS.key;
+}
+
+type t = recorder option
+
+let disabled : t = None
+
+let create ?(capacity = 4096) ?(sample = 1) () : t =
+  let cap = max 16 capacity and sample = max 1 sample in
+  let lock = Mutex.create () in
+  let rings = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let ring =
+          {
+            slots = Array.make cap None;
+            written = 0;
+            cur = 0;
+            cur_trace = 0;
+            dom = (Domain.self () :> int);
+          }
+        in
+        Mutex.lock lock;
+        rings := ring :: !rings;
+        Mutex.unlock lock;
+        ring)
+  in
+  Some { cap; sample; next_id = Atomic.make 1; lock; rings; key }
+
+let is_on = function None -> false | Some _ -> true
+let capacity = function None -> 0 | Some r -> r.cap
+let sample_rate = function None -> 0 | Some r -> r.sample
+
+let mint = function
+  | None -> 0
+  | Some r -> Atomic.fetch_and_add r.next_id 1
+
+let sampled t id =
+  match t with
+  | None -> false
+  | Some r -> id > 0 && (id - 1) mod r.sample = 0
+
+let set_current t id =
+  match t with
+  | None -> ()
+  | Some r ->
+      let ring = Domain.DLS.get r.key in
+      ring.cur_trace <- (if sampled t id then id else 0)
+
+let clear_current = function
+  | None -> ()
+  | Some r -> (Domain.DLS.get r.key).cur_trace <- 0
+
+let current = function
+  | None -> 0
+  | Some r -> (Domain.DLS.get r.key).cur_trace
+
+(* Threads sharing a domain share its ring; a race on [cur] can at
+   worst overwrite one concurrent event — acceptable for a flight
+   recorder, and never out of bounds. *)
+let push r trace ~name ~ts_ns ~dur_ns ~words =
+  let ring = Domain.DLS.get r.key in
+  ring.slots.(ring.cur) <-
+    Some
+      {
+        ev_trace = trace;
+        ev_name = name;
+        ev_ts = ts_ns;
+        ev_dur = dur_ns;
+        ev_words = words;
+        ev_dom = ring.dom;
+      };
+  ring.cur <- (ring.cur + 1) mod r.cap;
+  ring.written <- ring.written + 1
+
+let record t ~name ~ts_ns ~dur_ns ~words =
+  match t with
+  | None -> ()
+  | Some r ->
+      let trace = (Domain.DLS.get r.key).cur_trace in
+      if trace <> 0 then push r trace ~name ~ts_ns ~dur_ns ~words
+
+let record_as t ~trace ~name ~ts_ns ~dur_ns ~words =
+  match t with
+  | None -> ()
+  | Some r -> if sampled t trace then push r trace ~name ~ts_ns ~dur_ns ~words
+
+(* ---- dump ---- *)
+
+let ring_events ring =
+  (* Oldest-first: on wraparound the oldest slot is [cur]. A concurrent
+     writer may already have bumped [written] past what [cur] reflects;
+     clamp rather than lock. *)
+  let cap = Array.length ring.slots in
+  let n = min ring.written cap in
+  let start = if ring.written <= cap then 0 else ring.cur in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match ring.slots.((start + i) mod cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out
+
+let event_json ev =
+  Json.Obj
+    [
+      ("name", Json.Str ev.ev_name);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (float_of_int ev.ev_ts /. 1000.));
+      ("dur", Json.Float (float_of_int ev.ev_dur /. 1000.));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.ev_dom);
+      ( "args",
+        Json.Obj
+          [ ("trace", Json.Int ev.ev_trace); ("words", Json.Int ev.ev_words) ]
+      );
+    ]
+
+let dump t =
+  match t with
+  | None -> Json.Obj [ ("traceEvents", Json.List []); ("dropped", Json.Int 0) ]
+  | Some r ->
+      let rings = !(r.rings) in
+      let events = List.concat_map ring_events rings in
+      let events =
+        List.sort (fun a b -> compare (a.ev_ts, a.ev_trace) (b.ev_ts, b.ev_trace))
+          events
+      in
+      let dropped =
+        List.fold_left (fun acc ring -> acc + max 0 (ring.written - r.cap)) 0 rings
+      in
+      Json.Obj
+        [
+          ("traceEvents", Json.List (List.map event_json events));
+          ("dropped", Json.Int dropped);
+        ]
+
+let dump_string t = Json.to_line (dump t)
+
+(* ---- offline digest ---- *)
+
+type digest = {
+  dg_trace : int;
+  dg_op : string;
+  dg_latency_ns : int;
+  dg_phase : string;
+  dg_phase_ns : int;
+}
+
+let request_prefix = "request/"
+
+let is_request name =
+  String.length name > String.length request_prefix
+  && String.sub name 0 (String.length request_prefix) = request_prefix
+
+let parse_event j =
+  match (Json.member "name" j, Json.member "args" j) with
+  | Some name_j, Some args -> (
+      match
+        ( Json.to_str name_j,
+          Option.bind (Json.member "trace" args) Json.to_int,
+          Option.bind (Json.member "ts" j) Json.to_float,
+          Option.bind (Json.member "dur" j) Json.to_float )
+      with
+      | Some name, Some trace, Some ts, Some dur ->
+          Some
+            {
+              ev_trace = trace;
+              ev_name = name;
+              ev_ts = int_of_float (ts *. 1000.);
+              ev_dur = int_of_float (dur *. 1000.);
+              ev_words =
+                Option.value ~default:0
+                  (Option.bind (Json.member "words" args) Json.to_int);
+              ev_dom =
+                Option.value ~default:0
+                  (Option.bind (Json.member "tid" j) Json.to_int);
+            }
+      | _ -> None)
+  | _ -> None
+
+let top_slow ?(n = 10) doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List evs) ->
+      let events = List.filter_map parse_event evs in
+      let by_trace : (int, event list ref) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun ev ->
+          match Hashtbl.find_opt by_trace ev.ev_trace with
+          | Some l -> l := ev :: !l
+          | None -> Hashtbl.add by_trace ev.ev_trace (ref [ ev ]))
+        events;
+      let digests =
+        Hashtbl.fold
+          (fun trace evs acc ->
+            match List.find_opt (fun e -> is_request e.ev_name) !evs with
+            | None -> acc (* incomplete: no root event in the window *)
+            | Some root ->
+                let op =
+                  String.sub root.ev_name
+                    (String.length request_prefix)
+                    (String.length root.ev_name - String.length request_prefix)
+                in
+                let phase, phase_ns =
+                  List.fold_left
+                    (fun ((_, best_ns) as best) e ->
+                      if is_request e.ev_name || e.ev_dur <= best_ns then best
+                      else (e.ev_name, e.ev_dur))
+                    ("", 0) !evs
+                in
+                {
+                  dg_trace = trace;
+                  dg_op = op;
+                  dg_latency_ns = root.ev_dur;
+                  dg_phase = phase;
+                  dg_phase_ns = phase_ns;
+                }
+                :: acc)
+          by_trace []
+      in
+      let digests =
+        List.sort
+          (fun a b ->
+            compare (b.dg_latency_ns, a.dg_trace) (a.dg_latency_ns, b.dg_trace))
+          digests
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: tl -> x :: take (k - 1) tl
+      in
+      Ok (take (max 0 n) digests)
+  | Some _ -> Error "traceEvents is not an array"
+  | None -> Error "not a trace dump: no traceEvents field"
+
+let digest_json digests =
+  Json.List
+    (List.map
+       (fun d ->
+         Json.Obj
+           [
+             ("trace", Json.Int d.dg_trace);
+             ("op", Json.Str d.dg_op);
+             ("latency_ns", Json.Int d.dg_latency_ns);
+             ("phase", Json.Str d.dg_phase);
+             ("phase_ns", Json.Int d.dg_phase_ns);
+           ])
+       digests)

@@ -24,8 +24,16 @@ let now_ns () : int = Tc_support.Mono.now_ns ()
 
 (** Run [f] under a span named [name]. The observation is recorded even
     when [f] raises (the exception is re-raised), so a failing compile
-    still reports where its time went. *)
-let wrap (m : Metrics.t) (name : string) (f : unit -> 'a) : 'a =
+    still reports where its time went. With a live [rt] the same
+    observation is also appended to the flight recorder as a
+    per-request event (charged to the domain's current trace ID);
+    recorder events ride the metrics-on path, so they require a live
+    registry — the serve loop and [--trace-out] both guarantee one.
+
+    [rt] is a plain (non-optional) argument so the pipeline's hot call
+    sites pass {!Rtrace.disabled} without boxing a [Some] per span. *)
+let wrap_rt (rt : Rtrace.t) (m : Metrics.t) (name : string) (f : unit -> 'a) :
+    'a =
   if not (Metrics.is_on m) then f ()
   else begin
     let path = Metrics.span_push m name in
@@ -36,6 +44,11 @@ let wrap (m : Metrics.t) (name : string) (f : unit -> 'a) : 'a =
         let ns = now_ns () - t0 in
         let words = int_of_float (Gc.minor_words () -. w0) in
         Metrics.span_record m path ~ns ~words;
+        Rtrace.record rt ~name:path ~ts_ns:t0 ~dur_ns:ns ~words;
         Metrics.span_pop m)
       f
   end
+
+let wrap ?(rt = Rtrace.disabled) (m : Metrics.t) (name : string)
+    (f : unit -> 'a) : 'a =
+  wrap_rt rt m name f

@@ -156,7 +156,8 @@ let bytes t = snd (occupancy t)
 (* ---- key derivation ---- *)
 
 (* Canonical rendering of exactly the inputs the artifact depends on.
-   [trace]/[metrics] are observation sinks, not inputs, and are excluded;
+   [trace]/[metrics]/[rtrace] are observation sinks, not inputs, and are
+   excluded;
    [max_errors] only affects the accumulating path. The run path stores
    post-optimization artifacts, so everything that steers the optimizer —
    the pass list and the specializer options (profile digest, threshold,
@@ -195,6 +196,7 @@ let strip_compiled (c : Pipeline.compiled) : Pipeline.compiled =
         c.Pipeline.options with
         Pipeline.metrics = Metrics.disabled;
         trace = Tc_obs.Trace.none;
+        rtrace = Tc_obs.Rtrace.disabled;
       };
   }
 
@@ -207,6 +209,7 @@ let splice_compiled (opts : Pipeline.options) (c : Pipeline.compiled) :
         c.Pipeline.options with
         Pipeline.metrics = opts.Pipeline.metrics;
         trace = opts.Pipeline.trace;
+        rtrace = opts.Pipeline.rtrace;
       };
   }
 

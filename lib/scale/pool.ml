@@ -24,6 +24,8 @@
 
 module Serve = Typeclasses.Serve
 module Metrics = Tc_obs.Metrics
+module Rtrace = Tc_obs.Rtrace
+module Mono = Tc_support.Mono
 module Inject = Tc_resilience.Inject
 
 type summary = {
@@ -60,22 +62,32 @@ let merge_stats ~(into : Serve.stats) (s : Serve.stats) =
   into.by_op <- merge_assoc into.by_op s.Serve.by_op;
   into.by_class <- merge_assoc into.by_class s.Serve.by_class
 
-let sequential ~config ?stop ~next ~emit () =
+let sequential ~config ?stop ?emit_oob ~next ~emit () =
   let server = Serve.create ~config () in
-  let stats = Serve.run ~server ?stop ~next ~emit () in
+  let stats = Serve.run ~server ?stop ?emit_oob ~next ~emit () in
   let merged = Metrics.create () in
   Metrics.merge ~into:merged (Serve.metrics server);
   { stats; metrics = merged; workers = 1; restarts = 0 }
 
 let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
-    ~shed_grace_ms ~on_lame_duck ~stop ~next ~emit () =
+    ~shed_grace_ms ~on_lame_duck ~stop ~snapshot_every ~emit_oob ~next ~emit
+    () =
   let lock = Mutex.create () in
   let nonempty = Condition.create () in
   let progress = Condition.create () in
-  (* queue entries carry their enqueue time (config clock) so workers
-     can compute the queue age that drives deadline shedding *)
-  let queue : (int * string * float) Queue.t = Queue.create () in
-  let ready : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let rt = config.Serve.rtrace in
+  (* Queue entries carry their enqueue time (config clock) so workers
+     can compute the queue age that drives deadline shedding, plus the
+     trace ID minted at admission and — for sampled requests only — the
+     monotonic enqueue time that becomes the "queue" trace event. *)
+  let queue : (int * string * float * int * int) Queue.t = Queue.create () in
+  (* seq -> (response, trace): the emitter charges its write to the
+     response's own trace *)
+  let ready : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
+  (* Spontaneous lines (metrics snapshots) ride the emitter thread too,
+     but out-of-band: they never consume a sequence number, so response
+     routing downstream stays strictly one [next] per [emit]. *)
+  let oob : string Queue.t = Queue.create () in
   let eof = ref false in
   (* Both counters are written by the coordinator only. *)
   let next_seq = ref 0 in
@@ -85,6 +97,10 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   let pool_reg = Metrics.create () in
   let restarts_ctr = Metrics.counter pool_reg "scale/pool/restarts" in
   let depth_gauge = Metrics.gauge pool_reg "scale/pool/queue_depth" in
+  (* instantaneous depth, refreshed on every push and pop, so a live
+     [metrics]/[stats] request (or an out-of-band snapshot) reports how
+     deep the queue is *now*, not just the high-water mark *)
+  let depth_now_gauge = Metrics.gauge pool_reg "scale/pool/queue_depth_now" in
   let shed_ctr = Metrics.counter pool_reg "scale/pool/shed" in
   let acc_stats = empty_stats () in
   let acc_metrics = Metrics.create () in
@@ -119,9 +135,9 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   let config = { config with Serve.extra_metrics = Some pool_view } in
   let clock = config.Serve.clock in
 
-  let post seq resp =
+  let post seq ~trace resp =
     Mutex.lock lock;
-    Hashtbl.add ready seq resp;
+    Hashtbl.add ready seq (resp, trace);
     (* both the emitter and a backpressure-blocked coordinator wait on
        [progress]; a single signal could wake the wrong one *)
     Condition.broadcast progress;
@@ -131,7 +147,11 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   (* Dequeue under [lock] (the caller holds it); [None] only at EOF with
      an empty queue, i.e. no request will ever arrive again. *)
   let rec take () =
-    if not (Queue.is_empty queue) then Some (Queue.pop queue)
+    if not (Queue.is_empty queue) then begin
+      let entry = Queue.pop queue in
+      Metrics.set depth_now_gauge (Queue.length queue);
+      Some entry
+    end
     else if !eof then None
     else begin
       Condition.wait nonempty lock;
@@ -151,19 +171,27 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
           | None ->
               Mutex.unlock lock;
               `Done
-          | Some (seq, line, enqueued) ->
+          | Some (seq, line, enqueued, trace, enq_ns) ->
               (* Queue room opened: the coordinator may be blocked. *)
               Condition.broadcast progress;
               Mutex.unlock lock;
-              inflight := Some (seq, line);
+              inflight := Some (seq, line, trace);
               let queued_us =
                 int_of_float (Float.max 0. ((clock () -. enqueued) *. 1e6))
               in
+              (* the queue-wait event, measured on the monotonic clock
+                 from admission to this dequeue *)
+              if enq_ns > 0 then
+                Rtrace.record_as rt ~trace ~name:"queue" ~ts_ns:enq_ns
+                  ~dur_ns:(max 0 (Mono.now_ns () - enq_ns))
+                  ~words:0;
               if !Inject.live then
                 Inject.hit ~detail:"pool worker" Inject.Worker_crash;
-              let resp = Serve.handle_line ~queued_us server line in
+              let resp =
+                Serve.handle_line ~queued_us ~trace_id:trace server line
+              in
               inflight := None;
-              post seq resp;
+              post seq ~trace resp;
               loop ()
         in
         loop ()
@@ -181,10 +209,11 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
            never waits on a dead worker. *)
         (match !inflight with
         | None -> ()
-        | Some (seq, line) ->
+        | Some (seq, line, trace) ->
             let cls, msg = Serve.classify exn in
-            post seq
-              (Serve.synthetic_failure server ~cls:"worker-crash"
+            post seq ~trace
+              (Serve.synthetic_failure ~trace_id:trace server
+                 ~cls:"worker-crash"
                  ~message:
                    (Printf.sprintf "worker crashed mid-request (%s: %s)" cls
                       msg)
@@ -235,11 +264,12 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
       Mutex.lock lock;
       match take () with
       | None -> Mutex.unlock lock
-      | Some (seq, line, _) ->
+      | Some (seq, line, _, trace, _) ->
           Condition.broadcast progress;
           Mutex.unlock lock;
-          post seq
-            (Serve.synthetic_failure server ~cls:"worker-crash"
+          post seq ~trace
+            (Serve.synthetic_failure ~trace_id:trace server
+               ~cls:"worker-crash"
                ~message:
                  (Printf.sprintf
                     "worker pool degraded: restart budget (%d) exhausted"
@@ -268,10 +298,23 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
   let emitter =
     Thread.create
       (fun () ->
+        (* Write one response, charging the write to the response's own
+           trace so a slow/backpressured client shows up as a long
+           [emit] event in its requests' timelines. *)
+        let emit_traced (resp, trace) =
+          if Rtrace.sampled rt trace then begin
+            let ts0 = Mono.now_ns () in
+            emit resp;
+            Rtrace.record_as rt ~trace ~name:"emit" ~ts_ns:ts0
+              ~dur_ns:(Mono.now_ns () - ts0) ~words:0
+          end
+          else emit resp
+        in
         let rec loop () =
           Mutex.lock lock;
           while
             (not (Hashtbl.mem ready !next_emit))
+            && Queue.is_empty oob
             && not (!eof && !next_emit >= !next_seq)
           do
             Condition.wait progress lock
@@ -280,22 +323,49 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
           let rec collect () =
             match Hashtbl.find_opt ready !next_emit with
             | None -> ()
-            | Some resp ->
+            | Some entry ->
                 Hashtbl.remove ready !next_emit;
                 incr next_emit;
-                batch := resp :: !batch;
+                batch := entry :: !batch;
                 collect ()
           in
           collect ();
+          let oob_batch = ref [] in
+          while not (Queue.is_empty oob) do
+            oob_batch := Queue.pop oob :: !oob_batch
+          done;
           let finished = !eof && !next_emit >= !next_seq in
           Mutex.unlock lock;
-          List.iter emit (List.rev !batch);
+          List.iter emit_traced (List.rev !batch);
+          (* out-of-band lines after the responses of the same wakeup:
+             they are unordered with respect to requests by contract,
+             and this way a snapshot taken after request N tends to
+             follow response N on stdio *)
+          List.iter emit_oob (List.rev !oob_batch);
           if not finished then loop ()
         in
         loop ())
       ()
   in
 
+  (* Spontaneous snapshots in pooled mode: counted off lines read by
+     the coordinator, framed like the sequential loop's, but carrying
+     the pool/caller registries (the workers' private serve registries
+     are not safely readable while their domains run) and routed
+     through the emitter thread out-of-band. *)
+  let fed = ref 0 in
+  let maybe_snapshot () =
+    incr fed;
+    if snapshot_every > 0 && !fed mod snapshot_every = 0 then begin
+      let line =
+        Serve.snapshot_event_line ~after_requests:!fed (pool_view ())
+      in
+      Mutex.lock lock;
+      Queue.push line oob;
+      Condition.broadcast progress;
+      Mutex.unlock lock
+    end
+  in
   let rec feed () =
     if not (stop ()) then
       match next () with
@@ -303,6 +373,7 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
       | Some line ->
           let seq = !next_seq in
           incr next_seq;
+          let trace = Rtrace.mint rt in
           Mutex.lock lock;
           (* Backpressure with a grace window: wait for queue room, but
              if the queue stays full past [shed_grace_ms] of (progress-
@@ -326,8 +397,8 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
           if !shed then begin
             Metrics.incr shed_ctr;
             Mutex.unlock lock;
-            post seq
-              (Serve.synthetic_failure ctl ~cls:"shed"
+            post seq ~trace
+              (Serve.synthetic_failure ~trace_id:trace ctl ~cls:"shed"
                  ~message:
                    (Printf.sprintf
                       "shed at admission: queue full past the %.0fms grace \
@@ -336,14 +407,17 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
                  line)
           end
           else begin
-            Queue.push (seq, line, clock ()) queue;
+            let enq_ns = if Rtrace.sampled rt trace then Mono.now_ns () else 0 in
+            Queue.push (seq, line, clock (), trace, enq_ns) queue;
             (* high-water queue depth; gauges merge by max *)
             let d = Queue.length queue in
+            Metrics.set depth_now_gauge d;
             if d > Metrics.gauge_value depth_gauge then
               Metrics.set depth_gauge d;
             Condition.signal nonempty;
             Mutex.unlock lock
           end;
+          maybe_snapshot ();
           feed ()
   in
   feed ();
@@ -385,12 +459,15 @@ let parallel ~workers ~config ~queue_depth ~max_restarts ~restart_backoff_ms
 
 let run ?(workers = 1) ?(config = Serve.default_config) ?(queue_depth = 64)
     ?(max_restarts = 8) ?(restart_backoff_ms = 1.) ?(shed_grace_ms = -1.)
-    ?(on_lame_duck = fun () -> ()) ?(stop = fun () -> false) ~next ~emit () =
-  if workers <= 1 then sequential ~config ~stop ~next ~emit ()
+    ?(on_lame_duck = fun () -> ()) ?(stop = fun () -> false) ?emit_oob ~next
+    ~emit () =
+  if workers <= 1 then sequential ~config ~stop ?emit_oob ~next ~emit ()
   else
     (* a queue shallower than the pool would idle workers by
        construction, so the depth is clamped to at least [workers] *)
     parallel ~workers ~config
       ~queue_depth:(max workers (max 1 queue_depth))
       ~max_restarts ~restart_backoff_ms ~shed_grace_ms ~on_lame_duck ~stop
+      ~snapshot_every:config.Serve.snapshot_every
+      ~emit_oob:(match emit_oob with Some f -> f | None -> emit)
       ~next ~emit ()

@@ -53,14 +53,32 @@
     exactly to [serve/requests] — holds in the merged view whenever it
     holds per worker, synthetic responses included.
 
+    {2 Tracing and out-of-band lines}
+
+    With a live [config.rtrace] recorder, the coordinator mints each
+    request's trace ID at admission and threads it through the queue,
+    the handling worker ({!Typeclasses.Serve.handle_line}'s ingress ID)
+    and the reorder buffer — so a sampled request's timeline spans the
+    [queue] wait event (measured on the monotonic clock from admission
+    to dequeue), the worker's pipeline phase events, its
+    [request/<op>] root event, and the [emit] write event recorded by
+    the emitter thread. Synthetic responses (crash, shed) carry their
+    trace ID too.
+
+    Spontaneous metrics-snapshot lines ([config.snapshot_every] > 0)
+    are counted off lines read by the coordinator and routed through
+    the emitter thread {e out-of-band} ([emit_oob], defaulting to
+    [emit]) — they never consume a sequence number, so a front end
+    that pairs every [emit] with a routing slot stays consistent.
+
     Pooled-mode deviations from the sequential loop, by design:
 
-    - [config.snapshot_every] is ignored (spontaneous snapshot lines
-      would interleave with re-sequenced responses);
-    - in-band [stats]/[metrics] requests report the handling worker's
-      view (plus the shared pool/cache registries via the
-      [extra_metrics] composition), not the pool-wide aggregate (the
-      merged view exists only at summary time);
+    - out-of-band snapshots carry the pool/caller registries
+      ([scale/pool/*] plus the [extra_metrics] view), not the workers'
+      private serve registries (which are not safely readable while
+      their domains run — the merged view exists only at summary time);
+    - in-band [stats]/[metrics] requests likewise report the handling
+      worker's view plus the shared pool/cache registries;
     - a live [config.base_opts.trace] sink is unsupported (sinks are not
       domain-safe).
 
@@ -91,6 +109,7 @@ val run :
   ?shed_grace_ms:float ->
   ?on_lame_duck:(unit -> unit) ->
   ?stop:(unit -> bool) ->
+  ?emit_oob:(string -> unit) ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->
   unit ->
@@ -105,5 +124,8 @@ val run :
     that long. [on_lame_duck] (default no-op) fires once, from the dying
     worker's domain, when the pool enters the lame-duck drain — the
     network front end flips its readiness probe off here. [stop] is
-    checked between reads. Blocks until input is exhausted, every
-    response is emitted, and all worker domains have joined. *)
+    checked between reads. [emit_oob] (default: [emit]) receives
+    spontaneous out-of-band lines — metrics snapshots — which are never
+    part of the request/response pairing. Blocks until input is
+    exhausted, every response is emitted, and all worker domains have
+    joined. *)

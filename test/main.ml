@@ -7,5 +7,5 @@ let () =
     @ Test_fuzz.tests @ Test_deferral.tests @ Test_errors.tests
     @ Test_check.tests @ Test_cli.tests
     @ Test_differential.tests @ Test_vm.tests @ Test_obs.tests
-    @ Test_resilience.tests @ Test_metrics.tests @ Test_scale.tests
-    @ Test_net.tests)
+    @ Test_resilience.tests @ Test_metrics.tests @ Test_rtrace.tests
+    @ Test_scale.tests @ Test_net.tests)

@@ -230,30 +230,62 @@ let e2e_cases =
           (contains ~needle:"\"id\":5" after);
         Alcotest.(check bool) "invariant counts the oversized request" true
           (Loadgen.invariant_holds summary.Pool.metrics));
-    case "snapshot_every is disarmed over TCP: responses stay paired with \
-          requests"
+    case "snapshot_every over TCP: responses stay paired, snapshots arrive \
+          out-of-band"
       (fun () ->
-        (* A spontaneous metrics-snapshot line would be an [emit] with
-           no [next] pop behind it — it once crashed the routing FIFO
-           (Queue.Empty) on the Nth request. [Net.run] must force it
-           off regardless of the caller's config. *)
+        (* A spontaneous metrics-snapshot line used to be an [emit] with
+           no [next] pop behind it — it crashed the routing FIFO
+           (Queue.Empty) on the Nth request, so [Net.run] forced it off.
+           Now the pool routes snapshots out-of-band and the front end
+           broadcasts them: responses must still pair with requests,
+           [and] the snapshot lines must actually reach the socket. *)
         let config = { (fast_config ()) with Serve.snapshot_every = 1 } in
-        let replies, summary =
+        let (replies, snapshots), summary =
           with_server ~config @@ fun _srv port ->
           let fd, ic = connect port in
           Fun.protect ~finally:(fun () -> close_client fd) @@ fun () ->
-          List.map (fun i ->
+          (* Read until all three responses are in; snapshot broadcasts
+             interleave on the same socket as separate lines. *)
+          let replies = ref [] and snapshots = ref [] in
+          List.iter
+            (fun i ->
               send fd (ping ~id:i ());
-              got (recv ic))
-            [ 1; 2; 3 ]
+              let rec read_response () =
+                let line = got (recv ic) in
+                if contains ~needle:"metrics-snapshot" line then begin
+                  snapshots := line :: !snapshots;
+                  read_response ()
+                end
+                else replies := line :: !replies
+              in
+              read_response ())
+            [ 1; 2; 3 ];
+          (* Snapshots may trail their request's response; three were
+             queued (snapshot_every = 1), so if none interleaved yet a
+             blocking read is guaranteed to find one. *)
+          while !snapshots = [] do
+            let line = got (recv ic) in
+            if contains ~needle:"metrics-snapshot" line then
+              snapshots := line :: !snapshots
+          done;
+          (List.rev !replies, List.rev !snapshots)
         in
         List.iteri
           (fun i reply ->
             Alcotest.(check bool) "response routed to its request" true
               (contains ~needle:(Printf.sprintf "\"id\":%d" (i + 1)) reply);
-            Alcotest.(check bool) "no snapshot line interleaved" false
+            Alcotest.(check bool) "no snapshot payload inside a response" false
               (contains ~needle:"metrics-snapshot" reply))
           replies;
+        Alcotest.(check bool) "snapshots arrive as out-of-band lines" true
+          (List.length snapshots >= 1);
+        List.iter
+          (fun snap ->
+            Alcotest.(check bool) "snapshot line is tagged" true
+              (contains ~needle:"\"event\":\"metrics-snapshot\"" snap);
+            Alcotest.(check bool) "snapshot line carries no response id" false
+              (contains ~needle:"\"ok\":" snap))
+          snapshots;
         Alcotest.(check int) "three requests" 3
           summary.Pool.stats.Serve.requests;
         Alcotest.(check bool) "invariant holds" true
